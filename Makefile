@@ -1,0 +1,46 @@
+# Standard developer entry points. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench fuzz experiments experiments-full clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
+
+# One iteration of every benchmark, including the per-table/figure harness
+# benches at reduced scale.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
+
+# Short fuzzing passes over the parser and the coding identities.
+fuzz:
+	$(GO) test -fuzz=FuzzCodeRoundtrips -fuzztime=30s ./pbicode
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./xmltree
+
+# Quick interactive experiment sweep (about a minute).
+experiments:
+	$(GO) run ./cmd/pbibench -exp all
+
+# The paper-scale runs behind EXPERIMENTS.md (several minutes).
+experiments-full:
+	$(GO) run ./cmd/pbibench -exp e1,e2,e5,e6,e7,e8 -scale 1 -stats
+	$(GO) run ./cmd/pbibench -exp e3,e4 -docscale 1 -buffer 64
+	$(GO) run ./cmd/pbibench -exp a1,a2,a3,a4,a5,a6,a7,a8 -scale 1 -docscale 0.3 -stats
+
+clean:
+	rm -f cover.out

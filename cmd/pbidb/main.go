@@ -1,0 +1,194 @@
+// Command pbidb builds a persistent containment-join database from XML
+// documents and queries it across sessions: tag element sets become stored
+// relations in a page file with a catalog sidecar; joins then run against
+// the stored relations without re-parsing any XML.
+//
+// Usage:
+//
+//	pbidb build -db site.db [-tags item,text] doc1.xml [doc2.xml ...]
+//	pbidb tags  -db site.db
+//	pbidb join  -db site.db -anc item -desc text [-algo auto] [-buffer 500]
+//
+// Multiple documents are encoded as one collection (a forest under a
+// synthetic root), so joins span the corpus; pairs never cross documents.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		build(os.Args[2:])
+	case "tags":
+		tags(os.Args[2:])
+	case "join":
+		join(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pbidb build -db FILE [-tags a,b] doc.xml [doc.xml ...]
+  pbidb tags  -db FILE
+  pbidb join  -db FILE -anc TAG -desc TAG [-algo NAME] [-buffer N]`)
+	os.Exit(2)
+}
+
+// relPrefix namespaces tag relations in the catalog.
+const relPrefix = "tag:"
+
+func build(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	db := fs.String("db", "", "database file (required)")
+	tagList := fs.String("tags", "", "comma-separated tags to store (default: every tag)")
+	pageSize := fs.Int("pagesize", 4096, "page size")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *db == "" || fs.NArg() == 0 {
+		usage()
+	}
+
+	coll := xmltree.NewCollection()
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		err = coll.AddDocument(path, f, xmltree.Options{})
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+
+	want := map[string]bool{}
+	if *tagList != "" {
+		for _, t := range strings.Split(*tagList, ",") {
+			want[strings.TrimSpace(t)] = true
+		}
+	}
+
+	eng, err := containment.NewEngine(containment.Config{
+		Path:       *db,
+		PageSize:   *pageSize,
+		TreeHeight: coll.Height(),
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer eng.Close()
+	var rels []*containment.Relation
+	var stored []string
+	for tag := range coll.Document().Tags() {
+		if strings.HasPrefix(tag, "#") {
+			continue // synthetic collection root
+		}
+		if len(want) > 0 && !want[tag] {
+			continue
+		}
+		r, err := eng.Load(relPrefix+tag, coll.Codes(tag))
+		if err != nil {
+			fail(err)
+		}
+		rels = append(rels, r)
+		stored = append(stored, fmt.Sprintf("%s(%d)", tag, r.Len()))
+	}
+	if err := eng.Save(rels...); err != nil {
+		fail(err)
+	}
+	sort.Strings(stored)
+	fmt.Printf("pbidb: stored %d documents, %d tag relations: %s\n",
+		coll.NumDocuments(), len(rels), strings.Join(stored, " "))
+}
+
+func openDB(db string, buffer int) (*containment.Engine, map[string]*containment.Relation) {
+	eng, rels, err := containment.Open(containment.Config{
+		Path:        db,
+		BufferPages: buffer,
+		DiskCost:    containment.DefaultDiskCost,
+	})
+	if err != nil {
+		fail(err)
+	}
+	return eng, rels
+}
+
+func tags(args []string) {
+	fs := flag.NewFlagSet("tags", flag.ExitOnError)
+	db := fs.String("db", "", "database file (required)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *db == "" {
+		usage()
+	}
+	eng, rels := openDB(*db, 64)
+	defer eng.Close()
+	names := make([]string, 0, len(rels))
+	for name := range rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-24s %10s %8s %8s\n", "tag", "elements", "pages", "sorted")
+	for _, name := range names {
+		r := rels[name]
+		fmt.Printf("%-24s %10d %8d %8v\n", strings.TrimPrefix(name, relPrefix), r.Len(), r.Pages(), r.Sorted())
+	}
+}
+
+func join(args []string) {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	db := fs.String("db", "", "database file (required)")
+	anc := fs.String("anc", "", "ancestor tag (required)")
+	desc := fs.String("desc", "", "descendant tag (required)")
+	algo := fs.String("algo", "auto", "algorithm")
+	buffer := fs.Int("buffer", 500, "buffer pool pages")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *db == "" || *anc == "" || *desc == "" {
+		usage()
+	}
+	eng, rels := openDB(*db, *buffer)
+	defer eng.Close()
+	a, ok := rels[relPrefix+*anc]
+	if !ok {
+		fail(fmt.Errorf("no stored relation for tag %q", *anc))
+	}
+	d, ok := rels[relPrefix+*desc]
+	if !ok {
+		fail(fmt.Errorf("no stored relation for tag %q", *desc))
+	}
+	algs := map[string]containment.Algorithm{
+		"auto": containment.Auto, "nlj": containment.NestedLoop,
+		"mhcj": containment.MHCJ, "rollup": containment.MHCJRollup,
+		"vpj": containment.VPJ, "inljn": containment.INLJN,
+		"stacktree": containment.StackTree, "mpmgjn": containment.MPMGJN,
+		"adb": containment.ADBPlus,
+	}
+	alg, ok := algs[strings.ToLower(*algo)]
+	if !ok {
+		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	res, err := eng.Join(a, d, containment.JoinOptions{Algorithm: alg})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("//%s//%s: %d pairs  algorithm=%s  pageIO=%d  elapsed=%v\n",
+		*anc, *desc, res.Count, res.Algorithm, res.IO.Total(),
+		(res.IO.VirtualTime + res.IO.WallTime).Round(1000000))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pbidb: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command pbigen generates the evaluation datasets: DBLP-shaped or
+// XMark-shaped XML documents, or raw synthetic ancestor/descendant code
+// sets from the sixteen-dataset taxonomy.
+//
+// Usage:
+//
+//	pbigen -kind dblp  -scale 0.05 -out dblp.xml
+//	pbigen -kind xmark -scale 0.05 -out xmark.xml
+//	pbigen -kind synth -name SLLH -scale 0.01 -out sllh   (writes .a/.d files)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/pbitree/pbitree/internal/workload"
+	"github.com/pbitree/pbitree/pbicode"
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "xmark", "dataset kind: dblp|xmark|synth")
+		scale = flag.Float64("scale", 0.02, "scale factor (1.0 = paper size)")
+		name  = flag.String("name", "SLLH", "synthetic dataset name (synth kind)")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		out   = flag.String("out", "", "output path (default stdout; synth writes <out>.a and <out>.d)")
+	)
+	flag.Parse()
+
+	switch *kind {
+	case "dblp", "xmark":
+		var doc *xmltree.Document
+		var err error
+		if *kind == "dblp" {
+			doc, err = workload.GenerateDBLP(workload.DBLP(*scale, *seed))
+		} else {
+			doc, err = workload.GenerateXMark(workload.XMark(*scale, *seed))
+		}
+		if err != nil {
+			fail(err)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		bw := bufio.NewWriter(w)
+		if err := xmltree.WriteDoc(bw, doc); err != nil {
+			fail(err)
+		}
+		if err := bw.Flush(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "pbigen: %s: %d elements, PBiTree height %d\n", *kind, doc.NumElements(), doc.Height)
+	case "synth":
+		p, err := workload.Dataset(*name, *scale, *seed)
+		if err != nil {
+			fail(err)
+		}
+		data, err := workload.Generate(p)
+		if err != nil {
+			fail(err)
+		}
+		if *out == "" {
+			fail(fmt.Errorf("synth kind requires -out"))
+		}
+		if err := writeCodes(*out+".a", data.A); err != nil {
+			fail(err)
+		}
+		if err := writeCodes(*out+".d", data.D); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "pbigen: %s: |A|=%d |D|=%d treeHeight=%d results=%d\n",
+			p.Name, len(data.A), len(data.D), data.TreeHeight, data.Results)
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func writeCodes(path string, codes []pbicode.Code) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, c := range codes {
+		fmt.Fprintln(w, uint64(c))
+	}
+	return w.Flush()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pbigen: %v\n", err)
+	os.Exit(1)
+}

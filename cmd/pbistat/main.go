@@ -1,0 +1,104 @@
+// Command pbistat builds PBiTree statistics synopses over an XML
+// document's tag sets and reports estimated vs actual containment join
+// cardinalities — the optimizer-statistics workflow of the paper's
+// section 6.
+//
+// Usage:
+//
+//	pbistat -anc section -desc figure [-level 6] file.xml
+//	pbistat -tags file.xml        (list tags with counts and heights)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/pbistats"
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+func main() {
+	var (
+		anc   = flag.String("anc", "", "ancestor tag")
+		desc  = flag.String("desc", "", "descendant tag")
+		level = flag.Int("level", 6, "synopsis bucket level")
+		tags  = flag.Bool("tags", false, "list tags instead of estimating")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 || (!*tags && (*anc == "" || *desc == "")) {
+		fmt.Fprintln(os.Stderr, "usage: pbistat -anc TAG -desc TAG [-level N] file.xml | pbistat -tags file.xml")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := xmltree.Parse(in, xmltree.Options{})
+	if err != nil {
+		fail(err)
+	}
+
+	if *tags {
+		type row struct {
+			tag string
+			n   int
+		}
+		var rows []row
+		for tag, n := range doc.Tags() {
+			rows = append(rows, row{tag, n})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+		fmt.Printf("%-24s %10s %8s\n", "tag", "count", "heights")
+		for _, r := range rows {
+			heights := map[int]bool{}
+			for _, c := range doc.Codes(r.tag) {
+				heights[c.Height()] = true
+			}
+			fmt.Printf("%-24s %10d %8d\n", r.tag, r.n, len(heights))
+		}
+		return
+	}
+
+	lvl := *level
+	if lvl >= doc.Height {
+		lvl = doc.Height - 1
+	}
+	sa, err := pbistats.Build(doc.Codes(*anc), lvl, doc.Height)
+	if err != nil {
+		fail(err)
+	}
+	sd, err := pbistats.Build(doc.Codes(*desc), lvl, doc.Height)
+	if err != nil {
+		fail(err)
+	}
+	est, err := sa.EstimateJoin(sd)
+	if err != nil {
+		fail(err)
+	}
+	truth, err := containment.Count(doc.Codes(*anc), doc.Codes(*desc))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("//%s//%s\n", *anc, *desc)
+	fmt.Printf("  |A| = %d, |D| = %d, synopsis level %d (%d + %d buckets)\n",
+		sa.Total(), sd.Total(), lvl, sa.Buckets(), sd.Buckets())
+	fmt.Printf("  estimated pairs: %.1f\n", est)
+	fmt.Printf("  actual pairs:    %d\n", truth)
+	if truth > 0 {
+		fmt.Printf("  relative error:  %+.1f%%\n", (est-float64(truth))/float64(truth)*100)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pbistat: %v\n", err)
+	os.Exit(1)
+}

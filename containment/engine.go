@@ -1,0 +1,422 @@
+package containment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pbitree/pbitree/internal/btree"
+	"github.com/pbitree/pbitree/internal/buffer"
+	"github.com/pbitree/pbitree/internal/core"
+	"github.com/pbitree/pbitree/internal/itree"
+	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/internal/storage"
+	"github.com/pbitree/pbitree/pbicode"
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// PageSize in bytes; 0 means 4096.
+	PageSize int
+	// BufferPages is the buffer pool size b; 0 means 1024 frames.
+	// The paper's experiments use 500.
+	BufferPages int
+	// Path stores pages in a file; empty keeps them in memory. Either
+	// way, all I/O is counted and charged to the virtual clock.
+	Path string
+	// DiskCost models the virtual disk; zero values disable the clock.
+	DiskCost DiskCost
+	// TreeHeight is the PBiTree height of the codes the engine will see.
+	// 0 lets Load infer it from the largest loaded code.
+	TreeHeight int
+}
+
+// DiskCost assigns virtual time per page access (see storage.CostModel).
+type DiskCost struct {
+	Random     time.Duration
+	Sequential time.Duration
+}
+
+// DefaultDiskCost is the calibrated 2003-era disk the benchmarks charge:
+// 10 ms per random page access, 0.2 ms per sequential one.
+var DefaultDiskCost = DiskCost{Random: 10 * time.Millisecond, Sequential: 200 * time.Microsecond}
+
+// Engine evaluates containment joins against a paged storage substrate.
+// It is not safe for concurrent use.
+type Engine struct {
+	disk storage.Disk
+	pool *buffer.Pool
+	cfg  Config
+}
+
+// Relation is a stored element set owned by an Engine.
+type Relation struct {
+	rel *relation.Relation
+	// maxHeight of loaded codes (catalog statistic for rollup).
+	maxHeight int
+	// singleHeight is true when all codes share one height.
+	singleHeight bool
+	// sorted is true when the relation is stored in document order
+	// (after Engine.Sort).
+	sorted bool
+	// startIdx / intervalIdx are persistent access paths (see index.go).
+	startIdx    *btree.Tree
+	intervalIdx *itree.Tree
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.rel.Name() }
+
+// Len returns the number of elements.
+func (r *Relation) Len() int64 { return r.rel.NumRecords() }
+
+// Pages returns the number of occupied disk pages, the paper's ‖R‖.
+func (r *Relation) Pages() int64 { return r.rel.NumPages() }
+
+// NewEngine creates an engine per cfg.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = storage.DefaultPageSize
+	}
+	if cfg.BufferPages == 0 {
+		cfg.BufferPages = 1024
+	}
+	cost := storage.CostModel{Random: cfg.DiskCost.Random, Sequential: cfg.DiskCost.Sequential}
+	var disk storage.Disk
+	if cfg.Path != "" {
+		fd, err := storage.OpenFileDisk(cfg.Path, cfg.PageSize, cost)
+		if err != nil {
+			return nil, err
+		}
+		disk = fd
+	} else {
+		disk = storage.NewMemDisk(cfg.PageSize, cost)
+	}
+	return &Engine{disk: disk, pool: buffer.New(disk, cfg.BufferPages), cfg: cfg}, nil
+}
+
+// Close releases the engine's storage.
+func (e *Engine) Close() error {
+	if err := e.pool.FlushAll(); err != nil {
+		e.disk.Close() //nolint:errcheck // first error wins
+		return err
+	}
+	return e.disk.Close()
+}
+
+// Load stores a code set as a relation.
+func (e *Engine) Load(name string, codes []pbicode.Code) (*Relation, error) {
+	rel, err := relation.FromCodes(e.pool, name, codes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relation{rel: rel, singleHeight: true}
+	first := true
+	firstH := 0
+	need := 0
+	for _, c := range codes {
+		h := c.Height()
+		if h > r.maxHeight {
+			r.maxHeight = h
+		}
+		if first {
+			firstH, first = h, false
+		} else if h != firstH {
+			r.singleHeight = false
+		}
+		if m := minTreeHeight(c); m > need {
+			need = m
+		}
+	}
+	// Grow the engine's PBiTree height to cover every loaded code. A
+	// configured height is a floor, not a cap: embedding codes in a
+	// taller perfect tree preserves all ancestor relationships, so
+	// growing is always safe, while an undersized height would corrupt
+	// the vertical partitioning's level arithmetic.
+	if need > e.cfg.TreeHeight {
+		e.cfg.TreeHeight = need
+	}
+	if len(codes) == 0 {
+		r.singleHeight = false
+	}
+	return r, nil
+}
+
+// minTreeHeight returns the smallest PBiTree height whose code space
+// contains c.
+func minTreeHeight(c pbicode.Code) int {
+	h := 1
+	for pbicode.NumNodes(h) < uint64(c) {
+		h++
+	}
+	return h
+}
+
+// LoadDoc stores the code set of every element with the given tag.
+func (e *Engine) LoadDoc(doc *xmltree.Document, tag string) (*Relation, error) {
+	if e.cfg.TreeHeight < doc.Height {
+		e.cfg.TreeHeight = doc.Height
+	}
+	return e.Load(tag, doc.Codes(tag))
+}
+
+// JoinOptions configures one join execution.
+type JoinOptions struct {
+	// Algorithm to run; Auto selects per Table 1 using Spec.
+	Algorithm Algorithm
+	// Spec describes the inputs for Auto selection and lets the sorted
+	// merge joins skip their on-the-fly sorts.
+	Spec Spec
+	// Collect materializes result pairs into Result.Pairs. Leave false
+	// for large joins; Result.Count is always filled.
+	Collect bool
+	// Emit, when non-nil, receives every result pair as it is produced.
+	Emit func(Pair) error
+	// BufferPages overrides the engine's pool budget b for this join
+	// (must not exceed the pool size; used by the buffer-sweep
+	// experiments).
+	BufferPages int
+	// RollupTarget forces MHCJ+Rollup's target height (0 = the paper's
+	// simple strategy: the ancestor set's maximum height).
+	RollupTarget int
+	// CostBased makes Auto pick by the section 3.4 I/O cost model
+	// instead of the Table 1 rules (the paper's section 6 direction).
+	CostBased bool
+	// Filter, when non-nil, keeps only pairs it accepts: Result.Count,
+	// Pairs and Emit see the filtered stream. ParentChild builds the
+	// filter for the child axis; arbitrary predicates compose structural
+	// conditions beyond pure containment.
+	Filter func(Pair) bool
+	// VPJRootCut switches VPJ to the paper's literal root-relative cut
+	// levels instead of LCA-relative ones (ablation A8 only; degrades on
+	// skewed document embeddings).
+	VPJRootCut bool
+}
+
+// ParentChild returns a join filter that keeps only pairs where the
+// ancestor element is the descendant's direct parent in doc — turning the
+// containment (descendant-axis) join into the parent-child (child-axis)
+// structural join of Al-Khalifa et al. The containment join computes a
+// superset; the filter checks parenthood on the document in O(1) per pair.
+func ParentChild(doc *xmltree.Document) func(Pair) bool {
+	return func(p Pair) bool {
+		d := doc.ByCode(p.D)
+		return d != nil && d.Parent != nil && d.Parent.Code == p.A
+	}
+}
+
+// IOStats reports the physical cost of one join.
+type IOStats struct {
+	// Reads and Writes are page I/O counts (sequential subsets included).
+	Reads, Writes int64
+	SeqReads      int64
+	SeqWrites     int64
+	// VirtualTime is the disk clock's charge for these accesses.
+	VirtualTime time.Duration
+	// WallTime is the measured host time.
+	WallTime time.Duration
+}
+
+// Total returns total page I/Os.
+func (s IOStats) Total() int64 { return s.Reads + s.Writes }
+
+// Result reports one join execution.
+type Result struct {
+	// Algorithm that actually ran (after Auto resolution).
+	Algorithm string
+	// Count of result pairs.
+	Count int64
+	// Pairs, when JoinOptions.Collect was set.
+	Pairs []Pair
+	// FalseHits dropped by the rollup verification filter.
+	FalseHits int64
+	// Partitions written by partitioning algorithms.
+	Partitions int64
+	// Replicated ancestor records written by VPJ.
+	Replicated int64
+	// IndexProbes performed by INLJN / skip seeks by ADB+.
+	IndexProbes int64
+	// PredictedIO is the section 3.4 cost model's page I/O estimate for
+	// the algorithm that ran (compare against IO.Total()).
+	PredictedIO int64
+	// IO is the physical cost.
+	IO IOStats
+}
+
+// coreAlg maps the public algorithm enum onto the internal one.
+func coreAlg(a Algorithm) core.Algorithm {
+	switch a {
+	case Auto:
+		return core.AlgAuto
+	case NestedLoop:
+		return core.AlgNestedLoop
+	case SHCJ:
+		return core.AlgSHCJ
+	case MHCJ:
+		return core.AlgMHCJ
+	case MHCJRollup:
+		return core.AlgMHCJRollup
+	case VPJ:
+		return core.AlgVPJ
+	case INLJN:
+		return core.AlgINLJN
+	case StackTree:
+		return core.AlgStackTree
+	case StackTreeAnc:
+		return core.AlgStackTreeAnc
+	case MPMGJN:
+		return core.AlgMPMGJN
+	case ADBPlus:
+		return core.AlgADBPlus
+	default:
+		return core.Algorithm(-1)
+	}
+}
+
+// optSink adapts JoinOptions to a core.Sink.
+type optSink struct {
+	res  *Result
+	opts *JoinOptions
+	kept int64
+}
+
+func (s *optSink) Emit(a, d relation.Rec) error {
+	p := Pair{A: a.Code, D: d.Code}
+	if s.opts.Filter != nil && !s.opts.Filter(p) {
+		return nil
+	}
+	s.kept++
+	if s.opts.Collect {
+		s.res.Pairs = append(s.res.Pairs, p)
+	}
+	if s.opts.Emit != nil {
+		return s.opts.Emit(p)
+	}
+	return nil
+}
+
+// Join evaluates a ◁ d.
+func (e *Engine) Join(a, d *Relation, opts JoinOptions) (*Result, error) {
+	if opts.BufferPages > e.pool.Size() {
+		return nil, fmt.Errorf("containment: BufferPages %d exceeds pool size %d", opts.BufferPages, e.pool.Size())
+	}
+	stats := &core.Stats{}
+	ctx := &core.Context{
+		Pool:              e.pool,
+		B:                 opts.BufferPages,
+		TreeHeight:        e.cfg.TreeHeight,
+		MaxAncestorHeight: a.maxHeight,
+		VPJRootCut:        opts.VPJRootCut,
+		Stats:             stats,
+	}
+	spec := effectiveSpec(&opts, a, d)
+	res := &Result{}
+	sink := &optSink{res: res, opts: &opts}
+
+	// Resolve Auto up front so the cost prediction names the algorithm
+	// that actually runs.
+	alg := coreAlg(opts.Algorithm)
+	if alg == core.AlgAuto {
+		if opts.CostBased {
+			alg = core.ChooseByCost(ctx, spec, a.rel, d.rel)
+		} else {
+			alg = core.Choose(ctx, spec, a.rel, d.rel)
+		}
+	}
+	res.PredictedIO = core.EstimateIO(alg, core.Gather(ctx, spec, a.rel, d.rel))
+
+	before := e.disk.Stats()
+	start := time.Now()
+	var err error
+	switch {
+	case opts.Algorithm == MHCJRollup && opts.RollupTarget > 0:
+		err = core.MHCJRollup(ctx, a.rel, d.rel, opts.RollupTarget, sink)
+	default:
+		// Persistent access paths serve the index algorithms without the
+		// on-the-fly build cost; otherwise the framework runs normally
+		// (the merge joins already skip sorting via spec.Sorted*).
+		var handled bool
+		handled, err = e.runIndexed(ctx, alg, a, d, sink)
+		if !handled && err == nil {
+			alg, err = core.Run(ctx, alg, spec, a.rel, d.rel, sink)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	io := e.disk.Stats().Sub(before)
+
+	res.Algorithm = alg.String()
+	res.Count = stats.Pairs
+	if opts.Filter != nil {
+		res.Count = sink.kept
+	}
+	res.FalseHits = stats.FalseHits
+	res.Partitions = stats.Partitions
+	res.Replicated = stats.Replicated
+	res.IndexProbes = stats.IndexProbes
+	res.IO = IOStats{
+		Reads:       io.Reads,
+		Writes:      io.Writes,
+		SeqReads:    io.SeqReads,
+		SeqWrites:   io.SeqWrites,
+		VirtualTime: io.VirtualIO,
+		WallTime:    wall,
+	}
+	return res, nil
+}
+
+// JoinDoc loads the two tag sets of doc and joins them: the containment
+// query //ancTag//descTag.
+func (e *Engine) JoinDoc(doc *xmltree.Document, ancTag, descTag string, opts JoinOptions) (*Result, error) {
+	a, err := e.LoadDoc(doc, ancTag)
+	if err != nil {
+		return nil, err
+	}
+	d, err := e.LoadDoc(doc, descTag)
+	if err != nil {
+		return nil, err
+	}
+	return e.Join(a, d, opts)
+}
+
+// Free drops a relation's pages, reclaiming pool frames.
+func (e *Engine) Free(r *Relation) error { return r.rel.Free() }
+
+// ResetIOStats zeroes the engine's disk counters (benchmark harness use).
+func (e *Engine) ResetIOStats() { e.disk.ResetStats() }
+
+// IOStats returns the disk counters accumulated since the last reset
+// (benchmark harness use; Join results carry per-join deltas already).
+func (e *Engine) IOStats() IOStats {
+	s := e.disk.Stats()
+	return IOStats{
+		Reads: s.Reads, Writes: s.Writes,
+		SeqReads: s.SeqReads, SeqWrites: s.SeqWrites,
+		VirtualTime: s.VirtualIO,
+	}
+}
+
+// DropCache flushes and evicts every resident page so the next join starts
+// with a cold buffer pool, the setting the paper's measurements assume.
+func (e *Engine) DropCache() error {
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	for id := storage.PageID(0); id < e.disk.NumPages(); id++ {
+		if err := e.pool.Evict(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PoolSize returns the engine's buffer pool size in frames.
+func (e *Engine) PoolSize() int { return e.pool.Size() }
+
+// PageSize returns the engine's page size in bytes.
+func (e *Engine) PageSize() int { return e.cfg.PageSize }
+
+// TreeHeight returns the engine's current PBiTree height.
+func (e *Engine) TreeHeight() int { return e.cfg.TreeHeight }

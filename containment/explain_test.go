@@ -1,0 +1,128 @@
+package containment
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+func TestExplain(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	e, err := NewEngine(Config{PageSize: 512, BufferPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, _ := e.Load("A", randCodes(rng, 3000, 12))
+	d, _ := e.Load("D", randCodes(rng, 3000, 12))
+	plan := e.Explain(a, d, Spec{})
+	if len(plan) < 5 {
+		t.Fatalf("plan entries = %d", len(plan))
+	}
+	// Sorted by predicted cost; exactly one chosen; chosen is among the
+	// cheapest (ties break by preference).
+	chosen := 0
+	for i, p := range plan {
+		if i > 0 && p.PredictedIO < plan[i-1].PredictedIO {
+			t.Fatal("plan not sorted")
+		}
+		if p.Chosen {
+			chosen++
+			if p.PredictedIO != plan[0].PredictedIO {
+				t.Fatalf("chosen %s is not cheapest", p.Algorithm)
+			}
+		}
+	}
+	if chosen != 1 {
+		t.Fatalf("chosen count = %d", chosen)
+	}
+	// The rendered table mentions the inputs and the winner.
+	s := e.ExplainString(a, d, Spec{})
+	if !strings.Contains(s, "pages") || !strings.Contains(s, "*") {
+		t.Fatalf("ExplainString = %q", s)
+	}
+	// The actual execution agrees with the explained choice.
+	res, err := e.Join(a, d, JoinOptions{CostBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plan {
+		if p.Chosen && p.Algorithm != res.Algorithm {
+			t.Fatalf("explained %s, ran %s", p.Algorithm, res.Algorithm)
+		}
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e, err := NewEngine(Config{PageSize: 512, BufferPages: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.PoolSize() != 24 || e.PageSize() != 512 {
+		t.Fatalf("accessors: %d, %d", e.PoolSize(), e.PageSize())
+	}
+	r, err := e.Load("named", []pbicode.Code{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "named" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	if e.TreeHeight() < 3 {
+		t.Fatalf("TreeHeight = %d", e.TreeHeight())
+	}
+	io := e.IOStats()
+	if io.Reads < 0 || io.Writes < 0 {
+		t.Fatal("nonsense IOStats")
+	}
+}
+
+func TestJoinRegionNative(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	aCodes := randCodes(rng, 800, 12)
+	dCodes := randCodes(rng, 800, 12)
+	e, err := NewEngine(Config{PageSize: 512, BufferPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, _ := e.Load("A", aCodes)
+	d, _ := e.Load("D", dCodes)
+	native, err := e.JoinRegionNative(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapted, err := e.Join(a, d, JoinOptions{Algorithm: StackTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if native.Count != adapted.Count {
+		t.Fatalf("native %d vs adapted %d pairs", native.Count, adapted.Count)
+	}
+	if native.Algorithm != "STACKTREE-REGION" {
+		t.Fatalf("Algorithm = %s", native.Algorithm)
+	}
+}
+
+func TestExplainSingleHeight(t *testing.T) {
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, _ := e.Load("A", randCodesFixedHeight(200, 3, 10))
+	d, _ := e.Load("D", randCodesFixedHeight(200, 0, 10))
+	plan := e.Explain(a, d, Spec{})
+	found := false
+	for _, p := range plan {
+		if p.Algorithm == "SHCJ" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("SHCJ missing from a single-height plan")
+	}
+}

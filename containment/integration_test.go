@@ -1,0 +1,63 @@
+package containment
+
+import (
+	"testing"
+
+	"github.com/pbitree/pbitree/internal/workload"
+)
+
+// TestCorpusCrossValidation is the heavyweight integration guard: on a
+// realistic XMark-shaped document, every algorithm must produce identical
+// result counts for every tag pair at every buffer size — including the
+// deeply nested multi-height tags. Skipped with -short.
+func TestCorpusCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavyweight cross-validation")
+	}
+	doc, err := workload.GenerateXMark(workload.XMark(0.02, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := []string{"item", "description", "parlist", "listitem", "text", "open_auction"}
+	algs := []Algorithm{
+		NestedLoop, MHCJ, MHCJRollup, VPJ, INLJN,
+		StackTree, StackTreeAnc, MPMGJN, ADBPlus,
+	}
+	for _, b := range []int{8, 64} {
+		for i, ancTag := range tags {
+			for j, descTag := range tags {
+				if i == j {
+					continue
+				}
+				var want int64 = -1
+				for _, alg := range algs {
+					eng, err := NewEngine(Config{PageSize: 512, BufferPages: b})
+					if err != nil {
+						t.Fatal(err)
+					}
+					a, err := eng.LoadDoc(doc, ancTag)
+					if err != nil {
+						t.Fatal(err)
+					}
+					d, err := eng.LoadDoc(doc, descTag)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := eng.Join(a, d, JoinOptions{Algorithm: alg})
+					if err != nil {
+						t.Fatalf("b=%d //%s//%s %v: %v", b, ancTag, descTag, alg, err)
+					}
+					if want == -1 {
+						want = res.Count
+					} else if res.Count != want {
+						t.Fatalf("b=%d //%s//%s: %s got %d, others %d",
+							b, ancTag, descTag, res.Algorithm, res.Count, want)
+					}
+					if err := eng.Close(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}

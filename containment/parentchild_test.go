@@ -1,0 +1,86 @@
+package containment
+
+import (
+	"testing"
+
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+func TestParentChildFilter(t *testing.T) {
+	doc, err := xmltree.ParseString(`<doc>
+	  <section>
+	    <figure/>
+	    <subsection><figure/><figure/></subsection>
+	  </section>
+	  <section><figure/></section>
+	</doc>`, xmltree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, err := e.LoadDoc(doc, "section")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.LoadDoc(doc, "figure")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Descendant axis: all 4 figures are inside sections.
+	res, err := e.Join(a, d, JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 4 {
+		t.Fatalf("//section//figure = %d, want 4", res.Count)
+	}
+
+	// Child axis: only the 2 figures directly under a section.
+	for _, alg := range []Algorithm{Auto, StackTree, VPJ, MHCJRollup, INLJN} {
+		res, err = e.Join(a, d, JoinOptions{
+			Algorithm: alg,
+			Filter:    ParentChild(doc),
+			Collect:   true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Count != 2 || len(res.Pairs) != 2 {
+			t.Fatalf("%v: //section/figure = %d (%d pairs), want 2", alg, res.Count, len(res.Pairs))
+		}
+		for _, p := range res.Pairs {
+			if doc.ByCode(p.D).Parent.Code != p.A {
+				t.Fatalf("%v: non-parent pair %v", alg, p)
+			}
+		}
+	}
+}
+
+func TestCustomFilterCountsOnlyKept(t *testing.T) {
+	doc, err := xmltree.ParseString(`<a><b/><b/><b/></a>`, xmltree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, _ := e.LoadDoc(doc, "a")
+	d, _ := e.LoadDoc(doc, "b")
+	n := 0
+	res, err := e.Join(a, d, JoinOptions{
+		Filter: func(Pair) bool { n++; return n == 1 }, // keep first only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Fatalf("filtered count = %d", res.Count)
+	}
+}

@@ -1,0 +1,152 @@
+package containment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/pbitree/pbitree/internal/buffer"
+	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/internal/storage"
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// This file persists a file-backed engine's catalog — which relations
+// exist, which pages they own, and their cached statistics — in a JSON
+// sidecar next to the page file, so a database built once (pbigen + Load)
+// can be reopened and queried without reloading. Indexes are not persisted
+// (rebuild them after opening); temporary join state never reaches the
+// catalog.
+
+// catalogVersion guards the sidecar format.
+const catalogVersion = 1
+
+type catalogFile struct {
+	Version    int            `json:"version"`
+	PageSize   int            `json:"page_size"`
+	TreeHeight int            `json:"tree_height"`
+	Relations  []catalogEntry `json:"relations"`
+}
+
+type catalogEntry struct {
+	Name         string  `json:"name"`
+	Pages        []int64 `json:"pages"`
+	Count        int64   `json:"count"`
+	MinStart     uint64  `json:"min_start"`
+	MaxEnd       uint64  `json:"max_end"`
+	MaxHeight    int     `json:"max_height"`
+	SingleHeight bool    `json:"single_height"`
+	Sorted       bool    `json:"sorted"`
+}
+
+// catalogPath returns the sidecar path for a page file.
+func catalogPath(path string) string { return path + ".catalog" }
+
+// Save flushes all pages and writes the catalog for the given relations.
+// Only file-backed engines can be saved. Relations must have distinct
+// names.
+func (e *Engine) Save(relations ...*Relation) error {
+	fd, ok := e.disk.(*storage.FileDisk)
+	if !ok {
+		return fmt.Errorf("containment: only file-backed engines can be saved")
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := fd.Sync(); err != nil {
+		return err
+	}
+	cat := catalogFile{
+		Version:    catalogVersion,
+		PageSize:   e.cfg.PageSize,
+		TreeHeight: e.cfg.TreeHeight,
+	}
+	seen := map[string]bool{}
+	for _, r := range relations {
+		if seen[r.rel.Name()] {
+			return fmt.Errorf("containment: duplicate relation name %q in catalog", r.rel.Name())
+		}
+		seen[r.rel.Name()] = true
+		pages := r.rel.Pages()
+		ids := make([]int64, len(pages))
+		for i, p := range pages {
+			ids[i] = int64(p)
+		}
+		span, _ := r.rel.Span()
+		cat.Relations = append(cat.Relations, catalogEntry{
+			Name:         r.rel.Name(),
+			Pages:        ids,
+			Count:        r.rel.NumRecords(),
+			MinStart:     span.Start,
+			MaxEnd:       span.End,
+			MaxHeight:    r.maxHeight,
+			SingleHeight: r.singleHeight,
+			Sorted:       r.sorted,
+		})
+	}
+	data, err := json.MarshalIndent(&cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := catalogPath(e.cfg.Path) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, catalogPath(e.cfg.Path))
+}
+
+// Open reopens a saved file-backed engine: the page file plus its catalog
+// sidecar. The returned map holds the persisted relations by name.
+func Open(cfg Config) (*Engine, map[string]*Relation, error) {
+	if cfg.Path == "" {
+		return nil, nil, fmt.Errorf("containment: Open requires Config.Path")
+	}
+	data, err := os.ReadFile(catalogPath(cfg.Path))
+	if err != nil {
+		return nil, nil, fmt.Errorf("containment: read catalog: %w", err)
+	}
+	var cat catalogFile
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return nil, nil, fmt.Errorf("containment: parse catalog: %w", err)
+	}
+	if cat.Version != catalogVersion {
+		return nil, nil, fmt.Errorf("containment: catalog version %d unsupported", cat.Version)
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = cat.PageSize
+	}
+	if cfg.PageSize != cat.PageSize {
+		return nil, nil, fmt.Errorf("containment: page size %d differs from saved %d", cfg.PageSize, cat.PageSize)
+	}
+	if cfg.BufferPages == 0 {
+		cfg.BufferPages = 1024
+	}
+	if cfg.TreeHeight < cat.TreeHeight {
+		cfg.TreeHeight = cat.TreeHeight
+	}
+	cost := storage.CostModel{Random: cfg.DiskCost.Random, Sequential: cfg.DiskCost.Sequential}
+	fd, err := storage.ReopenFileDisk(cfg.Path, cfg.PageSize, cost)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := &Engine{disk: fd, pool: buffer.New(fd, cfg.BufferPages), cfg: cfg}
+	rels := make(map[string]*Relation, len(cat.Relations))
+	for _, entry := range cat.Relations {
+		pages := make([]storage.PageID, len(entry.Pages))
+		for i, id := range entry.Pages {
+			if id < 0 || storage.PageID(id) >= fd.NumPages() {
+				e.Close() //nolint:errcheck // best-effort cleanup
+				return nil, nil, fmt.Errorf("containment: catalog references page %d beyond file (%d pages)", id, fd.NumPages())
+			}
+			pages[i] = storage.PageID(id)
+		}
+		rels[entry.Name] = &Relation{
+			rel: relation.Attach(e.pool, entry.Name, pages, entry.Count,
+				pbicode.Region{Start: entry.MinStart, End: entry.MaxEnd}),
+			maxHeight:    entry.MaxHeight,
+			singleHeight: entry.SingleHeight,
+			sorted:       entry.Sorted,
+		}
+	}
+	return e, rels, nil
+}

@@ -1,0 +1,115 @@
+package containment
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveAndOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.pages")
+	rng := rand.New(rand.NewSource(60))
+	aCodes := randCodes(rng, 1500, 12)
+	dCodes := randCodes(rng, 1500, 12)
+	want := oracle(aCodes, dCodes)
+
+	// Build, run a join (creating temp state), sort one input, save.
+	e, err := NewEngine(Config{Path: path, PageSize: 512, BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Load("A", aCodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Load("D", dCodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Sort(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Join(a, d, JoinOptions{Algorithm: MHCJRollup}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Save(a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and query.
+	e2, rels, err := Open(Config{Path: path, BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	a2, ok := rels["A"]
+	if !ok {
+		t.Fatal("relation A missing")
+	}
+	d2, ok := rels["D"]
+	if !ok {
+		t.Fatal("relation D missing")
+	}
+	if a2.Len() != int64(len(aCodes)) || d2.Len() != int64(len(dCodes)) {
+		t.Fatalf("sizes %d/%d", a2.Len(), d2.Len())
+	}
+	if !d2.Sorted() || a2.Sorted() {
+		t.Fatal("sorted flags lost")
+	}
+	for _, alg := range []Algorithm{Auto, VPJ, StackTree} {
+		res, err := e2.Join(a2, d2, JoinOptions{Algorithm: alg, Collect: true})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		sortPairs(res.Pairs)
+		if len(res.Pairs) != len(want) {
+			t.Fatalf("%v after reopen: %d pairs, want %d", alg, len(res.Pairs), len(want))
+		}
+		for i := range want {
+			if res.Pairs[i] != want[i] {
+				t.Fatalf("%v: pair %d mismatch", alg, i)
+			}
+		}
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	e, err := NewEngine(Config{}) // memory-backed
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Save(); err == nil {
+		t.Fatal("saved a memory engine")
+	}
+
+	path := filepath.Join(t.TempDir(), "db.pages")
+	ef, err := NewEngine(Config{Path: path, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	a, err := ef.Load("X", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ef.Load("X", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ef.Save(a, b); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, _, err := Open(Config{}); err == nil {
+		t.Fatal("Open without path accepted")
+	}
+	if _, _, err := Open(Config{Path: filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Fatal("Open of missing catalog accepted")
+	}
+}

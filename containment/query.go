@@ -1,0 +1,169 @@
+package containment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/pbitree/pbitree/pbicode"
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+// This file adds a small path-expression front end over the join engine:
+// the descendant and child axes with optional equality predicates — the
+// query shapes the paper's introduction uses to motivate containment
+// joins (e.g. //Section[Title="Introduction"]//Figure). Full query-to-plan
+// translation is out of the paper's scope (§1); this subset makes the
+// engine usable without hand-assembling joins.
+//
+// Grammar:
+//
+//	expr      = step { step } .
+//	step      = ("//" | "/") tag [ predicate ] .
+//	predicate = "[" childTag "=" value "]"    (value optionally quoted)
+//
+// A leading "//" selects elements anywhere; a leading "/" selects the root
+// (if its tag matches). "//" between steps is the containment join, "/"
+// the parent-child join.
+
+// Step is one parsed path step.
+type Step struct {
+	// Descendant is true for the // axis, false for /.
+	Descendant bool
+	// Tag is the element tag to match.
+	Tag string
+	// PredChild / PredValue express [PredChild="PredValue"]; empty when
+	// absent.
+	PredChild, PredValue string
+}
+
+// ParsePath parses a path expression.
+func ParsePath(expr string) ([]Step, error) {
+	s := strings.TrimSpace(expr)
+	if s == "" {
+		return nil, fmt.Errorf("containment: empty path expression")
+	}
+	var steps []Step
+	for len(s) > 0 {
+		var desc bool
+		switch {
+		case strings.HasPrefix(s, "//"):
+			desc = true
+			s = s[2:]
+		case strings.HasPrefix(s, "/"):
+			s = s[1:]
+		default:
+			return nil, fmt.Errorf("containment: step %d must start with / or //", len(steps)+1)
+		}
+		// Tag runs to the next '/', '[' or end.
+		end := len(s)
+		if i := strings.IndexAny(s, "/["); i >= 0 {
+			end = i
+		}
+		tag := s[:end]
+		if tag == "" {
+			return nil, fmt.Errorf("containment: missing tag in step %d", len(steps)+1)
+		}
+		s = s[end:]
+		step := Step{Descendant: desc, Tag: tag}
+		if strings.HasPrefix(s, "[") {
+			close := strings.IndexByte(s, ']')
+			if close < 0 {
+				return nil, fmt.Errorf("containment: unclosed predicate in step %d", len(steps)+1)
+			}
+			pred := s[1:close]
+			s = s[close+1:]
+			child, value, ok := strings.Cut(pred, "=")
+			if !ok || strings.TrimSpace(child) == "" {
+				return nil, fmt.Errorf("containment: predicate %q wants childTag=value", pred)
+			}
+			value = strings.TrimSpace(value)
+			value = strings.Trim(value, `"'`)
+			step.PredChild = strings.TrimSpace(child)
+			step.PredValue = value
+		}
+		steps = append(steps, step)
+	}
+	return steps, nil
+}
+
+// Query evaluates a path expression over doc and returns the codes of the
+// final step's elements in document order. Each descendant step runs a
+// containment join; each child step the same join with the parent-child
+// filter; predicates restrict the step's candidate set before joining.
+func (e *Engine) Query(doc *xmltree.Document, expr string) ([]pbicode.Code, error) {
+	steps, err := ParsePath(expr)
+	if err != nil {
+		return nil, err
+	}
+	candidates := func(st Step) []pbicode.Code {
+		if st.PredChild == "" {
+			return doc.Codes(st.Tag)
+		}
+		return doc.CodesWhere(st.Tag, func(el *xmltree.Element) bool {
+			for _, c := range el.Children {
+				if c.Tag == st.PredChild && c.Text == st.PredValue {
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	// First step anchors the chain.
+	first := steps[0]
+	var cur []pbicode.Code
+	if first.Descendant {
+		cur = candidates(first)
+	} else if doc.Root.Tag == first.Tag {
+		for _, c := range candidates(first) {
+			if c == doc.Root.Code {
+				cur = []pbicode.Code{c}
+			}
+		}
+	}
+
+	for _, st := range steps[1:] {
+		if len(cur) == 0 {
+			return nil, nil
+		}
+		a, err := e.Load("q.anc", cur)
+		if err != nil {
+			return nil, err
+		}
+		d, err := e.Load("q.desc", candidates(st))
+		if err != nil {
+			return nil, err
+		}
+		opts := JoinOptions{}
+		if !st.Descendant {
+			opts.Filter = ParentChild(doc)
+		}
+		matched := make(map[pbicode.Code]bool)
+		opts.Emit = func(p Pair) error {
+			matched[p.D] = true
+			return nil
+		}
+		if _, err := e.Join(a, d, opts); err != nil {
+			return nil, err
+		}
+		if err := e.Free(a); err != nil {
+			return nil, err
+		}
+		if err := e.Free(d); err != nil {
+			return nil, err
+		}
+		cur = cur[:0]
+		for c := range matched {
+			cur = append(cur, c)
+		}
+	}
+	sort.Slice(cur, func(i, j int) bool {
+		si, sj := cur[i].Start(), cur[j].Start()
+		if si != sj {
+			return si < sj
+		}
+		return cur[i].Height() > cur[j].Height()
+	})
+	return cur, nil
+}

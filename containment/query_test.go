@@ -1,0 +1,131 @@
+package containment
+
+import (
+	"testing"
+
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+const queryDoc = `<paper>
+  <Section>
+    <Title>Introduction</Title>
+    <Figure>f1</Figure>
+    <Sub><Figure>f2</Figure></Sub>
+  </Section>
+  <Section>
+    <Title>Evaluation</Title>
+    <Figure>f3</Figure>
+  </Section>
+  <Appendix><Figure>f4</Figure></Appendix>
+</paper>`
+
+func queryEngine(t *testing.T) (*Engine, *xmltree.Document) {
+	t.Helper()
+	doc, err := xmltree.ParseString(queryDoc, xmltree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e, doc
+}
+
+func TestQueryExpressions(t *testing.T) {
+	e, doc := queryEngine(t)
+	cases := []struct {
+		expr string
+		want []string // figure texts expected, in document order
+	}{
+		{`//Section//Figure`, []string{"f1", "f2", "f3"}},
+		{`//Section/Figure`, []string{"f1", "f3"}},
+		{`//Section[Title="Introduction"]//Figure`, []string{"f1", "f2"}},
+		{`//Section[Title="Introduction"]/Figure`, []string{"f1"}},
+		{`//Section[Title=Evaluation]//Figure`, []string{"f3"}},
+		{`/paper//Figure`, []string{"f1", "f2", "f3", "f4"}},
+		{`//Sub/Figure`, []string{"f2"}},
+		{`//Appendix//Figure`, []string{"f4"}},
+		{`//Section[Title="Nope"]//Figure`, nil},
+		{`/wrongroot//Figure`, nil},
+		{`//Figure`, []string{"f1", "f2", "f3", "f4"}},
+	}
+	for _, tc := range cases {
+		codes, err := e.Query(doc, tc.expr)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.expr, err)
+		}
+		var got []string
+		for _, c := range codes {
+			got = append(got, doc.ByCode(c).Text)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: got %v, want %v", tc.expr, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s: got %v, want %v", tc.expr, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestQueryAttributePredicate(t *testing.T) {
+	// With AttrNodes, attributes are "@name" children, so predicates can
+	// address them: //item[@cat="x"]//price.
+	doc, err := xmltree.ParseString(`<site>
+	  <item cat="x"><price>1</price></item>
+	  <item cat="y"><price>2</price></item>
+	  <item cat="x"><price>3</price></item>
+	</site>`, xmltree.Options{AttrNodes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	codes, err := e.Query(doc, `//item[@cat="x"]//price`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) != 2 {
+		t.Fatalf("matched %d prices, want 2", len(codes))
+	}
+	for _, c := range codes {
+		if txt := doc.ByCode(c).Text; txt != "1" && txt != "3" {
+			t.Fatalf("wrong price %q", txt)
+		}
+	}
+}
+
+func TestParsePathErrors(t *testing.T) {
+	for _, expr := range []string{
+		"", "Section", "//", "//a[b]", "//a[=x]", "//a[b=x", "//a//",
+	} {
+		if _, err := ParsePath(expr); err == nil {
+			t.Errorf("%q parsed", expr)
+		}
+	}
+}
+
+func TestParsePathSteps(t *testing.T) {
+	steps, err := ParsePath(`//a[t="v w"]/b//c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if !steps[0].Descendant || steps[0].Tag != "a" || steps[0].PredChild != "t" || steps[0].PredValue != "v w" {
+		t.Fatalf("step0 = %+v", steps[0])
+	}
+	if steps[1].Descendant || steps[1].Tag != "b" {
+		t.Fatalf("step1 = %+v", steps[1])
+	}
+	if !steps[2].Descendant || steps[2].Tag != "c" {
+		t.Fatalf("step2 = %+v", steps[2])
+	}
+}

@@ -1,0 +1,105 @@
+// evolution walks the dynamic side of the system: a document that grows
+// after encoding (inserts into virtual-node slots, §2.3.2 of the paper),
+// re-encoding with durable headroom when slots run out, and persisting the
+// resulting element sets to a database file that a later session reopens
+// and queries.
+//
+//	go run ./examples/evolution
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+func main() {
+	doc, err := xmltree.ParseString(`<inventory>
+	  <shelf><book>Go</book><book>XML</book><book>Joins</book></shelf>
+	  <shelf><book>Trees</book></shelf>
+	</inventory>`, xmltree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	count := func(label string) {
+		pairs, err := containment.Join(doc.Codes("shelf"), doc.Codes("book"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s //shelf//book = %d (height %d)\n", label, len(pairs), doc.Height)
+	}
+	count("initial document:")
+
+	// Insert into the second shelf: the binarization left virtual slots
+	// next to its single book, so no code changes.
+	shelf2 := doc.Elements("shelf")[1]
+	if _, err := doc.InsertChild(shelf2, "book"); err != nil {
+		log.Fatal(err)
+	}
+	count("after one insert (same codes):")
+
+	// Keep inserting until the slot range fills; then re-encode with one
+	// level of headroom, which doubles every sibling range.
+	inserted := 0
+	for {
+		_, err := doc.InsertChild(shelf2, "book")
+		if errors.Is(err, xmltree.ErrNoFreeSlot) {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		inserted++
+	}
+	fmt.Printf("slots exhausted after %d more inserts; re-encoding with headroom\n", inserted)
+	if err := doc.Reencode(1); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := doc.InsertChild(shelf2, "book"); err != nil {
+		log.Fatal(err)
+	}
+	count("after re-encode + insert:")
+
+	// Persist the tag sets; a later session reopens and joins without
+	// touching XML again.
+	dir, err := os.MkdirTemp("", "pbitree-evolution")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	db := filepath.Join(dir, "inventory.pages")
+	eng, err := containment.NewEngine(containment.Config{Path: db, TreeHeight: doc.Height})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shelves, err := eng.Load("shelf", doc.Codes("shelf"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	books, err := eng.Load("book", doc.Codes("book"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Save(shelves, books); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	eng2, rels, err := containment.Open(containment.Config{Path: db})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng2.Close()
+	res, err := eng2.Join(rels["shelf"], rels["book"], containment.JoinOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-34s //shelf//book = %d via %s\n", "reopened database:", res.Count, res.Algorithm)
+}

@@ -1,0 +1,78 @@
+// Quickstart: parse an XML document, inspect the PBiTree codes the paper's
+// coding scheme assigns, and evaluate a containment join in three lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+const document = `
+<paper>
+  <section>
+    <title>Introduction</title>
+    <figure>architecture</figure>
+    <figure>coding scheme</figure>
+  </section>
+  <section>
+    <title>Evaluation</title>
+    <figure>speedups</figure>
+    <subsection>
+      <figure>buffer sweep</figure>
+    </subsection>
+  </section>
+</paper>`
+
+func main() {
+	doc, err := xmltree.ParseString(document, xmltree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every element now carries a single integer: its PBiTree code. The
+	// code alone answers ancestry (Lemma 1 of the paper), converts to a
+	// region code (Lemma 3), and knows its height and root path.
+	fmt.Printf("PBiTree height %d\n\n", doc.Height)
+	doc.Walk(func(e *xmltree.Element) bool {
+		r := e.Code.Region()
+		fmt.Printf("  code %4d  height %d  region (%2d,%2d)  %s%s\n",
+			uint64(e.Code), e.Code.Height(), r.Start, r.End,
+			pad(e.Level()), e.Tag)
+		return true
+	})
+
+	// The containment join //section//figure: which figures does each
+	// section contain (at any depth)?
+	pairs, err := containment.Join(doc.Codes("section"), doc.Codes("figure"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n//section//figure -> %d pairs\n", len(pairs))
+	for _, p := range pairs {
+		sec := doc.ByCode(p.A)
+		fig := doc.ByCode(p.D)
+		fmt.Printf("  section %q contains figure %q\n",
+			sec.Children[0].Text, fig.Text)
+	}
+
+	// Ancestry checks need no data at all beyond the two codes.
+	intro, eval := doc.Elements("section")[0], doc.Elements("section")[1]
+	deepFig := doc.Elements("figure")[3] // nested inside a subsection of eval
+	fmt.Printf("\nIsAncestor(evaluation-section, nested-figure) = %v\n",
+		containment.IsAncestor(eval.Code, deepFig.Code))
+	fmt.Printf("IsAncestor(intro-section, nested-figure) = %v\n",
+		containment.IsAncestor(intro.Code, deepFig.Code))
+}
+
+func pad(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "  "
+	}
+	return s
+}

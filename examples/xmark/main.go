@@ -1,0 +1,128 @@
+// xmark runs auction-site containment joins — the paper's BENCHMARK
+// workload family (Table 2(c)) — including the recursive
+// description/parlist/listitem structure that produces multi-height sets,
+// and sweeps the buffer budget to show the Figure 6(e)/(f) effect: the
+// partitioning joins keep improving with memory while the sort-based
+// baseline flattens out.
+//
+//	go run ./examples/xmark
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+// buildSite generates an auction site: items with recursively nested
+// descriptions, auctions with bidders.
+func buildSite(items, auctions int, rng *rand.Rand) *xmltree.Document {
+	root := &xmltree.Element{Tag: "site"}
+	add := func(p *xmltree.Element, tag, text string) *xmltree.Element {
+		e := &xmltree.Element{Tag: tag, Text: text, Parent: p}
+		p.Children = append(p.Children, e)
+		return e
+	}
+	var describe func(p *xmltree.Element, depth int)
+	describe = func(p *xmltree.Element, depth int) {
+		par := add(add(p, "description", ""), "parlist", "")
+		for i := 0; i <= rng.Intn(3); i++ {
+			li := add(par, "listitem", "")
+			if depth < 3 && rng.Float64() < 0.35 {
+				inner := add(li, "parlist", "")
+				add(add(inner, "listitem", ""), "text", "nested")
+			} else {
+				add(li, "text", fmt.Sprintf("detail %d", i))
+			}
+		}
+	}
+	regions := add(root, "regions", "")
+	for _, r := range []string{"africa", "asia", "europe"} {
+		add(regions, r, "")
+	}
+	for i := 0; i < items; i++ {
+		item := add(regions.Children[rng.Intn(3)], "item", "")
+		add(item, "name", fmt.Sprintf("item %d", i))
+		describe(item, 0)
+	}
+	open := add(root, "open_auctions", "")
+	for i := 0; i < auctions; i++ {
+		oa := add(open, "open_auction", "")
+		for b := 0; b < rng.Intn(4); b++ {
+			bidder := add(oa, "bidder", "")
+			add(bidder, "increase", fmt.Sprintf("%d.00", 1+rng.Intn(20)))
+		}
+		add(oa, "current", "99.00")
+	}
+	doc, err := xmltree.Encode(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return doc
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	doc := buildSite(8000, 4000, rng)
+	fmt.Printf("site: %d elements, height %d\n", doc.NumElements(), doc.Height)
+
+	// The recursive structure makes both sides of //listitem//text
+	// multi-height — the hard case for single-height equijoins, handled
+	// by rollup and by vertical partitioning.
+	heights := map[int]int{}
+	for _, c := range doc.Codes("listitem") {
+		heights[c.Height()]++
+	}
+	fmt.Printf("listitem heights: %v\n\n", heights)
+
+	queries := []struct{ anc, desc string }{
+		{"item", "text"},
+		{"listitem", "text"},
+		{"open_auction", "increase"},
+	}
+	// Buffer sweep: the framework's partitioning joins scale with b.
+	for _, q := range queries {
+		fmt.Printf("//%s//%s\n", q.anc, q.desc)
+		fmt.Printf("  %-8s %-14s %-14s %-14s\n", "buffer", "MHCJ+Rollup", "VPJ", "STACKTREE")
+		for _, b := range []int{8, 32, 128} {
+			eng, err := containment.NewEngine(containment.Config{
+				BufferPages: b,
+				PageSize:    512,
+				DiskCost:    containment.DefaultDiskCost,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			a, err := eng.LoadDoc(doc, q.anc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			d, err := eng.LoadDoc(doc, q.desc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			line := fmt.Sprintf("  %-8d", b)
+			for _, alg := range []containment.Algorithm{
+				containment.MHCJRollup, containment.VPJ, containment.StackTree,
+			} {
+				if err := eng.DropCache(); err != nil {
+					log.Fatal(err)
+				}
+				eng.ResetIOStats()
+				res, err := eng.Join(a, d, containment.JoinOptions{Algorithm: alg})
+				if err != nil {
+					log.Fatal(err)
+				}
+				line += fmt.Sprintf(" %-14s", fmt.Sprintf("%v/%dIO", (res.IO.VirtualTime+res.IO.WallTime).Round(1000000), res.IO.Total()))
+			}
+			fmt.Println(line)
+			if err := eng.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/pbitree/pbitree
+
+go 1.22

@@ -1,0 +1,363 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps experiment tests fast while still exercising real
+// partitioning against the 64-frame pools.
+func tinyConfig() Config {
+	return Config{
+		Scale:       0.002, // L = 2000, S = 100 (min)
+		DocScale:    0.004,
+		BufferPages: 64,
+		PageSize:    512,
+		Seed:        7,
+	}
+}
+
+func checkResult(t *testing.T, res *Result, wantAlgos ...string) {
+	t.Helper()
+	if len(res.Rows) == 0 {
+		t.Fatalf("%s: no rows", res.ID)
+	}
+	algos := map[string]bool{}
+	for _, r := range res.Rows {
+		algos[r.Algorithm] = true
+		if r.Elapsed <= 0 {
+			t.Errorf("%s/%s/%s: elapsed %v", res.ID, r.Dataset, r.Algorithm, r.Elapsed)
+		}
+		if r.Pairs < 0 {
+			t.Errorf("%s: negative pairs", res.ID)
+		}
+	}
+	for _, want := range wantAlgos {
+		if !algos[want] {
+			t.Errorf("%s: missing algorithm %s (have %v)", res.ID, want, algos)
+		}
+	}
+	// Result counts must agree across algorithms per dataset.
+	pairs := map[string]int64{}
+	for _, r := range res.Rows {
+		if prev, ok := pairs[r.Dataset]; ok && prev != r.Pairs {
+			t.Errorf("%s/%s: pair count %d vs %d across algorithms", res.ID, r.Dataset, r.Pairs, prev)
+		}
+		pairs[r.Dataset] = r.Pairs
+	}
+}
+
+func TestE1(t *testing.T) {
+	res, err := E1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "MIN_RGN", "SHCJ", "VPJ", "INLJN", "STACKTREE", "ADB+")
+	if n := len(res.Rows); n != 8*6 {
+		t.Fatalf("rows = %d, want 48", n)
+	}
+}
+
+func TestE2(t *testing.T) {
+	res, err := E2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "MIN_RGN", "MHCJ+Rollup", "VPJ")
+	// Rollup on multi-height data should record false hits somewhere.
+	var falseHits int64
+	for _, r := range res.Rows {
+		falseHits += r.FalseHits
+	}
+	if falseHits == 0 {
+		t.Error("no false hits across all multi-height datasets")
+	}
+}
+
+func TestE3E4(t *testing.T) {
+	cfg := tinyConfig()
+	res3, err := E3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res3, "MIN_RGN", "MHCJ+Rollup", "VPJ")
+	if len(res3.Rows) != 10*6 {
+		t.Fatalf("E3 rows = %d", len(res3.Rows))
+	}
+	res4, err := E4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res4, "MIN_RGN", "MHCJ+Rollup", "VPJ")
+	if len(res4.Rows) != 10*6 {
+		t.Fatalf("E4 rows = %d", len(res4.Rows))
+	}
+}
+
+func TestE5BufferSweep(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.005
+	res, err := E5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "MIN_RGN", "MHCJ+Rollup", "VPJ")
+	if len(res.Rows) != len(bufferSweepPercents)*3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestE6BufferSweepMulti(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.005
+	res, err := E6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "MIN_RGN", "MHCJ+Rollup", "VPJ")
+}
+
+func TestE7Scalability(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := E7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "MIN_RGN", "SHCJ", "VPJ")
+	if len(res.Rows) != 8*3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestE8ScalabilityMulti(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := E8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "MIN_RGN", "MHCJ+Rollup", "VPJ")
+	if len(res.Rows) != 8*3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestA3Replication(t *testing.T) {
+	res, err := A3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 16 {
+		t.Fatalf("rows = %d, want one VPJ row per dataset", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Algorithm != "VPJ" {
+			t.Fatalf("unexpected algorithm %s", r.Algorithm)
+		}
+		if r.HeightsA == 0 || r.HeightsD == 0 {
+			t.Fatalf("%s: heights not annotated", r.Dataset)
+		}
+	}
+}
+
+func TestA1RollupBeatsOrMatchesMHCJ(t *testing.T) {
+	res, err := A1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "MHCJ", "MHCJ+Rollup")
+}
+
+func TestA4TargetSweep(t *testing.T) {
+	res, err := A4(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// All targets agree on the result count; false hits grow with the
+	// target (weakly).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Pairs != res.Rows[0].Pairs {
+			t.Fatal("pair counts differ across targets")
+		}
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.FalseHits < first.FalseHits {
+		t.Errorf("false hits shrank with a higher target: %d -> %d", first.FalseHits, last.FalseHits)
+	}
+}
+
+func TestA2RegionVsAdapted(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.01
+	res, err := A2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "ST-PBiTree", "ST-Region")
+	// Same inputs, same record width: page I/O must be near-identical.
+	byDS := map[string]map[string]Row{}
+	for _, r := range res.Rows {
+		if byDS[r.Dataset] == nil {
+			byDS[r.Dataset] = map[string]Row{}
+		}
+		byDS[r.Dataset][r.Algorithm] = r
+	}
+	for ds, m := range byDS {
+		adapted, native := m["ST-PBiTree"], m["ST-Region"]
+		if adapted.Pairs != native.Pairs {
+			t.Fatalf("%s: pair counts differ", ds)
+		}
+		lo, hi := native.IOs*9/10, native.IOs*11/10
+		if adapted.IOs < lo || adapted.IOs > hi {
+			t.Errorf("%s: adapted IO %d vs native %d (beyond 10%%)", ds, adapted.IOs, native.IOs)
+		}
+	}
+}
+
+func TestA5CostModel(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.01 // large enough that nothing fits the 64-frame pool
+	res, err := A5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "MHCJ+Rollup", "VPJ", "STACKTREE", "MPMGJN")
+	for _, r := range res.Rows {
+		if r.PredictedIO <= 0 {
+			t.Fatalf("%s/%s: no prediction", r.Dataset, r.Algorithm)
+		}
+		if r.IOs > 0 {
+			ratio := float64(r.IOs) / float64(r.PredictedIO)
+			if ratio < 0.2 || ratio > 5 {
+				t.Errorf("%s/%s: predicted %d vs measured %d (ratio %.2f)",
+					r.Dataset, r.Algorithm, r.PredictedIO, r.IOs, ratio)
+			}
+		}
+	}
+}
+
+func TestA6CodingSpace(t *testing.T) {
+	res, err := A6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.SizeA == 0 || r.HeightsA == 0 || r.HeightsA > 63 {
+			t.Fatalf("%s: elements=%d height=%d", r.Dataset, r.SizeA, r.HeightsA)
+		}
+	}
+}
+
+func TestA7PipelinedPaths(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := A7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "pipelined", "re-partition")
+	if len(res.Rows)%2 != 0 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestA8Anchoring(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := A8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "VPJ-LCA", "VPJ-root")
+}
+
+func TestRenderers(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := E1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl, stats, csv, sum strings.Builder
+	Render(&tbl, res)
+	RenderStats(&stats, res)
+	RenderCSV(&csv, res)
+	Summarize(&sum, res)
+	if !strings.Contains(tbl.String(), "MIN_RGN") || !strings.Contains(tbl.String(), "SLLH") {
+		t.Error("table missing content")
+	}
+	if !strings.Contains(stats.String(), "#results") {
+		t.Error("stats header missing")
+	}
+	if !strings.Contains(csv.String(), "experiment,dataset") {
+		t.Error("csv header missing")
+	}
+	if !strings.Contains(sum.String(), "improvement over MIN_RGN") {
+		t.Error("summary missing")
+	}
+}
+
+// TestE1ModerateScale exercises the whole pipeline at a scale where the
+// 500-page pool spills for every algorithm and the paper's ordering must
+// emerge: partitioned algorithms at or below MIN_RGN on every dataset
+// where one side is small. Several seconds; skipped with -short.
+func TestE1ModerateScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale experiment")
+	}
+	cfg := Default()
+	cfg.Scale = 0.05     // L = 50k elements, S = 500
+	cfg.BufferPages = 64 // data >> buffer: the paper's regime
+	res, err := E1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minBy := map[string]Row{}
+	algBy := map[string]map[string]Row{}
+	for _, r := range res.Rows {
+		if r.Algorithm == "MIN_RGN" {
+			minBy[r.Dataset] = r
+		}
+		if algBy[r.Dataset] == nil {
+			algBy[r.Dataset] = map[string]Row{}
+		}
+		algBy[r.Dataset][r.Algorithm] = r
+	}
+	// The headline claim on the mixed-size datasets: large improvement.
+	for _, ds := range []string{"SLSH", "SSLH", "SLSL", "SSLL"} {
+		min, ok := minBy[ds]
+		if !ok {
+			t.Fatalf("no MIN_RGN for %s", ds)
+		}
+		shcj := algBy[ds]["SHCJ"]
+		if imp := improvement(min, shcj); imp < 0.5 {
+			t.Errorf("%s: SHCJ improvement %.0f%%, want >= 50%%", ds, imp*100)
+		}
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(Order) != len(exps) {
+		t.Fatalf("Order has %d, registry %d", len(Order), len(exps))
+	}
+	for _, id := range Order {
+		if exps[id] == nil {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestImprovementMath(t *testing.T) {
+	min := Row{Elapsed: 10 * time.Second}
+	fast := Row{Elapsed: 1 * time.Second}
+	if got := improvement(min, fast); got < 0.89 || got > 0.91 {
+		t.Fatalf("improvement = %v", got)
+	}
+	if improvement(Row{}, fast) != 0 {
+		t.Fatal("zero baseline not guarded")
+	}
+}

@@ -1,0 +1,127 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Render prints an experiment's measurement table, with the paper's
+// improvement ratio against each dataset's MIN_RGN row where one exists.
+func Render(w io.Writer, res *Result) {
+	fmt.Fprintf(w, "== %s: %s ==\n", res.ID, res.Title)
+	minByDataset := map[string]Row{}
+	for _, r := range res.Rows {
+		if r.Algorithm == "MIN_RGN" {
+			minByDataset[r.Dataset] = r
+		}
+	}
+	fmt.Fprintf(w, "%-14s %-12s %12s %10s %10s %10s %10s %8s\n",
+		"dataset", "algorithm", "elapsed", "pageIO", "predIO", "pairs", "falsehits", "improv")
+	var lastDataset string
+	for _, r := range res.Rows {
+		if r.Dataset != lastDataset && lastDataset != "" {
+			fmt.Fprintln(w, "")
+		}
+		lastDataset = r.Dataset
+		if r.Algorithm == "encode" { // coding-space rows (A6)
+			util := float64(r.SizeA) / float64(uint64(1)<<uint(r.HeightsA))
+			fmt.Fprintf(w, "%-14s %d elements -> PBiTree height %d (%d-bit codes, %.4f%% of code space used)\n",
+				r.Dataset, r.SizeA, r.HeightsA, r.HeightsA, util*100)
+			continue
+		}
+		improv := "-"
+		if min, ok := minByDataset[r.Dataset]; ok && r.Algorithm != "MIN_RGN" {
+			improv = fmt.Sprintf("%+.0f%%", improvement(min, r)*100)
+		}
+		fmt.Fprintf(w, "%-14s %-12s %12s %10d %10d %10d %10d %8s\n",
+			r.Dataset, r.Algorithm, fmtDur(r.Elapsed), r.IOs, r.PredictedIO, r.Pairs, r.FalseHits, improv)
+	}
+	fmt.Fprintln(w, "")
+}
+
+// RenderStats prints the dataset statistics table (the Table 2(a)-(d)
+// shape): sizes, height counts and result cardinality per dataset, taken
+// from the first row of each dataset.
+func RenderStats(w io.Writer, res *Result) {
+	fmt.Fprintf(w, "== %s: dataset statistics ==\n", res.ID)
+	fmt.Fprintf(w, "%-14s %10s %5s %10s %5s %10s %8s %10s\n",
+		"dataset", "|A|", "H_A", "|D|", "H_D", "#results", "parts", "replicated")
+	seen := map[string]bool{}
+	for _, r := range res.Rows {
+		if seen[r.Dataset] {
+			continue
+		}
+		seen[r.Dataset] = true
+		fmt.Fprintf(w, "%-14s %10d %5d %10d %5d %10d %8d %10d\n",
+			r.Dataset, r.SizeA, r.HeightsA, r.SizeD, r.HeightsD, r.Pairs, r.Partitions, r.Replicated)
+	}
+	fmt.Fprintln(w, "")
+}
+
+// RenderCSV emits the rows as CSV for plotting.
+func RenderCSV(w io.Writer, res *Result) {
+	fmt.Fprintln(w, "experiment,dataset,algorithm,elapsed_ms,wall_ms,page_io,pred_io,seq_io,pairs,false_hits,replicated,partitions,size_a,size_d")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s,%s,%s,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			res.ID, r.Dataset, r.Algorithm,
+			float64(r.Elapsed)/float64(time.Millisecond),
+			float64(r.Wall)/float64(time.Millisecond),
+			r.IOs, r.PredictedIO, r.SeqIOs, r.Pairs, r.FalseHits, r.Replicated, r.Partitions, r.SizeA, r.SizeD)
+	}
+}
+
+// fmtDur renders durations at millisecond precision like the paper's
+// second-scale tables.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+// Summarize prints the experiment's headline: the min/max improvement of
+// each non-baseline algorithm over MIN_RGN, the numbers the paper's
+// Figure 6 bar charts show.
+func Summarize(w io.Writer, res *Result) {
+	minByDataset := map[string]Row{}
+	for _, r := range res.Rows {
+		if r.Algorithm == "MIN_RGN" {
+			minByDataset[r.Dataset] = r
+		}
+	}
+	if len(minByDataset) == 0 {
+		return
+	}
+	type agg struct {
+		min, max, sum float64
+		n             int
+	}
+	stats := map[string]*agg{}
+	for _, r := range res.Rows {
+		min, ok := minByDataset[r.Dataset]
+		if !ok || r.Algorithm == "MIN_RGN" {
+			continue
+		}
+		switch r.Algorithm {
+		case "INLJN", "STACKTREE", "ADB+":
+			continue // baseline components
+		}
+		v := improvement(min, r)
+		a := stats[r.Algorithm]
+		if a == nil {
+			a = &agg{min: v, max: v}
+			stats[r.Algorithm] = a
+		}
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+		a.sum += v
+		a.n++
+	}
+	for alg, a := range stats {
+		fmt.Fprintf(w, "%s improvement over MIN_RGN: min %+.0f%%, avg %+.0f%%, max %+.0f%%\n",
+			alg, a.min*100, a.sum/float64(a.n)*100, a.max*100)
+	}
+	fmt.Fprintln(w, "")
+}

@@ -1,0 +1,86 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pbitree/pbitree/internal/buffer"
+	"github.com/pbitree/pbitree/internal/storage"
+)
+
+func benchPool(b *testing.B, frames int) *buffer.Pool {
+	b.Helper()
+	d := storage.NewMemDisk(4096, storage.CostModel{})
+	b.Cleanup(func() { d.Close() })
+	return buffer.New(d, frames)
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	pool := benchPool(b, 256)
+	tr, err := New(pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(uint64(i), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	pool := benchPool(b, 256)
+	tr, err := New(pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(rng.Uint64(), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	keys := make([]uint64, 100_000)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = uint64(i * 3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := benchPool(b, 256)
+		if _, err := BulkLoad(pool, &SliceSource{Keys: keys, Vals: vals}, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeekWarm(b *testing.B) {
+	pool := benchPool(b, 1024)
+	keys := make([]uint64, 200_000)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = uint64(i * 2)
+	}
+	tr, err := BulkLoad(pool, &SliceSource{Keys: keys, Vals: vals}, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := tr.Seek(rng.Uint64() % 400_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		it.Next()
+		it.Close()
+	}
+}

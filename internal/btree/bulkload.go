@@ -1,0 +1,166 @@
+package btree
+
+import (
+	"fmt"
+
+	"github.com/pbitree/pbitree/internal/buffer"
+	"github.com/pbitree/pbitree/internal/storage"
+)
+
+// Source yields (key, value) pairs in non-decreasing key order for
+// BulkLoad. Next reports false at the end; Err surfaces scan failures.
+type Source interface {
+	Next() bool
+	Key() uint64
+	Val() uint64
+	Err() error
+}
+
+// BulkLoad builds a tree bottom-up from a sorted source, filling each page
+// to fillFactor (in (0, 1]; 1.0 packs pages completely, which is what the
+// on-the-fly index builds of the baselines use since no inserts follow).
+func BulkLoad(pool *buffer.Pool, src Source, fillFactor float64) (*Tree, error) {
+	if fillFactor <= 0 || fillFactor > 1 {
+		return nil, fmt.Errorf("btree: fill factor %v out of (0, 1]", fillFactor)
+	}
+	t := &Tree{pool: pool, cap: (pool.PageSize() - hdrSize) / entrySize}
+	if t.cap < 4 {
+		return nil, fmt.Errorf("btree: page size %d too small", pool.PageSize())
+	}
+	perLeaf := int(float64(t.cap) * fillFactor)
+	if perLeaf < 1 {
+		perLeaf = 1
+	}
+
+	// Build the leaf level, collecting (firstKey, pageID) for the level
+	// above. Chain leaves as we go.
+	type sep struct {
+		key  uint64
+		page storage.PageID
+	}
+	var seps []sep
+	var cur buffer.Frame
+	curN := 0
+	open := false
+	var prevLeaf storage.PageID = storage.InvalidPageID
+	closeLeaf := func() {
+		if open {
+			pool.Unpin(cur, true)
+			open = false
+		}
+	}
+	for src.Next() {
+		if !open {
+			f, err := pool.NewPage()
+			if err != nil {
+				return nil, err
+			}
+			initPage(f.Data, typeLeaf)
+			t.pages++
+			if prevLeaf != storage.InvalidPageID {
+				pf, err := pool.Fetch(prevLeaf)
+				if err != nil {
+					pool.Unpin(f, true)
+					return nil, err
+				}
+				setNextPtr(pf.Data, f.ID)
+				pool.Unpin(pf, true)
+			}
+			prevLeaf = f.ID
+			cur, curN, open = f, 0, true
+			seps = append(seps, sep{key: src.Key(), page: f.ID})
+		}
+		setEntry(cur.Data, curN, src.Key(), src.Val())
+		curN++
+		setKeyCount(cur.Data, curN)
+		t.count++
+		if curN == perLeaf {
+			closeLeaf()
+		}
+	}
+	closeLeaf()
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	if len(seps) == 0 {
+		// Empty source: an empty single-leaf tree.
+		f, err := pool.NewPage()
+		if err != nil {
+			return nil, err
+		}
+		initPage(f.Data, typeLeaf)
+		t.pages++
+		t.root = f.ID
+		t.height = 1
+		pool.Unpin(f, true)
+		return t, nil
+	}
+	t.height = 1
+
+	// Build internal levels until one page remains. Each internal page
+	// gets child0 = first child and entries (firstKey(child_i), child_i)
+	// for the rest.
+	perNode := perLeaf
+	if perNode > t.cap {
+		perNode = t.cap
+	}
+	for len(seps) > 1 {
+		var up []sep
+		for lo := 0; lo < len(seps); {
+			hi := lo + perNode + 1 // child0 + perNode keyed children
+			if hi > len(seps) {
+				hi = len(seps)
+			}
+			// Avoid a dangling single-child node at the end.
+			if rem := len(seps) - hi; rem == 1 {
+				hi--
+			}
+			f, err := pool.NewPage()
+			if err != nil {
+				return nil, err
+			}
+			initPage(f.Data, typeInternal)
+			t.pages++
+			setNextPtr(f.Data, seps[lo].page)
+			n := 0
+			for _, s := range seps[lo+1 : hi] {
+				setEntry(f.Data, n, s.key, uint64(int64(s.page)))
+				n++
+			}
+			setKeyCount(f.Data, n)
+			up = append(up, sep{key: seps[lo].key, page: f.ID})
+			pool.Unpin(f, true)
+			lo = hi
+		}
+		seps = up
+		t.height++
+	}
+	t.root = seps[0].page
+	return t, nil
+}
+
+// SliceSource adapts in-memory sorted pairs to a Source (used by tests and
+// small builds).
+type SliceSource struct {
+	Keys []uint64
+	Vals []uint64
+	i    int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() bool {
+	if s.i >= len(s.Keys) {
+		return false
+	}
+	s.i++
+	return true
+}
+
+// Key implements Source.
+func (s *SliceSource) Key() uint64 { return s.Keys[s.i-1] }
+
+// Val implements Source.
+func (s *SliceSource) Val() uint64 { return s.Vals[s.i-1] }
+
+// Err implements Source.
+func (s *SliceSource) Err() error { return nil }

@@ -1,0 +1,253 @@
+// Package buffer implements a fixed-size buffer pool over a storage.Disk
+// with clock (second-chance) replacement, playing the role of the Minibase
+// buffer manager in the paper's evaluation. The pool size b — the number of
+// buffer pages — is the memory budget every join algorithm in this
+// repository is written against.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/pbitree/pbitree/internal/storage"
+)
+
+// ErrNoFrames is returned when every frame in the pool is pinned and a new
+// page is requested.
+var ErrNoFrames = errors.New("buffer: all frames pinned")
+
+// Stats counts logical page requests served by the pool.
+type Stats struct {
+	Hits      int64 // requests served without disk I/O
+	Misses    int64 // requests that read from disk
+	Evictions int64 // frames reused for another page
+	Flushes   int64 // dirty pages written back
+}
+
+// Frame is a pinned page in the pool. Data aliases the pool's frame memory
+// and is valid until the matching Unpin; callers that modified Data must
+// unpin with dirty = true.
+type Frame struct {
+	ID   storage.PageID
+	Data []byte
+	slot int
+}
+
+type slot struct {
+	id    storage.PageID
+	data  []byte
+	pins  int
+	dirty bool
+	ref   bool // clock reference bit
+}
+
+// Pool is a buffer pool of b frames over a Disk. It is not safe for
+// concurrent use; the engine is single-threaded per join, like the system
+// in the paper.
+type Pool struct {
+	disk  storage.Disk
+	slots []slot
+	table map[storage.PageID]int
+	hand  int
+	stats Stats
+}
+
+// New returns a pool of b frames over disk. b must be at least 1.
+func New(disk storage.Disk, b int) *Pool {
+	if b < 1 {
+		panic("buffer: pool needs at least one frame")
+	}
+	p := &Pool{
+		disk:  disk,
+		slots: make([]slot, b),
+		table: make(map[storage.PageID]int, b),
+	}
+	for i := range p.slots {
+		p.slots[i].id = storage.InvalidPageID
+		p.slots[i].data = make([]byte, disk.PageSize())
+	}
+	return p
+}
+
+// Size returns the number of frames b.
+func (p *Pool) Size() int { return len(p.slots) }
+
+// PageSize returns the underlying disk's page size.
+func (p *Pool) PageSize() int { return p.disk.PageSize() }
+
+// Disk returns the underlying disk (for stats inspection).
+func (p *Pool) Disk() storage.Disk { return p.disk }
+
+// Stats returns the pool counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the pool counters.
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// Fetch pins the page id and returns its frame, reading it from disk if it
+// is not resident.
+func (p *Pool) Fetch(id storage.PageID) (Frame, error) {
+	if i, ok := p.table[id]; ok {
+		p.stats.Hits++
+		p.slots[i].pins++
+		p.slots[i].ref = true
+		return Frame{ID: id, Data: p.slots[i].data, slot: i}, nil
+	}
+	p.stats.Misses++
+	i, err := p.victim()
+	if err != nil {
+		return Frame{}, err
+	}
+	if err := p.disk.Read(id, p.slots[i].data); err != nil {
+		// The victim slot was already flushed and unmapped; leave it free.
+		return Frame{}, fmt.Errorf("buffer: fetch page %d: %w", id, err)
+	}
+	p.install(i, id)
+	return Frame{ID: id, Data: p.slots[i].data, slot: i}, nil
+}
+
+// NewPage allocates a fresh zeroed page on disk, pins it and returns its
+// frame. The page is marked dirty so it reaches disk even if untouched.
+func (p *Pool) NewPage() (Frame, error) {
+	i, err := p.victim()
+	if err != nil {
+		return Frame{}, err
+	}
+	id, err := p.disk.Alloc()
+	if err != nil {
+		return Frame{}, fmt.Errorf("buffer: alloc: %w", err)
+	}
+	clear(p.slots[i].data)
+	p.install(i, id)
+	p.slots[i].dirty = true
+	return Frame{ID: id, Data: p.slots[i].data, slot: i}, nil
+}
+
+// Unpin releases one pin on the frame. dirty marks the page as modified.
+func (p *Pool) Unpin(f Frame, dirty bool) {
+	s := &p.slots[f.slot]
+	if s.id != f.ID || s.pins <= 0 {
+		panic(fmt.Sprintf("buffer: bad unpin of page %d (slot holds %d, pins %d)", f.ID, s.id, s.pins))
+	}
+	s.pins--
+	if dirty {
+		s.dirty = true
+	}
+}
+
+// FlushAll writes every dirty resident page back to disk. Pinned pages are
+// flushed too (their current content is written).
+func (p *Pool) FlushAll() error {
+	for i := range p.slots {
+		if err := p.flushSlot(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Evict drops the page from the pool if resident and unpinned, flushing it
+// first when dirty. It is a no-op for non-resident pages and an error for
+// pinned ones. Relations use it to drop pages of temporary files that were
+// just deleted.
+func (p *Pool) Evict(id storage.PageID) error {
+	i, ok := p.table[id]
+	if !ok {
+		return nil
+	}
+	if p.slots[i].pins > 0 {
+		return fmt.Errorf("buffer: evict pinned page %d", id)
+	}
+	if err := p.flushSlot(i); err != nil {
+		return err
+	}
+	delete(p.table, id)
+	p.slots[i].id = storage.InvalidPageID
+	p.slots[i].ref = false
+	return nil
+}
+
+// Discard drops the page from the pool if resident and unpinned, WITHOUT
+// flushing dirty content — the page's data is dead (its file was deleted).
+// Freeing temporary relations uses this so that partitions and sort runs
+// that lived and died inside the buffer never cost write I/O, exactly like
+// temp files in a real engine.
+func (p *Pool) Discard(id storage.PageID) error {
+	i, ok := p.table[id]
+	if !ok {
+		return nil
+	}
+	if p.slots[i].pins > 0 {
+		return fmt.Errorf("buffer: discard pinned page %d", id)
+	}
+	delete(p.table, id)
+	p.slots[i].id = storage.InvalidPageID
+	p.slots[i].ref = false
+	p.slots[i].dirty = false
+	return nil
+}
+
+// PinnedFrames returns the number of frames currently pinned (for tests and
+// leak detection).
+func (p *Pool) PinnedFrames() int {
+	n := 0
+	for i := range p.slots {
+		if p.slots[i].pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *Pool) flushSlot(i int) error {
+	s := &p.slots[i]
+	if s.id == storage.InvalidPageID || !s.dirty {
+		return nil
+	}
+	if err := p.disk.Write(s.id, s.data); err != nil {
+		return fmt.Errorf("buffer: flush page %d: %w", s.id, err)
+	}
+	p.stats.Flushes++
+	s.dirty = false
+	return nil
+}
+
+// install maps slot i to page id with one pin.
+func (p *Pool) install(i int, id storage.PageID) {
+	s := &p.slots[i]
+	s.id = id
+	s.pins = 1
+	s.dirty = false
+	s.ref = true
+	p.table[id] = i
+}
+
+// victim finds a free or evictable slot using the clock algorithm, flushes
+// its dirty content, unmaps it and returns its index.
+func (p *Pool) victim() (int, error) {
+	// Two full sweeps: the first clears reference bits, the second takes
+	// the first unpinned frame.
+	for pass := 0; pass < 2*len(p.slots); pass++ {
+		i := p.hand
+		p.hand = (p.hand + 1) % len(p.slots)
+		s := &p.slots[i]
+		if s.id == storage.InvalidPageID {
+			return i, nil
+		}
+		if s.pins > 0 {
+			continue
+		}
+		if s.ref {
+			s.ref = false
+			continue
+		}
+		if err := p.flushSlot(i); err != nil {
+			return 0, err
+		}
+		p.stats.Evictions++
+		delete(p.table, s.id)
+		s.id = storage.InvalidPageID
+		return i, nil
+	}
+	return 0, ErrNoFrames
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pbitree/pbitree/internal/buffer"
+	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/internal/storage"
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// benchJoin measures one algorithm over fixed random inputs of n elements
+// per side against a pool of b frames.
+func benchJoin(b *testing.B, fn joinFunc, n, frames int) {
+	b.Helper()
+	const h = 22
+	rng := rand.New(rand.NewSource(1))
+	mk := func() []pbicode.Code {
+		out := make([]pbicode.Code, n)
+		for i := range out {
+			out[i] = pbicode.Code(rng.Uint64()%pbicode.NumNodes(h) + 1)
+		}
+		return out
+	}
+	aCodes, dCodes := mk(), mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := storage.NewMemDisk(4096, storage.CostModel{})
+		pool := buffer.New(d, frames)
+		ctx := &Context{Pool: pool, TreeHeight: h, Stats: &Stats{}}
+		a, err := relation.FromCodes(pool, "A", aCodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dd, err := relation.FromCodes(pool, "D", dCodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var sink CountSink
+		if err := fn(ctx, a, dd, &sink); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		d.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkMHCJRollup100k(b *testing.B) {
+	benchJoin(b, func(ctx *Context, a, d *relation.Relation, s Sink) error {
+		return MHCJRollup(ctx, a, d, 0, s)
+	}, 100_000, 64)
+}
+
+func BenchmarkVPJ100k(b *testing.B) { benchJoin(b, VPJ, 100_000, 64) }
+
+func BenchmarkStackTree100k(b *testing.B) { benchJoin(b, StackTreeOnTheFly, 100_000, 64) }
+
+func BenchmarkMPMGJN100k(b *testing.B) { benchJoin(b, MPMGJNOnTheFly, 100_000, 64) }
+
+func BenchmarkADBPlus100k(b *testing.B) { benchJoin(b, ADBPlusOnTheFly, 100_000, 64) }
+
+// BenchmarkSHCJ100k joins a single-height ancestor set.
+func BenchmarkSHCJ100k(b *testing.B) {
+	const h = 22
+	rng := rand.New(rand.NewSource(2))
+	const n = 100_000
+	aCodes := make([]pbicode.Code, n)
+	l := h - 8 - 1
+	for i := range aCodes {
+		aCodes[i] = pbicode.G(rng.Uint64()%(1<<uint(l)), l, h)
+	}
+	dCodes := make([]pbicode.Code, n)
+	for i := range dCodes {
+		dCodes[i] = pbicode.Code(rng.Uint64()%pbicode.NumNodes(h) + 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := storage.NewMemDisk(4096, storage.CostModel{})
+		pool := buffer.New(d, 64)
+		ctx := &Context{Pool: pool, TreeHeight: h, Stats: &Stats{}}
+		a, _ := relation.FromCodes(pool, "A", aCodes)
+		dd, _ := relation.FromCodes(pool, "D", dCodes)
+		b.StartTimer()
+		var sink CountSink
+		if err := SHCJ(ctx, a, dd, 8, &sink); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		d.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,605 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/pbitree/pbitree/internal/buffer"
+	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/internal/storage"
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// newCtx builds a Context over a fresh in-memory disk with b pool frames
+// and 256-byte pages (15 records per page), so small tests still exercise
+// the out-of-memory paths.
+func newCtx(t *testing.T, b, treeHeight int) *Context {
+	t.Helper()
+	d := storage.NewMemDisk(256, storage.CostModel{})
+	t.Cleanup(func() { d.Close() })
+	return &Context{
+		Pool:       buffer.New(d, b),
+		TreeHeight: treeHeight,
+		Stats:      &Stats{},
+	}
+}
+
+// randCodes draws n codes from a height-h PBiTree. When fixedHeight >= 0
+// all codes are at that node height.
+func randCodes(rng *rand.Rand, n, h, fixedHeight int) []pbicode.Code {
+	out := make([]pbicode.Code, n)
+	for i := range out {
+		if fixedHeight < 0 {
+			out[i] = pbicode.Code(rng.Uint64()%pbicode.NumNodes(h) + 1)
+			continue
+		}
+		l := h - fixedHeight - 1
+		alpha := rng.Uint64() % (1 << uint(l))
+		out[i] = pbicode.G(alpha, l, h)
+	}
+	return out
+}
+
+// load creates a relation from codes.
+func load(t *testing.T, ctx *Context, name string, codes []pbicode.Code) *relation.Relation {
+	t.Helper()
+	rel, err := relation.FromCodes(ctx.Pool, name, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// oracle computes the containment join by definition.
+func oracle(a, d []pbicode.Code) []Pair {
+	var out []Pair
+	for _, ac := range a {
+		for _, dc := range d {
+			if pbicode.IsAncestor(ac, dc) {
+				out = append(out, Pair{A: ac, D: dc})
+			}
+		}
+	}
+	return out
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].D < ps[j].D
+	})
+}
+
+func samePairs(t *testing.T, name string, got, want []Pair) {
+	t.Helper()
+	sortPairs(got)
+	sortPairs(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: pair %d = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// joinFunc adapts each algorithm to a common shape for table-driven tests.
+type joinFunc func(ctx *Context, a, d *relation.Relation, sink Sink) error
+
+// algorithms lists every whole-input algorithm (SHCJ excluded: it needs a
+// single-height ancestor set and is tested separately).
+func algorithms() map[string]joinFunc {
+	return map[string]joinFunc{
+		"NestedLoop": NestedLoop,
+		"MHCJ":       MHCJ,
+		"MHCJRollup": func(ctx *Context, a, d *relation.Relation, s Sink) error { return MHCJRollup(ctx, a, d, 0, s) },
+		"VPJ":        VPJ,
+		"INLJN":      INLJN,
+		"StackTree":  StackTreeOnTheFly,
+		"MPMGJN":     MPMGJNOnTheFly,
+		"ADBPlus":    ADBPlusOnTheFly,
+		"StackTreeAnc": func(ctx *Context, a, d *relation.Relation, s Sink) error {
+			_, err := Run(ctx, AlgStackTreeAnc, InputSpec{}, a, d, s)
+			return err
+		},
+	}
+}
+
+func runAlgorithm(t *testing.T, name string, fn joinFunc, b, h int, aCodes, dCodes []pbicode.Code) []Pair {
+	t.Helper()
+	ctx := newCtx(t, b, h)
+	a := load(t, ctx, "A", aCodes)
+	d := load(t, ctx, "D", dCodes)
+	var sink PairSink
+	if err := fn(ctx, a, d, &sink); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if ctx.Stats.Pairs != int64(len(sink.Pairs)) {
+		t.Fatalf("%s: Stats.Pairs = %d, emitted %d", name, ctx.Stats.Pairs, len(sink.Pairs))
+	}
+	if got := ctx.Pool.PinnedFrames(); got != 0 {
+		t.Fatalf("%s: leaked %d pins", name, got)
+	}
+	return sink.Pairs
+}
+
+func TestAllAlgorithmsAgainstOracleRandom(t *testing.T) {
+	const h = 12
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		na, nd := 50+rng.Intn(800), 50+rng.Intn(800)
+		aCodes := randCodes(rng, na, h, -1)
+		dCodes := randCodes(rng, nd, h, -1)
+		want := oracle(aCodes, dCodes)
+		for _, b := range []int{4, 8, 64} {
+			for name, fn := range algorithms() {
+				got := runAlgorithm(t, name, fn, b, h, aCodes, dCodes)
+				samePairs(t, name, got, want)
+			}
+		}
+	}
+}
+
+func TestSHCJSingleHeight(t *testing.T) {
+	const h = 14
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ancH := 3 + rng.Intn(8)
+		aCodes := randCodes(rng, 300+rng.Intn(500), h, ancH)
+		dCodes := randCodes(rng, 300+rng.Intn(900), h, -1)
+		want := oracle(aCodes, dCodes)
+		for _, b := range []int{4, 32} {
+			got := runAlgorithm(t, "SHCJ", func(ctx *Context, a, d *relation.Relation, s Sink) error {
+				return SHCJ(ctx, a, d, ancH, s)
+			}, b, h, aCodes, dCodes)
+			samePairs(t, "SHCJ", got, want)
+			got = runAlgorithm(t, "SHCJAuto", SHCJAuto, b, h, aCodes, dCodes)
+			samePairs(t, "SHCJAuto", got, want)
+		}
+	}
+}
+
+func TestSHCJRejectsBadHeight(t *testing.T) {
+	ctx := newCtx(t, 4, 8)
+	a := load(t, ctx, "A", nil)
+	d := load(t, ctx, "D", nil)
+	if err := SHCJ(ctx, a, d, 0, &CountSink{}); err == nil {
+		t.Fatal("SHCJ accepted height 0")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	const h = 10
+	rng := rand.New(rand.NewSource(1))
+	some := randCodes(rng, 100, h, -1)
+	for name, fn := range algorithms() {
+		for _, tc := range []struct {
+			a, d []pbicode.Code
+		}{{nil, some}, {some, nil}, {nil, nil}} {
+			got := runAlgorithm(t, name, fn, 8, h, tc.a, tc.d)
+			if len(got) != 0 {
+				t.Fatalf("%s on empty input emitted %d pairs", name, len(got))
+			}
+		}
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	// A == D: results are proper-ancestor pairs only, never (x, x).
+	const h = 10
+	rng := rand.New(rand.NewSource(2))
+	codes := randCodes(rng, 400, h, -1)
+	want := oracle(codes, codes)
+	for name, fn := range algorithms() {
+		got := runAlgorithm(t, name, fn, 8, h, codes, codes)
+		samePairs(t, name, got, want)
+		for _, p := range got {
+			if p.A == p.D {
+				t.Fatalf("%s emitted reflexive pair %v", name, p)
+			}
+		}
+	}
+}
+
+func TestDuplicateElements(t *testing.T) {
+	// Multiset semantics: duplicated elements multiply matching pairs.
+	const h = 8
+	root := pbicode.Root(h)
+	aCodes := []pbicode.Code{root, root, root}
+	dCodes := []pbicode.Code{1, 1}
+	want := oracle(aCodes, dCodes) // 6 pairs
+	if len(want) != 6 {
+		t.Fatalf("oracle premise: %d", len(want))
+	}
+	for name, fn := range algorithms() {
+		got := runAlgorithm(t, name, fn, 8, h, aCodes, dCodes)
+		samePairs(t, name, got, want)
+	}
+}
+
+func TestDeepChainDataset(t *testing.T) {
+	// A worst-case nesting chain: every node on one root-to-leaf path.
+	const h = 16
+	var chain []pbicode.Code
+	leaf := pbicode.Code(1)
+	for hh := 0; hh < h; hh++ {
+		chain = append(chain, pbicode.F(leaf, hh))
+	}
+	want := oracle(chain, chain)
+	for name, fn := range algorithms() {
+		got := runAlgorithm(t, name, fn, 6, h, chain, chain)
+		samePairs(t, name, got, want)
+	}
+}
+
+func TestSkewedDuplicateKeys(t *testing.T) {
+	// Thousands of copies of the same two codes drive the Grace join into
+	// its skew fallback without losing pairs.
+	const h = 8
+	a := make([]pbicode.Code, 0, 1200)
+	d := make([]pbicode.Code, 0, 1200)
+	for i := 0; i < 1200; i++ {
+		a = append(a, pbicode.Root(h))
+		d = append(d, pbicode.Code(1))
+	}
+	ctx := newCtx(t, 4, h)
+	ar := load(t, ctx, "A", a)
+	dr := load(t, ctx, "D", d)
+	var sink CountSink
+	if err := MHCJ(ctx, ar, dr, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.N != 1200*1200 {
+		t.Fatalf("pairs = %d, want %d", sink.N, 1200*1200)
+	}
+}
+
+func TestRollupFalseHits(t *testing.T) {
+	// H=5: A = {18 (h1)}, rolled to height 2 -> 20. D = {17, 19, 21}.
+	// Equijoin at h=2 matches all three (F(17,2)=F(19,2)=F(21,2)=20), but
+	// only 17 and 19 are real descendants of 18: one false hit.
+	ctx := newCtx(t, 8, 5)
+	a := load(t, ctx, "A", []pbicode.Code{18})
+	d := load(t, ctx, "D", []pbicode.Code{17, 19, 21})
+	var sink PairSink
+	if err := MHCJRollup(ctx, a, d, 2, &sink); err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "rollup", sink.Pairs, []Pair{{A: 18, D: 17}, {A: 18, D: 19}})
+	if ctx.Stats.FalseHits != 1 {
+		t.Fatalf("FalseHits = %d, want 1", ctx.Stats.FalseHits)
+	}
+}
+
+func TestRollupTargetHeightSweep(t *testing.T) {
+	// Any target height gives the same result set; higher targets mean
+	// fewer partitions but more false hits.
+	const h = 12
+	rng := rand.New(rand.NewSource(5))
+	aCodes := randCodes(rng, 500, h, -1)
+	dCodes := randCodes(rng, 700, h, -1)
+	want := oracle(aCodes, dCodes)
+	prevFalse := int64(-1)
+	_ = prevFalse
+	for target := 1; target < h; target++ {
+		ctx := newCtx(t, 8, h)
+		a := load(t, ctx, "A", aCodes)
+		d := load(t, ctx, "D", dCodes)
+		var sink PairSink
+		if err := MHCJRollup(ctx, a, d, target, &sink); err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		samePairs(t, "rollup", sink.Pairs, want)
+	}
+}
+
+func TestMHCJRollupUsesCatalogHeight(t *testing.T) {
+	const h = 10
+	rng := rand.New(rand.NewSource(6))
+	aCodes := randCodes(rng, 300, h, -1)
+	dCodes := randCodes(rng, 300, h, -1)
+	maxH := 0
+	for _, c := range aCodes {
+		if hh := c.Height(); hh > maxH {
+			maxH = hh
+		}
+	}
+	ctx := newCtx(t, 8, h)
+	ctx.MaxAncestorHeight = maxH
+	a := load(t, ctx, "A", aCodes)
+	d := load(t, ctx, "D", dCodes)
+	var sink PairSink
+	if err := MHCJRollup(ctx, a, d, 0, &sink); err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "rollup-catalog", sink.Pairs, oracle(aCodes, dCodes))
+}
+
+func TestVPJReplicationCounted(t *testing.T) {
+	// Force partitioning with ancestors above the cut: high nodes must be
+	// replicated and counted.
+	const h = 12
+	rng := rand.New(rand.NewSource(7))
+	var aCodes []pbicode.Code
+	for i := 0; i < 600; i++ {
+		// Heights 10-11 sit above the level-2 cut an 8-frame pool induces
+		// (cut height h-l-1 = 9), so they must replicate.
+		aCodes = append(aCodes, randCodes(rng, 1, h, 10+rng.Intn(2))[0])
+	}
+	dCodes := randCodes(rng, 900, h, 0)
+	ctx := newCtx(t, 8, h) // small pool forces real partitioning
+	a := load(t, ctx, "A", aCodes)
+	d := load(t, ctx, "D", dCodes)
+	var sink PairSink
+	if err := VPJ(ctx, a, d, &sink); err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "VPJ", sink.Pairs, oracle(aCodes, dCodes))
+	if ctx.Stats.Replicated == 0 {
+		t.Fatal("no replication recorded for high ancestors under a forced cut")
+	}
+	if ctx.Stats.Partitions == 0 {
+		t.Fatal("no partitions recorded")
+	}
+}
+
+// TestVPJPurgesEmptyPartitions mirrors the paper's Figure 5 scenario: data
+// clustered so that some partitions have an empty side. Purged partition
+// pairs yield nothing and the join stays correct.
+func TestVPJPurgesEmptyPartitions(t *testing.T) {
+	const h = 12
+	// Ancestors only in the left half of each level, descendants
+	// anywhere: right-side partitions have no ancestors.
+	rng := rand.New(rand.NewSource(77))
+	var aCodes, dCodes []pbicode.Code
+	for i := 0; i < 900; i++ {
+		l := 4 + rng.Intn(4)
+		alpha := rng.Uint64() % (1 << uint(l-1))
+		aCodes = append(aCodes, pbicode.G(alpha, l, h))
+	}
+	dCodes = append(dCodes, randCodes(rng, 900, h, 0)...)
+	ctx := newCtx(t, 6, h)
+	a := load(t, ctx, "A", aCodes)
+	d := load(t, ctx, "D", dCodes)
+	var sink PairSink
+	if err := VPJ(ctx, a, d, &sink); err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "VPJ-purge", sink.Pairs, oracle(aCodes, dCodes))
+	if ctx.Stats.Partitions == 0 {
+		t.Fatal("no partitioning happened; premise broken")
+	}
+}
+
+func TestVPJRequiresTreeHeight(t *testing.T) {
+	ctx := newCtx(t, 4, 0)
+	a := load(t, ctx, "A", []pbicode.Code{2})
+	d := load(t, ctx, "D", []pbicode.Code{1})
+	if err := VPJ(ctx, a, d, &CountSink{}); err == nil {
+		t.Fatal("VPJ without TreeHeight succeeded")
+	}
+}
+
+func TestStackTreeOutputOrderedByDescendant(t *testing.T) {
+	const h = 12
+	rng := rand.New(rand.NewSource(8))
+	aCodes := randCodes(rng, 400, h, -1)
+	dCodes := randCodes(rng, 400, h, -1)
+	ctx := newCtx(t, 8, h)
+	a := load(t, ctx, "A", aCodes)
+	d := load(t, ctx, "D", dCodes)
+	var sink PairSink
+	if err := StackTreeOnTheFly(ctx, a, d, &sink); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sink.Pairs); i++ {
+		if sink.Pairs[i].D.Start() < sink.Pairs[i-1].D.Start() {
+			t.Fatalf("descendant order violated at %d", i)
+		}
+	}
+}
+
+func TestStackTreeAncOutputOrderedByAncestor(t *testing.T) {
+	const h = 12
+	rng := rand.New(rand.NewSource(9))
+	aCodes := randCodes(rng, 400, h, -1)
+	dCodes := randCodes(rng, 400, h, -1)
+	ctx := newCtx(t, 8, h)
+	a := load(t, ctx, "A", aCodes)
+	d := load(t, ctx, "D", dCodes)
+	var sink PairSink
+	if _, err := Run(ctx, AlgStackTreeAnc, InputSpec{}, a, d, &sink); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sink.Pairs); i++ {
+		prev, cur := sink.Pairs[i-1].A, sink.Pairs[i].A
+		if cur.Start() < prev.Start() {
+			t.Fatalf("ancestor order violated at %d: %v after %v", i, cur, prev)
+		}
+	}
+	samePairs(t, "anc", sink.Pairs, oracle(aCodes, dCodes))
+}
+
+func TestMPMGJNCountsRescans(t *testing.T) {
+	// Nested ancestors over a shared descendant run force segment
+	// re-reads.
+	const h = 10
+	var aCodes []pbicode.Code
+	leaf := pbicode.Code(1)
+	for hh := 2; hh < h; hh++ {
+		aCodes = append(aCodes, pbicode.F(leaf, hh))
+	}
+	var dCodes []pbicode.Code
+	for i := 0; i < 60; i++ {
+		dCodes = append(dCodes, pbicode.Code(i*2+1)) // leaves
+	}
+	ctx := newCtx(t, 8, h)
+	a := load(t, ctx, "A", aCodes)
+	d := load(t, ctx, "D", dCodes)
+	var sink PairSink
+	if err := MPMGJNOnTheFly(ctx, a, d, &sink); err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "mpmgjn", sink.Pairs, oracle(aCodes, dCodes))
+	if ctx.Stats.Rescans == 0 {
+		t.Fatal("nested ancestors caused no rescans")
+	}
+}
+
+func TestADBPlusSkipsViaIndex(t *testing.T) {
+	// A's elements live far left, D's far right except one matching pair:
+	// the skip rules must fire.
+	const h = 14
+	var aCodes, dCodes []pbicode.Code
+	for i := 0; i < 300; i++ {
+		aCodes = append(aCodes, pbicode.Code(2*i+2)) // low left region nodes
+	}
+	// One big ancestor spanning the right side.
+	right := pbicode.Root(h).RightChild()
+	aCodes = append(aCodes, right)
+	for i := 0; i < 300; i++ {
+		dCodes = append(dCodes, pbicode.Code(uint64(right)+uint64(i)*2+1))
+	}
+	ctx := newCtx(t, 8, h)
+	a := load(t, ctx, "A", aCodes)
+	d := load(t, ctx, "D", dCodes)
+	var sink PairSink
+	if err := ADBPlusOnTheFly(ctx, a, d, &sink); err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "adb", sink.Pairs, oracle(aCodes, dCodes))
+	if ctx.Stats.IndexProbes == 0 {
+		t.Fatal("no skip seeks recorded")
+	}
+}
+
+func TestChooseImplementsTable1(t *testing.T) {
+	ctx := newCtx(t, 4, 10)
+	rng := rand.New(rand.NewSource(10))
+	big := load(t, ctx, "big", randCodes(rng, 2000, 10, -1))
+	small := load(t, ctx, "small", randCodes(rng, 5, 10, -1))
+	cases := []struct {
+		spec InputSpec
+		a, d *relation.Relation
+		want Algorithm
+	}{
+		{InputSpec{IndexedA: true, IndexedD: true}, big, big, AlgINLJN},
+		{InputSpec{SortedA: true, SortedD: true}, big, big, AlgStackTree},
+		{InputSpec{SortedA: true, SortedD: true, IndexedA: true, IndexedD: true}, big, big, AlgADBPlus},
+		{InputSpec{SingleHeightA: true}, big, big, AlgSHCJ},
+		{InputSpec{}, big, big, AlgVPJ},
+		{InputSpec{}, big, small, AlgMHCJRollup},
+		{InputSpec{SortedA: true}, big, big, AlgVPJ}, // one-sided sort is no sort
+	}
+	for i, tc := range cases {
+		if got := Choose(ctx, tc.spec, tc.a, tc.d); got != tc.want {
+			t.Errorf("case %d: Choose = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestRunAutoMatchesOracle(t *testing.T) {
+	const h = 10
+	rng := rand.New(rand.NewSource(11))
+	aCodes := randCodes(rng, 600, h, -1)
+	dCodes := randCodes(rng, 600, h, -1)
+	want := oracle(aCodes, dCodes)
+	for _, spec := range []InputSpec{
+		{},
+		{SortedA: true, SortedD: true}, // claims sorted: Run must sort on the fly anyway? No — spec says inputs ARE sorted.
+		{IndexedA: true, IndexedD: true},
+	} {
+		ctx := newCtx(t, 6, h)
+		aIn, dIn := aCodes, dCodes
+		if spec.SortedA && spec.SortedD {
+			aIn = append([]pbicode.Code(nil), aCodes...)
+			dIn = append([]pbicode.Code(nil), dCodes...)
+			sort.Slice(aIn, func(i, j int) bool {
+				return docLessCodes(aIn[i], aIn[j])
+			})
+			sort.Slice(dIn, func(i, j int) bool {
+				return docLessCodes(dIn[i], dIn[j])
+			})
+		}
+		a := load(t, ctx, "A", aIn)
+		d := load(t, ctx, "D", dIn)
+		var sink PairSink
+		alg, err := Run(ctx, AlgAuto, spec, a, d, &sink)
+		if err != nil {
+			t.Fatalf("%+v (%v): %v", spec, alg, err)
+		}
+		samePairs(t, alg.String(), sink.Pairs, want)
+	}
+}
+
+func docLessCodes(x, y pbicode.Code) bool {
+	return docLess(relation.Rec{Code: x}, relation.Rec{Code: y})
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	ctx := newCtx(t, 4, 8)
+	a := load(t, ctx, "A", nil)
+	d := load(t, ctx, "D", nil)
+	if _, err := Run(ctx, Algorithm(99), InputSpec{}, a, d, &CountSink{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for alg, want := range map[Algorithm]string{
+		AlgSHCJ: "SHCJ", AlgMHCJRollup: "MHCJ+Rollup", AlgVPJ: "VPJ",
+		AlgADBPlus: "ADB+", Algorithm(99): "Algorithm(99)",
+	} {
+		if got := alg.String(); got != want {
+			t.Errorf("String(%d) = %q", int(alg), got)
+		}
+	}
+}
+
+func TestHeightHistogram(t *testing.T) {
+	ctx := newCtx(t, 4, 6)
+	rel := load(t, ctx, "R", []pbicode.Code{1, 3, 2, 6, 4, 32})
+	hist, err := HeightHistogram(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int64{0: 2, 1: 2, 2: 1, 5: 1}
+	for h, n := range want {
+		if hist[h] != n {
+			t.Errorf("hist[%d] = %d, want %d", h, hist[h], n)
+		}
+	}
+	if maxHeight(hist) != 5 {
+		t.Errorf("maxHeight = %d", maxHeight(hist))
+	}
+	if maxHeight(map[int]int64{}) != -1 {
+		t.Error("maxHeight(empty) != -1")
+	}
+}
+
+func TestRelationSink(t *testing.T) {
+	const h = 8
+	rng := rand.New(rand.NewSource(12))
+	aCodes := randCodes(rng, 200, h, -1)
+	dCodes := randCodes(rng, 200, h, -1)
+	ctx := newCtx(t, 8, h)
+	a := load(t, ctx, "A", aCodes)
+	d := load(t, ctx, "D", dCodes)
+	out := relation.New(ctx.Pool, "out")
+	if err := MHCJRollup(ctx, a, d, 0, &RelationSink{Out: out}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := out.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Pair
+	for _, r := range recs {
+		got = append(got, Pair{A: pbicode.Code(r.Aux), D: r.Code})
+	}
+	samePairs(t, "relation-sink", got, oracle(aCodes, dCodes))
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSortCost(t *testing.T) {
+	// Fits in memory: one run, no merge: 2R.
+	if got := sortCost(100, 500); got != 200 {
+		t.Fatalf("in-memory sort cost = %d", got)
+	}
+	// 4000 pages, 500 buffer: 8 runs, one merge pass: 2R*2.
+	if got := sortCost(4000, 500); got != 16000 {
+		t.Fatalf("one-pass sort cost = %d", got)
+	}
+	// Tiny buffer: multiple passes.
+	if got := sortCost(1000, 4); got <= 2*1000*2 {
+		t.Fatalf("multi-pass sort cost = %d", got)
+	}
+	if sortCost(0, 10) != 0 {
+		t.Fatal("empty sort cost")
+	}
+}
+
+func TestEstimateIOShapes(t *testing.T) {
+	in := CostInputs{APages: 4000, DPages: 4000, ARecs: 1e6, DRecs: 1e6, B: 500}
+	rollup := EstimateIO(AlgMHCJRollup, in)
+	if rollup != 3*(4000+4000) {
+		t.Fatalf("rollup = %d", rollup)
+	}
+	st := EstimateIO(AlgStackTree, in)
+	// Sort both (16000 each) + merge 8000.
+	if st != 16000+16000+8000 {
+		t.Fatalf("stacktree = %d", st)
+	}
+	if rollup >= st {
+		t.Fatal("partitioning not cheaper than sorting on the paper's setting")
+	}
+	// Pre-sorted inputs flip the comparison.
+	in.SortedA, in.SortedD = true, true
+	if got := EstimateIO(AlgStackTree, in); got != 8000 || got >= rollup {
+		t.Fatalf("sorted stacktree = %d", got)
+	}
+	// Small inputs: everything collapses toward a+d.
+	small := CostInputs{APages: 10, DPages: 10, ARecs: 2000, DRecs: 2000, B: 500}
+	if got := EstimateIO(AlgVPJ, small); got != 20 {
+		t.Fatalf("small VPJ = %d", got)
+	}
+	// INLJN pays per-probe costs: far worse than merging on large inputs.
+	if inl := EstimateIO(AlgINLJN, in); inl <= st {
+		t.Fatalf("INLJN = %d vs stacktree %d", inl, st)
+	}
+	if nl := EstimateIO(AlgNestedLoop, in); nl <= rollup {
+		t.Fatalf("nested loop suspiciously cheap: %d", nl)
+	}
+	if EstimateIO(Algorithm(77), in) < 1<<61 {
+		t.Fatal("unknown algorithm not penalized")
+	}
+}
+
+func TestEstimateMHCJ(t *testing.T) {
+	in := CostInputs{APages: 1000, DPages: 1000, B: 100, HeightsA: 6}
+	if got := EstimateIO(AlgMHCJ, in); got != 5*1000+3*6*1000 {
+		t.Fatalf("MHCJ = %d", got)
+	}
+	in.HeightsA = 0 // unknown defaults to 4
+	if got := EstimateIO(AlgMHCJ, in); got != 5*1000+3*4*1000 {
+		t.Fatalf("MHCJ default-k = %d", got)
+	}
+}
+
+func TestChooseByCost(t *testing.T) {
+	ctx := newCtx(t, 8, 12)
+	rng := rand.New(rand.NewSource(30))
+	big := load(t, ctx, "big", randCodes(rng, 4000, 12, -1))
+	small := load(t, ctx, "small", randCodes(rng, 30, 12, -1))
+	// Unsorted large inputs: a partitioning algorithm must win.
+	switch alg := ChooseByCost(ctx, InputSpec{}, big, big); alg {
+	case AlgMHCJRollup, AlgVPJ:
+	default:
+		t.Fatalf("unsorted big x big chose %v", alg)
+	}
+	// Sorted inputs: the merge join is free of sort cost and wins.
+	if alg := ChooseByCost(ctx, InputSpec{SortedA: true, SortedD: true}, big, big); alg != AlgStackTree && alg != AlgADBPlus {
+		t.Fatalf("sorted chose %v", alg)
+	}
+	// Tiny input either way: any a+d algorithm; must not pick nested loop
+	// or MHCJ.
+	if alg := ChooseByCost(ctx, InputSpec{}, small, small); alg == AlgNestedLoop || alg == AlgMHCJ {
+		t.Fatalf("tiny chose %v", alg)
+	}
+	// Single-height unlocks SHCJ, which wins its cost ties.
+	if alg := ChooseByCost(ctx, InputSpec{SingleHeightA: true}, big, big); alg != AlgSHCJ {
+		t.Fatalf("single-height chose %v", alg)
+	}
+}
+
+// TestCostModelTracksReality runs the estimator against actual executions:
+// predictions must land within a small factor of measured page I/O for the
+// bulk algorithms (this is the validation behind ablation A5).
+func TestCostModelTracksReality(t *testing.T) {
+	const h = 22
+	rng := rand.New(rand.NewSource(31))
+	// Large enough that nothing fits the 8-frame pool.
+	aCodes := randCodes(rng, 3000, h, -1)
+	dCodes := randCodes(rng, 3000, h, -1)
+	for _, alg := range []Algorithm{AlgMHCJRollup, AlgVPJ, AlgStackTree} {
+		ctx := newCtx(t, 8, h)
+		a := load(t, ctx, "A", aCodes)
+		d := load(t, ctx, "D", dCodes)
+		if err := ctx.Pool.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		disk := ctx.Pool.Disk()
+		before := disk.Stats()
+		if _, err := Run(ctx, alg, InputSpec{}, a, d, &CountSink{}); err != nil {
+			t.Fatal(err)
+		}
+		measured := disk.Stats().Sub(before).Total()
+		predicted := EstimateIO(alg, Gather(ctx, InputSpec{}, a, d))
+		lo, hi := predicted/3, predicted*3
+		if measured < lo || measured > hi {
+			t.Errorf("%v: predicted %d, measured %d (outside 3x)", alg, predicted, measured)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/pbitree/pbitree/internal/buffer"
+	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/internal/storage"
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// TestJoinsSurfaceDiskErrors drives every algorithm over a disk that
+// starts failing mid-join: the error must propagate (not panic, not hang)
+// and no buffer pins may leak.
+func TestJoinsSurfaceDiskErrors(t *testing.T) {
+	const h = 10
+	rng := rand.New(rand.NewSource(21))
+	aCodes := randCodes(rng, 600, h, -1)
+	dCodes := randCodes(rng, 600, h, -1)
+	for name, fn := range algorithms() {
+		// Fail at several points: during the first scans, mid-partition,
+		// and late.
+		for _, failAt := range []int64{5, 60, 400} {
+			d := storage.NewMemDisk(256, storage.CostModel{})
+			fd := storage.NewFaultDisk(d)
+			pool := buffer.New(fd, 8)
+			ctx := &Context{Pool: pool, TreeHeight: h, Stats: &Stats{}}
+			a, err := relation.FromCodes(pool, "A", aCodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dd, err := relation.FromCodes(pool, "D", dCodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pool.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			fd.FailReadAfter = failAt
+			fd.FailWriteAfter = failAt
+			err = fn(ctx, a, dd, &CountSink{})
+			// With a large enough failAt the join may legitimately
+			// complete from resident pages; otherwise the injected error
+			// must surface.
+			if err != nil && !errors.Is(err, storage.ErrInjected) {
+				t.Fatalf("%s(failAt=%d): unexpected error %v", name, failAt, err)
+			}
+			if got := pool.PinnedFrames(); got != 0 {
+				t.Fatalf("%s(failAt=%d): leaked %d pins (err=%v)", name, failAt, got, err)
+			}
+		}
+	}
+}
+
+// TestJoinsOnBinarizedTrees is the end-to-end property: element sets drawn
+// from *real binarized data trees* (not uniform codes) joined by every
+// algorithm match the nested-loop oracle.
+func TestJoinsOnBinarizedTrees(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random data tree, random tag assignment over 3 tags.
+		root := &pbicode.Node{Label: "t0"}
+		nodes := []*pbicode.Node{root}
+		n := 30 + rng.Intn(250)
+		for i := 0; i < n; i++ {
+			p := nodes[rng.Intn(len(nodes))]
+			c := p.AddChild("t" + string(rune('0'+rng.Intn(3))))
+			nodes = append(nodes, c)
+		}
+		tree, err := pbicode.Binarize(root)
+		if err != nil {
+			return false
+		}
+		aCodes := tree.Select("t1")
+		dCodes := tree.Select("t2")
+		want := oracle(aCodes, dCodes)
+		for name, fn := range algorithms() {
+			d := storage.NewMemDisk(256, storage.CostModel{})
+			pool := buffer.New(d, 6)
+			ctx := &Context{Pool: pool, TreeHeight: tree.Height, Stats: &Stats{}}
+			a, err := relation.FromCodes(pool, "A", aCodes)
+			if err != nil {
+				return false
+			}
+			dd, err := relation.FromCodes(pool, "D", dCodes)
+			if err != nil {
+				return false
+			}
+			var sink PairSink
+			if err := fn(ctx, a, dd, &sink); err != nil {
+				t.Logf("%s: %v", name, err)
+				return false
+			}
+			got := sink.Pairs
+			sortPairs(got)
+			w := append([]Pair(nil), want...)
+			sortPairs(w)
+			if len(got) != len(w) {
+				t.Logf("%s: %d pairs, want %d", name, len(got), len(w))
+				return false
+			}
+			for i := range w {
+				if got[i] != w[i] {
+					t.Logf("%s: pair %d mismatch", name, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEmitErrorStopsJoin verifies sinks can abort any algorithm.
+func TestEmitErrorStopsJoin(t *testing.T) {
+	const h = 8
+	rng := rand.New(rand.NewSource(22))
+	aCodes := randCodes(rng, 200, h, -1)
+	dCodes := randCodes(rng, 200, h, -1)
+	sentinel := errors.New("enough")
+	for name, fn := range algorithms() {
+		ctx := newCtx(t, 8, h)
+		a := load(t, ctx, "A", aCodes)
+		d := load(t, ctx, "D", dCodes)
+		n := 0
+		err := fn(ctx, a, d, sinkFunc(func(ar, dr relation.Rec) error {
+			n++
+			if n >= 3 {
+				return sentinel
+			}
+			return nil
+		}))
+		if len(oracle(aCodes, dCodes)) >= 3 && !errors.Is(err, sentinel) {
+			t.Errorf("%s: emit error not surfaced: %v", name, err)
+		}
+		if got := ctx.Pool.PinnedFrames(); got != 0 {
+			t.Errorf("%s: leaked %d pins", name, got)
+		}
+	}
+}
+
+// sinkFunc adapts a function to the Sink interface.
+type sinkFunc func(a, d relation.Rec) error
+
+func (f sinkFunc) Emit(a, d relation.Rec) error { return f(a, d) }

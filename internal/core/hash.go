@@ -1,0 +1,337 @@
+package core
+
+import (
+	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// This file implements the equijoin engine behind the horizontal
+// partitioning algorithms: A ⋈ D on A.Code = F(D.Code, h), evaluated as an
+// in-memory hash join when a side fits the memory budget and as a Grace
+// hash join (partition both sides by a shared hash of the join key, then
+// join partition pairs) otherwise — the "highly optimized equijoin
+// evaluation techniques" the paper's section 3.2 leans on, with the
+// textbook 3(‖A‖+‖D‖) I/O when one partitioning pass suffices.
+//
+// The ancestor side may be transformed on the fly by a prep function; the
+// rollup technique uses this to roll ancestors up to the target height
+// during the very scan that feeds the join, so the "simple strategy" of
+// the paper costs no extra materialization pass.
+
+// splitmix64 is the 64-bit finalizer used to hash join keys; a salt
+// decorrelates recursive partitioning rounds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// aPrep transforms ancestor-side records as they are scanned (identity
+// when nil). Rollup sets Code to the rolled-up code and Aux to the
+// original code.
+type aPrep func(relation.Rec) relation.Rec
+
+// hashTable is a chained hash table over an arena: one map entry per
+// distinct key plus two flat slices, instead of a []Rec per key. In-memory
+// join builds over ~100k records allocate a handful of slices rather than
+// tens of thousands of buckets.
+type hashTable struct {
+	head map[pbicode.Code]int32 // key -> 1-based index of the newest entry
+	recs []relation.Rec
+	next []int32 // 1-based index of the previous entry with the same key
+}
+
+func newHashTable(capacity int64) *hashTable {
+	if capacity < 0 || capacity > 1<<30 {
+		capacity = 0
+	}
+	return &hashTable{
+		head: make(map[pbicode.Code]int32, capacity),
+		recs: make([]relation.Rec, 0, capacity),
+		next: make([]int32, 0, capacity),
+	}
+}
+
+// add stores r under key.
+func (t *hashTable) add(key pbicode.Code, r relation.Rec) {
+	t.recs = append(t.recs, r)
+	t.next = append(t.next, t.head[key])
+	t.head[key] = int32(len(t.recs))
+}
+
+// each calls fn for every record stored under key, newest first.
+func (t *hashTable) each(key pbicode.Code, fn func(relation.Rec) error) error {
+	for i := t.head[key]; i != 0; i = t.next[i-1] {
+		if err := fn(t.recs[i-1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// len returns the number of stored records.
+func (t *hashTable) len() int { return len(t.recs) }
+
+// dKey returns the equijoin key of a descendant record for ancestor height
+// h, and whether the record can participate at all (it must lie below h).
+func dKey(d relation.Rec, h int) (pbicode.Code, bool) {
+	if d.Code.Height() >= h {
+		return 0, false
+	}
+	return pbicode.F(d.Code, h), true
+}
+
+// equiJoin evaluates A ⋈_{prep(A).Code = F(D.Code, h)} D into sink. All
+// useful matches have ancestor-side height exactly h (callers arrange
+// this: SHCJ's A is single-height; rollup preps codes to height h).
+// Emission passes the prepped ancestor record through, so rollup callers
+// can post-filter via Aux.
+func equiJoin(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sink, depth int) error {
+	memCap := ctx.memRecs(ctx.b() - 2)
+	switch {
+	case a.NumRecords() <= int64(memCap):
+		return hashJoinBuildA(ctx, a, d, h, prep, sink)
+	case d.NumRecords() <= int64(memCap):
+		return hashJoinBuildD(ctx, a, d, h, prep, sink)
+	case depth >= 8:
+		// Pathological skew (e.g. one giant duplicate key): stop
+		// partitioning and block-join.
+		return blockEquiJoin(ctx, a, d, h, prep, sink)
+	default:
+		return graceJoin(ctx, a, d, h, prep, sink, depth)
+	}
+}
+
+// hashJoinBuildA builds the table on the ancestor side and streams D.
+func hashJoinBuildA(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sink) error {
+	table := newHashTable(a.NumRecords())
+	as := a.Scan()
+	defer as.Close()
+	for as.Next() {
+		r := as.Rec()
+		if prep != nil {
+			r = prep(r)
+		}
+		table.add(r.Code, r)
+	}
+	if err := as.Err(); err != nil {
+		return err
+	}
+	ds := d.Scan()
+	defer ds.Close()
+	for ds.Next() {
+		dr := ds.Rec()
+		key, ok := dKey(dr, h)
+		if !ok {
+			continue
+		}
+		if err := table.each(key, func(ar relation.Rec) error {
+			return sink.Emit(ar, dr)
+		}); err != nil {
+			return err
+		}
+	}
+	return ds.Err()
+}
+
+// hashJoinBuildD builds the table on the descendant side (keyed by the
+// derived F code) and streams A.
+func hashJoinBuildD(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sink) error {
+	table := newHashTable(d.NumRecords())
+	ds := d.Scan()
+	defer ds.Close()
+	for ds.Next() {
+		dr := ds.Rec()
+		if key, ok := dKey(dr, h); ok {
+			table.add(key, dr)
+		}
+	}
+	if err := ds.Err(); err != nil {
+		return err
+	}
+	as := a.Scan()
+	defer as.Close()
+	for as.Next() {
+		ar := as.Rec()
+		if prep != nil {
+			ar = prep(ar)
+		}
+		if err := table.each(ar.Code, func(dr relation.Rec) error {
+			return sink.Emit(ar, dr)
+		}); err != nil {
+			return err
+		}
+	}
+	return as.Err()
+}
+
+// graceJoin partitions both inputs by a shared hash of the join key and
+// joins partition pairs, recursing on still-oversized pairs. Ancestor
+// partitions hold prepped records, so recursion passes a nil prep.
+func graceJoin(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sink, depth int) error {
+	b := ctx.b()
+	minPages := a.NumPages()
+	if p := d.NumPages(); p < minPages {
+		minPages = p
+	}
+	k := int((minPages + int64(b-3)) / int64(b-2))
+	if k < 2 {
+		k = 2
+	}
+	if k > b-1 {
+		k = b - 1
+	}
+	salt := uint64(depth+1) * 0x9e3779b97f4a7c15
+	if depth+1 > ctx.stats().MaxRecursion {
+		ctx.stats().MaxRecursion = depth + 1
+	}
+
+	aParts, err := hashPartition(ctx, a, k, "ha", func(r relation.Rec) (relation.Rec, uint64, bool) {
+		if prep != nil {
+			r = prep(r)
+		}
+		return r, uint64(r.Code), true
+	}, salt)
+	if err != nil {
+		return err
+	}
+	dParts, err := hashPartition(ctx, d, k, "hd", func(r relation.Rec) (relation.Rec, uint64, bool) {
+		key, ok := dKey(r, h)
+		return r, uint64(key), ok
+	}, salt)
+	if err != nil {
+		freeAll(aParts)
+		return err
+	}
+	defer freeAll(aParts)
+	defer freeAll(dParts)
+	for i := 0; i < k; i++ {
+		if aParts[i].NumRecords() == 0 || dParts[i].NumRecords() == 0 {
+			continue
+		}
+		if aParts[i].NumRecords() == a.NumRecords() && dParts[i].NumRecords() == d.NumRecords() {
+			// The hash achieved nothing: every record shares one join
+			// key (an extreme rollup). No salt will split it — block-join
+			// immediately instead of burning recursion passes.
+			if err := blockEquiJoin(ctx, aParts[i], dParts[i], h, nil, sink); err != nil {
+				return err
+			}
+		} else if err := equiJoin(ctx, aParts[i], dParts[i], h, nil, sink, depth+1); err != nil {
+			return err
+		}
+		if err := aParts[i].Free(); err != nil {
+			return err
+		}
+		if err := dParts[i].Free(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hashPartition splits rel into k partition relations by hash(key) and
+// returns them. The prep function maps each scanned record to the record
+// to store, its hash key, and whether to keep it at all. Appenders are
+// opened lazily so empty partitions cost nothing.
+func hashPartition(ctx *Context, rel *relation.Relation, k int, kind string, prep func(relation.Rec) (relation.Rec, uint64, bool), salt uint64) ([]*relation.Relation, error) {
+	parts := make([]*relation.Relation, k)
+	apps := make([]*relation.Appender, k)
+	for i := range parts {
+		parts[i] = relation.New(ctx.Pool, ctx.tmp(kind))
+	}
+	closeApps := func() error {
+		var first error
+		for _, ap := range apps {
+			if ap != nil {
+				if err := ap.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		return first
+	}
+	s := rel.Scan()
+	defer s.Close()
+	for s.Next() {
+		r, kv, ok := prep(s.Rec())
+		if !ok {
+			continue
+		}
+		i := int(splitmix64(kv^salt) % uint64(k))
+		if apps[i] == nil {
+			apps[i] = parts[i].NewAppender()
+			ctx.stats().Partitions++
+		}
+		if err := apps[i].Append(r); err != nil {
+			closeApps() //nolint:errcheck // first error wins
+			return nil, err
+		}
+	}
+	if err := s.Err(); err != nil {
+		closeApps() //nolint:errcheck // first error wins
+		return nil, err
+	}
+	if err := closeApps(); err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// freeAll releases partition relations, ignoring errors (cleanup path).
+func freeAll(parts []*relation.Relation) {
+	for _, p := range parts {
+		if p != nil {
+			p.Free() //nolint:errcheck // best-effort cleanup
+		}
+	}
+}
+
+// blockEquiJoin is the terminal fallback: hash chunks of A in memory and
+// rescan D per chunk.
+func blockEquiJoin(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sink) error {
+	chunkCap := ctx.memRecs(ctx.b() - 2)
+	if chunkCap < 1 {
+		chunkCap = 1
+	}
+	table := newHashTable(int64(chunkCap))
+	join := func() error {
+		if table.len() == 0 {
+			return nil
+		}
+		ds := d.Scan()
+		defer ds.Close()
+		for ds.Next() {
+			dr := ds.Rec()
+			key, ok := dKey(dr, h)
+			if !ok {
+				continue
+			}
+			if err := table.each(key, func(ar relation.Rec) error {
+				return sink.Emit(ar, dr)
+			}); err != nil {
+				return err
+			}
+		}
+		return ds.Err()
+	}
+	as := a.Scan()
+	defer as.Close()
+	for as.Next() {
+		r := as.Rec()
+		if prep != nil {
+			r = prep(r)
+		}
+		table.add(r.Code, r)
+		if table.len() == chunkCap {
+			if err := join(); err != nil {
+				return err
+			}
+			table = newHashTable(int64(chunkCap))
+		}
+	}
+	if err := as.Err(); err != nil {
+		return err
+	}
+	return join()
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"github.com/pbitree/pbitree/internal/extsort"
+	"github.com/pbitree/pbitree/internal/relation"
+)
+
+// This file implements the sort-merge baselines adapted to PBiTree codes
+// (section 3.1): MPMGJN (Zhang et al.'s multi-predicate merge join) and the
+// stack-tree joins of Al-Khalifa et al. Inputs must be in document order —
+// region Start ascending, End descending on ties (a node precedes its
+// leftmost descendant). The *OnTheFly variants sort unsorted inputs first,
+// charging the external-sort I/O exactly as the paper's experiments do.
+
+// docLess orders records in document order and reports whether x precedes
+// y strictly.
+func docLess(x, y relation.Rec) bool {
+	return extsort.ByStartEndDesc(x).Less(extsort.ByStartEndDesc(y))
+}
+
+// SortByDoc sorts rel into document order with the context's memory
+// budget. Baselines use it to sort inputs on the fly.
+func SortByDoc(ctx *Context, rel *relation.Relation, name string) (*relation.Relation, error) {
+	return extsort.Sort(ctx.Pool, rel, extsort.ByStartEndDesc, ctx.b(), ctx.tmp(name))
+}
+
+// stack is the ancestor stack shared by the merge joins: a chain of nested
+// regions, bottom = outermost. Its depth is bounded by the PBiTree height.
+type stack []relation.Rec
+
+func (st *stack) push(r relation.Rec) { *st = append(*st, r) }
+func (st *stack) popBelow(start uint64) {
+	s := *st
+	for len(s) > 0 && s[len(s)-1].Code.End() < start {
+		s = s[:len(s)-1]
+	}
+	*st = s
+}
+
+// emitMatches emits (s, d) for every stack entry that properly contains d.
+// Every entry satisfies s.Start <= d.Start <= s.End already; the height
+// guard selects proper ancestors under closed-region semantics.
+func (st stack) emitMatches(d relation.Rec, sink Sink) error {
+	hd := d.Code.Height()
+	for _, s := range st {
+		if s.Code.Height() > hd {
+			if err := sink.Emit(s, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StackTree evaluates the stack-tree-desc join over document-ordered
+// inputs: optimal one-pass merge, output ordered by descendant.
+func StackTree(ctx *Context, a, d *relation.Relation, sink Sink) error {
+	sink = ctx.Wrap(sink)
+	as, ds := a.Scan(), d.Scan()
+	defer as.Close()
+	defer ds.Close()
+	var st stack
+	hasA, hasD := as.Next(), ds.Next()
+	for hasD {
+		if hasA && !docLess(ds.Rec(), as.Rec()) {
+			// The ancestor-side element starts first (or ties as the
+			// ancestor): open its region on the stack.
+			ar := as.Rec()
+			st.popBelow(ar.Code.Start())
+			st.push(ar)
+			hasA = as.Next()
+			continue
+		}
+		dr := ds.Rec()
+		st.popBelow(dr.Code.Start())
+		if err := st.emitMatches(dr, sink); err != nil {
+			return err
+		}
+		hasD = ds.Next()
+	}
+	if err := as.Err(); err != nil {
+		return err
+	}
+	return ds.Err()
+}
+
+// StackTreeOnTheFly sorts both inputs into document order (cost charged)
+// and runs StackTree — the paper's STACKTREE baseline for unsorted data.
+func StackTreeOnTheFly(ctx *Context, a, d *relation.Relation, sink Sink) error {
+	sa, err := SortByDoc(ctx, a, "st.a")
+	if err != nil {
+		return err
+	}
+	defer sa.Free() //nolint:errcheck // cleanup
+	sd, err := SortByDoc(ctx, d, "st.d")
+	if err != nil {
+		return err
+	}
+	defer sd.Free() //nolint:errcheck // cleanup
+	return StackTree(ctx, sa, sd, sink)
+}
+
+// MPMGJN evaluates the multi-predicate merge join over document-ordered
+// inputs: for each ancestor it scans the descendant segment within its
+// region, re-reading shared segments for nested ancestors (the rescans the
+// stack-tree join was invented to avoid; Stats.Rescans counts the repeat
+// record reads).
+func MPMGJN(ctx *Context, a, d *relation.Relation, sink Sink) error {
+	sink = ctx.Wrap(sink)
+	stats := ctx.stats()
+	as := a.Scan()
+	defer as.Close()
+	var mark relation.Pos
+	for as.Next() {
+		ar := as.Rec()
+		ds := d.ScanFrom(mark)
+		read := int64(0)
+		for ds.Next() {
+			dr := ds.Rec()
+			read++
+			if dr.Code.Start() < ar.Code.Start() {
+				// dr can never join later ancestors either (their Starts
+				// are >= ar's): advance the shared mark past it.
+				mark = ds.Pos()
+				read--
+				continue
+			}
+			if dr.Code.Start() > ar.Code.End() {
+				read-- // dr itself is not part of ar's segment
+				break
+			}
+			if dr.Code.Height() < ar.Code.Height() {
+				if err := sink.Emit(ar, dr); err != nil {
+					ds.Close()
+					return err
+				}
+			}
+		}
+		if err := ds.Err(); err != nil {
+			ds.Close()
+			return err
+		}
+		ds.Close()
+		stats.Rescans += read
+	}
+	return as.Err()
+}
+
+// MPMGJNOnTheFly sorts both inputs (cost charged) and runs MPMGJN.
+func MPMGJNOnTheFly(ctx *Context, a, d *relation.Relation, sink Sink) error {
+	sa, err := SortByDoc(ctx, a, "mp.a")
+	if err != nil {
+		return err
+	}
+	defer sa.Free() //nolint:errcheck // cleanup
+	sd, err := SortByDoc(ctx, d, "mp.d")
+	if err != nil {
+		return err
+	}
+	defer sd.Free() //nolint:errcheck // cleanup
+	return MPMGJN(ctx, sa, sd, sink)
+}
+
+// StackTreeAnc evaluates the stack-tree-anc join over document-ordered
+// inputs: same merge as StackTree, but results are delivered ordered by
+// ancestor. Pairs whose ancestor is still open are buffered on the stack
+// (self lists) and cascade through inherit lists on pops, exactly as in
+// Al-Khalifa et al.; buffering is in memory, proportional to the pending
+// result size.
+func StackTreeAnc(ctx *Context, a, d *relation.Relation, sink Sink) error {
+	sink = ctx.Wrap(sink)
+	type entry struct {
+		rec     relation.Rec
+		self    []Pair // (rec, d) results, in d order
+		inherit []Pair // results of popped descendants, already ordered
+	}
+	var st []*entry
+	flush := func(e *entry) error {
+		for _, p := range e.self {
+			if err := sink.Emit(relation.Rec{Code: p.A}, relation.Rec{Code: p.D}); err != nil {
+				return err
+			}
+		}
+		for _, p := range e.inherit {
+			if err := sink.Emit(relation.Rec{Code: p.A}, relation.Rec{Code: p.D}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pop := func() error {
+		top := st[len(st)-1]
+		st = st[:len(st)-1]
+		if len(st) == 0 {
+			return flush(top)
+		}
+		parent := st[len(st)-1]
+		parent.inherit = append(parent.inherit, top.self...)
+		parent.inherit = append(parent.inherit, top.inherit...)
+		return nil
+	}
+	popBelow := func(start uint64) error {
+		for len(st) > 0 && st[len(st)-1].rec.Code.End() < start {
+			if err := pop(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	as, ds := a.Scan(), d.Scan()
+	defer as.Close()
+	defer ds.Close()
+	hasA, hasD := as.Next(), ds.Next()
+	for hasD {
+		if hasA && !docLess(ds.Rec(), as.Rec()) {
+			ar := as.Rec()
+			if err := popBelow(ar.Code.Start()); err != nil {
+				return err
+			}
+			st = append(st, &entry{rec: ar})
+			hasA = as.Next()
+			continue
+		}
+		dr := ds.Rec()
+		if err := popBelow(dr.Code.Start()); err != nil {
+			return err
+		}
+		hd := dr.Code.Height()
+		for _, e := range st {
+			if e.rec.Code.Height() > hd {
+				e.self = append(e.self, Pair{A: e.rec.Code, D: dr.Code})
+			}
+		}
+		hasD = ds.Next()
+	}
+	if err := as.Err(); err != nil {
+		return err
+	}
+	if err := ds.Err(); err != nil {
+		return err
+	}
+	for len(st) > 0 {
+		if err := pop(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package extsort
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pbitree/pbitree/internal/buffer"
+	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/internal/storage"
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+func benchSort(b *testing.B, n, memPages int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	recs := make([]relation.Rec, n)
+	for i := range recs {
+		recs[i] = relation.Rec{Code: pbicode.Code(rng.Uint64()%pbicode.NumNodes(24) + 1)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := storage.NewMemDisk(4096, storage.CostModel{})
+		pool := buffer.New(d, memPages+2)
+		in := relation.New(pool, "in")
+		if err := in.Append(recs...); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		out, err := Sort(pool, in, ByStartEndDesc, memPages, "out")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.NumRecords() != int64(n) {
+			b.Fatal("lost records")
+		}
+		b.StopTimer()
+		d.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkSortInMemory sorts a set that fits the memory budget.
+func BenchmarkSortInMemory(b *testing.B) { benchSort(b, 50_000, 400) }
+
+// BenchmarkSortOnePass sorts with a single merge pass.
+func BenchmarkSortOnePass(b *testing.B) { benchSort(b, 200_000, 64) }
+
+// BenchmarkSortMultiPass forces several merge passes.
+func BenchmarkSortMultiPass(b *testing.B) { benchSort(b, 200_000, 8) }

@@ -1,0 +1,349 @@
+// Package itree implements a static disk-based interval tree over element
+// regions, answering stabbing queries: all stored elements whose region
+// (Start, End) contains a query point. The paper's index-nested-loop join
+// uses it to probe the ancestor set A with each descendant's Start — the
+// direction a B+-tree handles poorly (section 3.1, citing Icking/Klein/
+// Ottmann's secondary-memory priority search trees).
+//
+// The structure is the classic centered interval tree: each node stores a
+// center point and the intervals containing it, as two lists — sorted by
+// Start ascending and by End descending — so a query scans only the prefix
+// that can contain the point, then recurses to one side. Intervals are
+// stored as their PBiTree codes (Start/End derive from the code), 16 bytes
+// per entry. Each node occupies one page with inline list prefixes and
+// per-list overflow chains; queries touch overflow pages only when the
+// matching prefix spills past the inline capacity.
+package itree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/pbitree/pbitree/internal/buffer"
+	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/internal/storage"
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+func pcode(v uint64) pbicode.Code { return pbicode.Code(v) }
+
+// Node page layout (little endian):
+//
+//	0:  center uint64
+//	8:  left PageID
+//	16: right PageID
+//	24: n uint32 (intervals at this node)
+//	28: type byte (0 = interior node, 1 = leaf bucket)
+//	32: startOv PageID (overflow chain of the by-Start list)
+//	40: endOv PageID (overflow chain of the by-End list)
+//	48: inline entries: halfCap by-Start entries, then halfCap by-End
+//
+// A leaf bucket holds up to bucketCap = (pageSize-48)/16 intervals in one
+// page, scanned linearly by queries. Without buckets, disjoint interval
+// sets (single-height ancestor sets) would degenerate to one page per
+// interval.
+//
+// Overflow page layout: next PageID, then entries.
+// Entry: code uint64, aux uint64.
+const (
+	nodeHdr   = 48
+	ovHdr     = 8
+	entrySize = 16
+
+	typeNode   = 0
+	typeBucket = 1
+)
+
+// Tree is a static interval tree.
+type Tree struct {
+	pool    *buffer.Pool
+	root    storage.PageID
+	count   int64
+	pages   int64
+	halfCap int // inline entries per list
+	ovCap   int // entries per overflow page
+}
+
+// NumIntervals returns the number of stored intervals.
+func (t *Tree) NumIntervals() int64 { return t.count }
+
+// NumPages returns the number of pages the tree occupies.
+func (t *Tree) NumPages() int64 { return t.pages }
+
+func put64(p []byte, off int, v uint64) { binary.LittleEndian.PutUint64(p[off:], v) }
+func get64(p []byte, off int) uint64    { return binary.LittleEndian.Uint64(p[off:]) }
+func putPID(p []byte, off int, id storage.PageID) {
+	binary.LittleEndian.PutUint64(p[off:], uint64(int64(id)))
+}
+func getPID(p []byte, off int) storage.PageID {
+	return storage.PageID(int64(binary.LittleEndian.Uint64(p[off:])))
+}
+
+// Build constructs the tree over recs. The records are held in memory
+// during construction (the paper builds indexes "on the fly" the same way:
+// the input scan and the page writes are the charged I/O; see DESIGN.md).
+func Build(pool *buffer.Pool, recs []relation.Rec) (*Tree, error) {
+	t := &Tree{
+		pool:    pool,
+		root:    storage.InvalidPageID,
+		halfCap: (pool.PageSize() - nodeHdr) / (2 * entrySize),
+		ovCap:   (pool.PageSize() - ovHdr) / entrySize,
+	}
+	if t.halfCap < 1 {
+		return nil, fmt.Errorf("itree: page size %d too small", pool.PageSize())
+	}
+	work := append([]relation.Rec(nil), recs...)
+	root, err := t.build(work)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.count = int64(len(recs))
+	return t, nil
+}
+
+// build recursively constructs the subtree over recs and returns its node
+// page, or InvalidPageID when recs is empty.
+func (t *Tree) build(recs []relation.Rec) (storage.PageID, error) {
+	if len(recs) == 0 {
+		return storage.InvalidPageID, nil
+	}
+	if len(recs) <= t.bucketCap() {
+		return t.buildBucket(recs)
+	}
+	// Center: median Start. Intervals always contain their own Start, so
+	// the node list is never empty and both sides shrink geometrically.
+	starts := make([]uint64, len(recs))
+	for i, r := range recs {
+		starts[i] = r.Code.Start()
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	center := starts[len(starts)/2]
+
+	var left, mid, right []relation.Rec
+	for _, r := range recs {
+		reg := r.Code.Region()
+		switch {
+		case reg.End < center:
+			left = append(left, r)
+		case reg.Start > center:
+			right = append(right, r)
+		default:
+			mid = append(mid, r)
+		}
+	}
+	leftID, err := t.build(left)
+	if err != nil {
+		return storage.InvalidPageID, err
+	}
+	rightID, err := t.build(right)
+	if err != nil {
+		return storage.InvalidPageID, err
+	}
+
+	byStart := append([]relation.Rec(nil), mid...)
+	sort.Slice(byStart, func(i, j int) bool { return byStart[i].Code.Start() < byStart[j].Code.Start() })
+	byEnd := append([]relation.Rec(nil), mid...)
+	sort.Slice(byEnd, func(i, j int) bool { return byEnd[i].Code.End() > byEnd[j].Code.End() })
+
+	f, err := t.pool.NewPage()
+	if err != nil {
+		return storage.InvalidPageID, err
+	}
+	t.pages++
+	put64(f.Data, 0, center)
+	putPID(f.Data, 8, leftID)
+	putPID(f.Data, 16, rightID)
+	binary.LittleEndian.PutUint32(f.Data[24:], uint32(len(mid)))
+
+	startOv, err := t.writeList(f.Data, nodeHdr, byStart)
+	if err != nil {
+		t.pool.Unpin(f, true)
+		return storage.InvalidPageID, err
+	}
+	putPID(f.Data, 32, startOv)
+	endOv, err := t.writeList(f.Data, nodeHdr+t.halfCap*entrySize, byEnd)
+	if err != nil {
+		t.pool.Unpin(f, true)
+		return storage.InvalidPageID, err
+	}
+	putPID(f.Data, 40, endOv)
+	t.pool.Unpin(f, true)
+	return f.ID, nil
+}
+
+// bucketCap returns the interval capacity of a leaf bucket page.
+func (t *Tree) bucketCap() int { return (t.pool.PageSize() - nodeHdr) / entrySize }
+
+// buildBucket writes one leaf bucket page holding all of recs.
+func (t *Tree) buildBucket(recs []relation.Rec) (storage.PageID, error) {
+	f, err := t.pool.NewPage()
+	if err != nil {
+		return storage.InvalidPageID, err
+	}
+	t.pages++
+	putPID(f.Data, 8, storage.InvalidPageID)
+	putPID(f.Data, 16, storage.InvalidPageID)
+	binary.LittleEndian.PutUint32(f.Data[24:], uint32(len(recs)))
+	f.Data[28] = typeBucket
+	putPID(f.Data, 32, storage.InvalidPageID)
+	putPID(f.Data, 40, storage.InvalidPageID)
+	for i, r := range recs {
+		put64(f.Data, nodeHdr+i*entrySize, uint64(r.Code))
+		put64(f.Data, nodeHdr+i*entrySize+8, r.Aux)
+	}
+	t.pool.Unpin(f, true)
+	return f.ID, nil
+}
+
+// writeList stores list entries: up to halfCap inline at inlineOff, the
+// rest in an overflow chain whose head it returns.
+func (t *Tree) writeList(page []byte, inlineOff int, list []relation.Rec) (storage.PageID, error) {
+	n := len(list)
+	inline := n
+	if inline > t.halfCap {
+		inline = t.halfCap
+	}
+	for i := 0; i < inline; i++ {
+		put64(page, inlineOff+i*entrySize, uint64(list[i].Code))
+		put64(page, inlineOff+i*entrySize+8, list[i].Aux)
+	}
+	rest := list[inline:]
+	if len(rest) == 0 {
+		return storage.InvalidPageID, nil
+	}
+	// Build the chain back to front so each page links forward.
+	next := storage.InvalidPageID
+	nPages := (len(rest) + t.ovCap - 1) / t.ovCap
+	for pi := nPages - 1; pi >= 0; pi-- {
+		lo := pi * t.ovCap
+		hi := lo + t.ovCap
+		if hi > len(rest) {
+			hi = len(rest)
+		}
+		f, err := t.pool.NewPage()
+		if err != nil {
+			return storage.InvalidPageID, err
+		}
+		t.pages++
+		putPID(f.Data, 0, next)
+		for i, r := range rest[lo:hi] {
+			put64(f.Data, ovHdr+i*entrySize, uint64(r.Code))
+			put64(f.Data, ovHdr+i*entrySize+8, r.Aux)
+		}
+		next = f.ID
+		t.pool.Unpin(f, true)
+	}
+	return next, nil
+}
+
+// Stab calls emit for every stored interval whose closed region contains p.
+// Emission order is unspecified. Note the PBiTree region caveat: for
+// ancestry the caller must additionally require height(result) >
+// height(query element); Stab itself is a pure geometric query.
+func (t *Tree) Stab(p uint64, emit func(relation.Rec) error) error {
+	node := t.root
+	for node != storage.InvalidPageID {
+		f, err := t.pool.Fetch(node)
+		if err != nil {
+			return err
+		}
+		center := get64(f.Data, 0)
+		n := int(binary.LittleEndian.Uint32(f.Data[24:]))
+		if f.Data[28] == typeBucket {
+			for i := 0; i < n; i++ {
+				r := relation.Rec{
+					Code: pcode(get64(f.Data, nodeHdr+i*entrySize)),
+					Aux:  get64(f.Data, nodeHdr+i*entrySize+8),
+				}
+				if r.Code.Region().ContainsPoint(p) {
+					if err := emit(r); err != nil {
+						t.pool.Unpin(f, false)
+						return err
+					}
+				}
+			}
+			t.pool.Unpin(f, false)
+			return nil
+		}
+		var scanErr error
+		switch {
+		case p <= center:
+			// All node intervals have End >= center >= p: the ones
+			// containing p are exactly those with Start <= p, a prefix of
+			// the by-Start list.
+			scanErr = t.scanList(f, nodeHdr, getPID(f.Data, 32), n, func(r relation.Rec) (bool, error) {
+				if r.Code.Start() > p {
+					return false, nil
+				}
+				return true, emit(r)
+			})
+			node = getPID(f.Data, 8)
+			if p == center {
+				node = storage.InvalidPageID
+			}
+		default:
+			// p > center: containing intervals have End >= p, a prefix of
+			// the by-End (descending) list.
+			scanErr = t.scanList(f, nodeHdr+t.halfCap*entrySize, getPID(f.Data, 40), n, func(r relation.Rec) (bool, error) {
+				if r.Code.End() < p {
+					return false, nil
+				}
+				return true, emit(r)
+			})
+			node = getPID(f.Data, 16)
+		}
+		t.pool.Unpin(f, false)
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	return nil
+}
+
+// scanList iterates a node list (inline prefix then overflow chain),
+// calling visit until it returns false or the n entries are exhausted.
+func (t *Tree) scanList(f buffer.Frame, inlineOff int, ov storage.PageID, n int, visit func(relation.Rec) (bool, error)) error {
+	inline := n
+	if inline > t.halfCap {
+		inline = t.halfCap
+	}
+	for i := 0; i < inline; i++ {
+		r := relation.Rec{
+			Code: pcode(get64(f.Data, inlineOff+i*entrySize)),
+			Aux:  get64(f.Data, inlineOff+i*entrySize+8),
+		}
+		more, err := visit(r)
+		if err != nil || !more {
+			return err
+		}
+	}
+	remaining := n - inline
+	for remaining > 0 && ov != storage.InvalidPageID {
+		of, err := t.pool.Fetch(ov)
+		if err != nil {
+			return err
+		}
+		k := t.ovCap
+		if k > remaining {
+			k = remaining
+		}
+		for i := 0; i < k; i++ {
+			r := relation.Rec{
+				Code: pcode(get64(of.Data, ovHdr+i*entrySize)),
+				Aux:  get64(of.Data, ovHdr+i*entrySize+8),
+			}
+			more, err := visit(r)
+			if err != nil || !more {
+				t.pool.Unpin(of, false)
+				return err
+			}
+		}
+		remaining -= k
+		next := getPID(of.Data, 0)
+		t.pool.Unpin(of, false)
+		ov = next
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package itree
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/pbitree/pbitree/internal/buffer"
+	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/internal/storage"
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+func newPool(t *testing.T, b int) *buffer.Pool {
+	t.Helper()
+	d := storage.NewMemDisk(256, storage.CostModel{})
+	t.Cleanup(func() { d.Close() })
+	return buffer.New(d, b)
+}
+
+// stabOracle returns the Aux values of all recs whose region contains p.
+func stabOracle(recs []relation.Rec, p uint64) []uint64 {
+	var out []uint64
+	for _, r := range recs {
+		if r.Code.Region().ContainsPoint(p) {
+			out = append(out, r.Aux)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func stabTree(t *testing.T, tr *Tree, p uint64) []uint64 {
+	t.Helper()
+	var out []uint64
+	if err := tr.Stab(p, func(r relation.Rec) error {
+		out = append(out, r.Aux)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomRecs(rng *rand.Rand, n, h int) []relation.Rec {
+	recs := make([]relation.Rec, n)
+	for i := range recs {
+		recs[i] = relation.Rec{
+			Code: pbicode.Code(rng.Uint64()%pbicode.NumNodes(h) + 1),
+			Aux:  uint64(i),
+		}
+	}
+	return recs
+}
+
+func TestStabAgainstOracle(t *testing.T) {
+	for _, n := range []int{1, 5, 40, 500, 3000} {
+		pool := newPool(t, 32)
+		rng := rand.New(rand.NewSource(int64(n)))
+		const h = 14
+		recs := randomRecs(rng, n, h)
+		tr, err := Build(pool, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.NumIntervals() != int64(n) {
+			t.Fatalf("NumIntervals = %d", tr.NumIntervals())
+		}
+		for trial := 0; trial < 300; trial++ {
+			p := rng.Uint64()%pbicode.NumNodes(h) + 1
+			got := stabTree(t, tr, p)
+			want := stabOracle(recs, p)
+			if !equalU64(got, want) {
+				t.Fatalf("n=%d stab(%d): got %d hits, want %d", n, p, len(got), len(want))
+			}
+		}
+		if pool.PinnedFrames() != 0 {
+			t.Fatalf("n=%d: leaked pins", n)
+		}
+	}
+}
+
+func TestStabEmptyTree(t *testing.T) {
+	pool := newPool(t, 4)
+	tr, err := Build(pool, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Stab(5, func(relation.Rec) error {
+		t.Fatal("emit on empty tree")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPages() != 0 {
+		t.Fatalf("empty tree pages = %d", tr.NumPages())
+	}
+}
+
+func TestStabNestedChain(t *testing.T) {
+	// A pathological fully nested set: every ancestor of a deep leaf. The
+	// stabbing answer for the leaf's Start is the whole chain.
+	const h = 18
+	leaf := pbicode.Code(1)
+	var recs []relation.Rec
+	for hh := 0; hh < h; hh++ {
+		recs = append(recs, relation.Rec{Code: pbicode.F(leaf, hh), Aux: uint64(hh)})
+	}
+	pool := newPool(t, 16)
+	tr, err := Build(pool, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stabTree(t, tr, leaf.Start())
+	if len(got) != h {
+		t.Fatalf("chain stab = %d hits, want %d", len(got), h)
+	}
+	// A point outside the root's subtree range hits only the higher nodes
+	// that span it.
+	got = stabTree(t, tr, pbicode.Code(3).Start())
+	want := stabOracle(recs, pbicode.Code(3).Start())
+	if !equalU64(got, want) {
+		t.Fatalf("outside stab mismatch: %v vs %v", got, want)
+	}
+}
+
+func TestStabOverflowLists(t *testing.T) {
+	// Many duplicate intervals at the root force long overflow chains:
+	// page 256 -> halfCap = (256-48)/32 = 6 inline entries.
+	const h = 10
+	root := pbicode.Root(h)
+	var recs []relation.Rec
+	for i := 0; i < 200; i++ {
+		recs = append(recs, relation.Rec{Code: root, Aux: uint64(i)})
+	}
+	pool := newPool(t, 64)
+	tr, err := Build(pool, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPages() < 10 {
+		t.Fatalf("expected overflow pages, got %d total", tr.NumPages())
+	}
+	got := stabTree(t, tr, uint64(root))
+	if len(got) != 200 {
+		t.Fatalf("stab center = %d hits", len(got))
+	}
+	got = stabTree(t, tr, root.Start())
+	if len(got) != 200 {
+		t.Fatalf("stab left edge = %d hits", len(got))
+	}
+	got = stabTree(t, tr, root.End())
+	if len(got) != 200 {
+		t.Fatalf("stab right edge = %d hits", len(got))
+	}
+}
+
+func TestStabEarlyTerminationSavesIO(t *testing.T) {
+	// With a point that matches nothing at the probed side, the prefix
+	// scan must stop at the first non-matching entry instead of walking
+	// the whole overflow chain.
+	const h = 16
+	var recs []relation.Rec
+	// One huge set at the root (big lists), plus one tiny interval far
+	// right; stabbing near the tiny interval's Start must not scan the
+	// root's whole by-End chain once entries stop matching.
+	rootC := pbicode.Root(h)
+	for i := 0; i < 500; i++ {
+		recs = append(recs, relation.Rec{Code: rootC, Aux: uint64(i)})
+	}
+	leaf := pbicode.Code(pbicode.NumNodes(h)) // rightmost leaf
+	recs = append(recs, relation.Rec{Code: leaf, Aux: 999})
+	d := storage.NewMemDisk(256, storage.CostModel{})
+	pool := buffer.New(d, 128)
+	tr, err := Build(pool, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	pool.ResetStats()
+	got := stabTree(t, tr, leaf.Start())
+	if len(got) != 501 { // root dups all contain the rightmost leaf
+		t.Fatalf("hits = %d", len(got))
+	}
+	// All entries match here (root spans everything), so chains are read;
+	// this just sanity-checks the stat plumbing.
+	if pool.Stats().Hits+pool.Stats().Misses == 0 {
+		t.Fatal("no page requests recorded")
+	}
+}
+
+func TestStabErrorPropagation(t *testing.T) {
+	const h = 12
+	rng := rand.New(rand.NewSource(9))
+	recs := randomRecs(rng, 300, h)
+	d := storage.NewMemDisk(256, storage.CostModel{})
+	fd := storage.NewFaultDisk(d)
+	pool := buffer.New(fd, 8)
+	tr, err := Build(pool, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for id := storage.PageID(0); id < d.NumPages(); id++ {
+		if err := pool.Evict(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fd.FailReadAfter = 2
+	err = tr.Stab(recs[0].Code.Start(), func(relation.Rec) error { return nil })
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("Stab error = %v", err)
+	}
+	if pool.PinnedFrames() != 0 {
+		t.Fatal("pins leaked on error")
+	}
+	// Emit error propagates too.
+	fd.FailReadAfter = 0
+	sentinel := errors.New("stop")
+	err = tr.Stab(recs[0].Code.Start(), func(relation.Rec) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("emit error = %v", err)
+	}
+	if pool.PinnedFrames() != 0 {
+		t.Fatal("pins leaked on emit error")
+	}
+}
+
+func TestBuildAllocError(t *testing.T) {
+	d := storage.NewMemDisk(256, storage.CostModel{})
+	fd := storage.NewFaultDisk(d)
+	pool := buffer.New(fd, 8)
+	fd.FailAllocAfter = 3
+	rng := rand.New(rand.NewSource(4))
+	if _, err := Build(pool, randomRecs(rng, 500, 12)); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("Build = %v", err)
+	}
+}

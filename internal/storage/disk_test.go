@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func disks(t *testing.T) map[string]Disk {
+	t.Helper()
+	fd, err := OpenFileDisk(filepath.Join(t.TempDir(), "disk.db"), 512, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fd.Close() })
+	md := NewMemDisk(512, CostModel{})
+	t.Cleanup(func() { md.Close() })
+	return map[string]Disk{"mem": md, "file": fd}
+}
+
+func TestDiskReadWriteRoundtrip(t *testing.T) {
+	for name, d := range disks(t) {
+		t.Run(name, func(t *testing.T) {
+			var ids []PageID
+			for i := 0; i < 10; i++ {
+				id, err := d.Alloc()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, id)
+			}
+			if d.NumPages() != 10 {
+				t.Fatalf("NumPages = %d", d.NumPages())
+			}
+			buf := make([]byte, d.PageSize())
+			for _, id := range ids {
+				for j := range buf {
+					buf[j] = byte(id)
+				}
+				if err := d.Write(id, buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := make([]byte, d.PageSize())
+			for _, id := range ids {
+				if err := d.Read(id, got); err != nil {
+					t.Fatal(err)
+				}
+				want := bytes.Repeat([]byte{byte(id)}, d.PageSize())
+				if !bytes.Equal(got, want) {
+					t.Fatalf("page %d content mismatch", id)
+				}
+			}
+		})
+	}
+}
+
+func TestDiskUnwrittenPageReadsZero(t *testing.T) {
+	for name, d := range disks(t) {
+		t.Run(name, func(t *testing.T) {
+			id, err := d.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, d.PageSize())
+			for i := range got {
+				got[i] = 0xFF // ensure the read actually clears it
+			}
+			if err := d.Read(id, got); err != nil {
+				t.Fatal(err)
+			}
+			for i, b := range got {
+				if b != 0 {
+					t.Fatalf("byte %d = %#x, want 0", i, b)
+				}
+			}
+		})
+	}
+}
+
+func TestDiskErrors(t *testing.T) {
+	for name, d := range disks(t) {
+		t.Run(name, func(t *testing.T) {
+			buf := make([]byte, d.PageSize())
+			if err := d.Read(0, buf); err == nil {
+				t.Error("read of unallocated page succeeded")
+			}
+			if err := d.Write(5, buf); err == nil {
+				t.Error("write of unallocated page succeeded")
+			}
+			if err := d.Read(-1, buf); err == nil {
+				t.Error("read of negative page succeeded")
+			}
+			if _, err := d.Alloc(); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Read(0, buf[:10]); err == nil {
+				t.Error("short buffer read succeeded")
+			}
+			if err := d.Write(0, append(buf, 0)); err == nil {
+				t.Error("long buffer write succeeded")
+			}
+		})
+	}
+}
+
+func TestDiskClosed(t *testing.T) {
+	for name, d := range disks(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := d.Alloc(); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, d.PageSize())
+			if err := d.Read(0, buf); !errors.Is(err, ErrClosed) {
+				t.Errorf("Read after close: %v", err)
+			}
+			if err := d.Write(0, buf); !errors.Is(err, ErrClosed) {
+				t.Errorf("Write after close: %v", err)
+			}
+			if _, err := d.Alloc(); !errors.Is(err, ErrClosed) {
+				t.Errorf("Alloc after close: %v", err)
+			}
+		})
+	}
+}
+
+func TestSequentialAccounting(t *testing.T) {
+	d := NewMemDisk(256, CostModel{Random: 10 * time.Millisecond, Sequential: 1 * time.Millisecond})
+	buf := make([]byte, 256)
+	for i := 0; i < 8; i++ {
+		if _, err := d.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sequential scan 0..7: first access random, rest sequential.
+	for i := PageID(0); i < 8; i++ {
+		if err := d.Read(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.Reads != 8 || s.SeqReads != 7 {
+		t.Fatalf("stats after scan: %+v", s)
+	}
+	if want := 10*time.Millisecond + 7*time.Millisecond; s.VirtualIO != want {
+		t.Fatalf("VirtualIO = %v, want %v", s.VirtualIO, want)
+	}
+	// Random jump then sequential write.
+	if err := d.Write(3, buf); err != nil { // random (last=7)
+		t.Fatal(err)
+	}
+	if err := d.Write(4, buf); err != nil { // sequential
+		t.Fatal(err)
+	}
+	s = d.Stats()
+	if s.Writes != 2 || s.SeqWrites != 1 {
+		t.Fatalf("write stats: %+v", s)
+	}
+	if s.RandReads() != 1 || s.RandWrites() != 1 {
+		t.Fatalf("rand counters: %+v", s)
+	}
+	if s.Total() != 10 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not zero")
+	}
+	// After a reset, the head position is forgotten: page 5 is random even
+	// though page 4 was last accessed.
+	if err := d.Read(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().SeqReads != 0 {
+		t.Fatal("read after reset counted as sequential")
+	}
+}
+
+func TestStatsSubAndString(t *testing.T) {
+	a := Stats{Reads: 10, Writes: 4, SeqReads: 3, SeqWrites: 1, Allocs: 2, VirtualIO: time.Second}
+	b := Stats{Reads: 4, Writes: 1, SeqReads: 1, Allocs: 1, VirtualIO: time.Millisecond}
+	d := a.Sub(b)
+	if d.Reads != 6 || d.Writes != 3 || d.SeqReads != 2 || d.SeqWrites != 1 || d.Allocs != 1 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if d.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestFaultDisk(t *testing.T) {
+	base := NewMemDisk(128, CostModel{})
+	fd := NewFaultDisk(base)
+	id, err := fd.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	fd.FailReadAfter = 2
+	if err := fd.Read(id, buf); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	if err := fd.Read(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read: %v", err)
+	}
+	fd.FailReadAfter = 0
+	fd.FailWriteAfter = 1
+	if err := fd.Write(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write: %v", err)
+	}
+	fd.FailWriteAfter = 0
+	fd.BadPages = map[PageID]bool{id: true}
+	if err := fd.Write(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("bad page write: %v", err)
+	}
+	if err := fd.Read(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("bad page read: %v", err)
+	}
+	fd.BadPages = nil
+	fd.FailAllocAfter = 1
+	if _, err := fd.Alloc(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("alloc: %v", err)
+	}
+}
+
+func TestFileDiskPersistsAcrossStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.db")
+	d, err := OpenFileDisk(path, 256, DefaultCostModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Path() != path {
+		t.Fatalf("Path = %q", d.Path())
+	}
+	id, err := d.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := bytes.Repeat([]byte{0xAB}, 256)
+	if err := d.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	got := make([]byte, 256)
+	if err := d.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("content lost after ResetStats")
+	}
+	if d.Stats().Reads != 1 {
+		t.Fatalf("Reads = %d", d.Stats().Reads)
+	}
+}

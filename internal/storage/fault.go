@@ -1,0 +1,62 @@
+package storage
+
+import "errors"
+
+// ErrInjected is the error produced by a FaultDisk when a fault fires.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultDisk wraps a Disk and fails operations according to a programmable
+// schedule. It is used by tests to drive error paths through the buffer
+// pool, heap files, sort, indexes and joins.
+type FaultDisk struct {
+	Disk
+	// FailReadAfter makes the Nth subsequent read (1-based) and all later
+	// reads fail when > 0.
+	FailReadAfter int64
+	// FailWriteAfter makes the Nth subsequent write and all later writes
+	// fail when > 0.
+	FailWriteAfter int64
+	// FailAllocAfter makes the Nth subsequent Alloc and all later Allocs
+	// fail when > 0.
+	FailAllocAfter int64
+	// BadPages lists page IDs whose reads and writes always fail.
+	BadPages map[PageID]bool
+
+	reads, writes, allocs int64
+}
+
+// NewFaultDisk wraps d with no faults armed.
+func NewFaultDisk(d Disk) *FaultDisk { return &FaultDisk{Disk: d} }
+
+// Read implements Disk.
+func (d *FaultDisk) Read(id PageID, p []byte) error {
+	d.reads++
+	if d.FailReadAfter > 0 && d.reads >= d.FailReadAfter {
+		return ErrInjected
+	}
+	if d.BadPages[id] {
+		return ErrInjected
+	}
+	return d.Disk.Read(id, p)
+}
+
+// Write implements Disk.
+func (d *FaultDisk) Write(id PageID, p []byte) error {
+	d.writes++
+	if d.FailWriteAfter > 0 && d.writes >= d.FailWriteAfter {
+		return ErrInjected
+	}
+	if d.BadPages[id] {
+		return ErrInjected
+	}
+	return d.Disk.Write(id, p)
+}
+
+// Alloc implements Disk.
+func (d *FaultDisk) Alloc() (PageID, error) {
+	d.allocs++
+	if d.FailAllocAfter > 0 && d.allocs >= d.FailAllocAfter {
+		return InvalidPageID, ErrInjected
+	}
+	return d.Disk.Alloc()
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+// This file generates a DBLP-shaped bibliography document. The real DBLP
+// snapshot the paper used (a 2002 records.tar.gz, ~50 MB) is not
+// redistributable here, so the generator reproduces its DTD shape and the
+// cardinality mix that drives the D1–D10 joins of Table 2(d): two large
+// flat publication collections with per-field child elements, a few of
+// them rare, plus a small nested citation structure that yields a
+// multi-height ancestor set for D10. See DESIGN.md's substitution table.
+
+// DBLPParams sizes the generated bibliography.
+type DBLPParams struct {
+	// Articles and Inproceedings are the publication counts. The paper's
+	// snapshot has ~120k publications; Scale in DBLP scales these.
+	Articles      int
+	Inproceedings int
+	Seed          int64
+}
+
+// DBLP returns parameters approximating the paper's snapshot scaled by
+// scale (1.0 ≈ 120k publications).
+func DBLP(scale float64, seed int64) DBLPParams {
+	a := int(scale * 70000)
+	i := int(scale * 50000)
+	if a < 50 {
+		a = 50
+	}
+	if i < 50 {
+		i = 50
+	}
+	return DBLPParams{Articles: a, Inproceedings: i, Seed: seed}
+}
+
+// GenerateDBLP builds and encodes the document.
+func GenerateDBLP(p DBLPParams) (*xmltree.Document, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	root := &xmltree.Element{Tag: "dblp"}
+	add := func(parent *xmltree.Element, tag, text string) *xmltree.Element {
+		e := &xmltree.Element{Tag: tag, Text: text, Parent: parent}
+		parent.Children = append(parent.Children, e)
+		return e
+	}
+	authorPool := 1 + (p.Articles+p.Inproceedings)/4
+
+	for i := 0; i < p.Articles; i++ {
+		art := add(root, "article", "")
+		nAuth := 1 + rng.Intn(3)
+		for j := 0; j < nAuth; j++ {
+			add(art, "author", fmt.Sprintf("Author %d", rng.Intn(authorPool)))
+		}
+		add(art, "title", fmt.Sprintf("On Topic %d", i))
+		add(art, "year", fmt.Sprintf("%d", 1970+rng.Intn(33)))
+		add(art, "journal", fmt.Sprintf("Journal %d", rng.Intn(200)))
+		if rng.Float64() < 0.6 {
+			add(art, "volume", fmt.Sprintf("%d", 1+rng.Intn(40)))
+		}
+		if rng.Float64() < 0.085 {
+			add(art, "ee", fmt.Sprintf("db/journals/j%d.html", i))
+		}
+		if rng.Float64() < 0.0018 {
+			add(art, "cdrom", fmt.Sprintf("CDROM/%d", i))
+		}
+		if rng.Float64() < 0.0009 {
+			add(art, "note", "see errata")
+		}
+		// A thin nested citation layer: article -> cite -> article ->
+		// author gives D10 its multi-height ancestor set.
+		if rng.Float64() < 0.01 {
+			cite := add(art, "cite", "")
+			sub := add(cite, "article", "")
+			add(sub, "author", fmt.Sprintf("Author %d", rng.Intn(authorPool)))
+			add(sub, "title", fmt.Sprintf("Cited %d", i))
+		}
+	}
+	for i := 0; i < p.Inproceedings; i++ {
+		inp := add(root, "inproceedings", "")
+		nAuth := 1 + rng.Intn(4)
+		for j := 0; j < nAuth; j++ {
+			add(inp, "author", fmt.Sprintf("Author %d", rng.Intn(authorPool)))
+		}
+		add(inp, "title", fmt.Sprintf("Conference Paper %d", i))
+		add(inp, "year", fmt.Sprintf("%d", 1980+rng.Intn(23)))
+		add(inp, "booktitle", fmt.Sprintf("PROC %d", rng.Intn(150)))
+		if rng.Float64() < 0.8 {
+			add(inp, "pages", fmt.Sprintf("%d-%d", i, i+12))
+		}
+		if rng.Float64() < 0.3 {
+			add(inp, "url", fmt.Sprintf("db/conf/c%d.html", i))
+		}
+	}
+	return xmltree.Encode(root)
+}
+
+// Query names a containment join over a generated document.
+type Query struct {
+	// ID is the paper's label (D1..D10, B1..B10).
+	ID string
+	// AncTag and DescTag are the joined element tags.
+	AncTag, DescTag string
+	// Note describes the paper analogue (size mix, heights).
+	Note string
+}
+
+// DBLPQueries returns the ten joins mirroring Table 2(d)'s mix of large
+// flat ancestor sets against descendant sets of widely varying sizes.
+func DBLPQueries() []Query {
+	return []Query{
+		{ID: "D1", AncTag: "article", DescTag: "ee", Note: "large A, ~8.5% selective D"},
+		{ID: "D2", AncTag: "article", DescTag: "cdrom", Note: "large A, rare D (~0.2%)"},
+		{ID: "D3", AncTag: "article", DescTag: "note", Note: "large A, rare D (~0.1%)"},
+		{ID: "D4", AncTag: "article", DescTag: "title", Note: "large A, large D, 1:1"},
+		{ID: "D5", AncTag: "inproceedings", DescTag: "author", Note: "large A, large D"},
+		{ID: "D6", AncTag: "inproceedings", DescTag: "url", Note: "large A, ~30% D"},
+		{ID: "D7", AncTag: "article", DescTag: "author", Note: "large A, large D"},
+		{ID: "D8", AncTag: "article", DescTag: "volume", Note: "large A, medium D"},
+		{ID: "D9", AncTag: "inproceedings", DescTag: "pages", Note: "large A, large D"},
+		{ID: "D10", AncTag: "article", DescTag: "author", Note: "multi-height A via nested cites"},
+	}
+}

@@ -1,0 +1,225 @@
+// Package workload generates the datasets of the paper's evaluation
+// (section 4): the sixteen synthetic ancestor/descendant set combinations
+// of Table 2(a)/(b), the scalability series, and DBLP-shaped and
+// XMark-shaped documents with the ten containment joins each of
+// Table 2(c)/(d). All generators are deterministic under a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// SynthParams controls one synthetic dataset in the paper's taxonomy: set
+// sizes, the number of distinct ancestor/descendant heights, and the
+// selectivity (fraction of descendants placed under some ancestor).
+type SynthParams struct {
+	// Name is the four-character dataset id, e.g. "SLLH".
+	Name string
+	// NumA, NumD are the element counts (paper: L = 1e6, S = 1e4).
+	NumA, NumD int
+	// HeightsA, HeightsD are the numbers of distinct PBiTree heights the
+	// sets span (1 = single-height, Table 2(a); >1 = Table 2(b)).
+	HeightsA, HeightsD int
+	// Selectivity is the fraction of descendants generated under an
+	// ancestor's subtree (high ≈ 0.9, low ≈ 0.04).
+	Selectivity float64
+	// Seed fixes the pseudo-random stream.
+	Seed int64
+}
+
+// SynthData is one generated dataset.
+type SynthData struct {
+	Params SynthParams
+	// A and D are the element code sets.
+	A, D []pbicode.Code
+	// TreeHeight is the PBiTree height the codes live in.
+	TreeHeight int
+	// Results is the exact containment join cardinality, computed during
+	// generation (the generator's analogue of Table 2's #results column).
+	Results int64
+}
+
+// Synthetic geometry: ancestors live on HeightsA consecutive levels
+// starting at a base level deep enough to hold them, each sampled distinct
+// within the *left half* of its level's index space. Every such node's
+// subtree lies inside the left half of the base level's span, so unmatched
+// descendants drawn from the right half are guaranteed ancestor-free.
+// Matched descendants are drawn inside a random ancestor's subtree.
+// Descendant levels start two below the deepest ancestor level, and the
+// tree height leaves one level of headroom below the deepest descendants.
+
+// Generate builds the dataset.
+func Generate(p SynthParams) (*SynthData, error) {
+	if p.NumA <= 0 || p.NumD <= 0 {
+		return nil, fmt.Errorf("workload: set sizes must be positive, got %d/%d", p.NumA, p.NumD)
+	}
+	if p.HeightsA < 1 || p.HeightsD < 1 {
+		return nil, fmt.Errorf("workload: height counts must be >= 1")
+	}
+	if p.Selectivity < 0 || p.Selectivity > 1 {
+		return nil, fmt.Errorf("workload: selectivity %v out of [0,1]", p.Selectivity)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Ancestor base level: the shallowest (smallest-capacity) ancestor
+	// level must hold its share of distinct ancestors in its left half.
+	perALevel := (p.NumA + p.HeightsA - 1) / p.HeightsA
+	base := 2
+	for uint64(1)<<uint(base-1) < uint64(perALevel) {
+		base++
+	}
+	aLevels := make([]int, p.HeightsA)
+	for i := range aLevels {
+		aLevels[i] = base + i
+	}
+	deepestA := aLevels[len(aLevels)-1]
+	dLevels := make([]int, p.HeightsD)
+	for i := range dLevels {
+		dLevels[i] = deepestA + 2 + i
+	}
+	deepestD := dLevels[len(dLevels)-1]
+	h := deepestD + 2 // leaves one level below the deepest descendants
+	if h > pbicode.MaxHeight {
+		return nil, fmt.Errorf("workload: dataset needs PBiTree height %d > %d", h, pbicode.MaxHeight)
+	}
+
+	// Ancestor generation: per level, a pseudo-random permutation
+	// alpha_i = (start + i*step) mod half with odd step gives distinct
+	// alphas in O(1) memory.
+	type levelSet struct {
+		level int
+		set   map[uint64]struct{}
+	}
+	aSets := make([]levelSet, len(aLevels))
+	a := make([]pbicode.Code, 0, p.NumA)
+	for li, l := range aLevels {
+		n := p.NumA / len(aLevels)
+		if li < p.NumA%len(aLevels) {
+			n++
+		}
+		half := uint64(1) << uint(l-1) // left half of level l's index space
+		start := rng.Uint64() % half
+		step := rng.Uint64()%half | 1
+		set := make(map[uint64]struct{}, n)
+		for i := 0; i < n; i++ {
+			alpha := (start + uint64(i)*step) % half
+			for {
+				if _, dup := set[alpha]; !dup {
+					break
+				}
+				alpha = (alpha + 1) % half
+			}
+			set[alpha] = struct{}{}
+			a = append(a, pbicode.G(alpha, l, h))
+		}
+		aSets[li] = levelSet{level: l, set: set}
+	}
+
+	// Descendant generation.
+	d := make([]pbicode.Code, 0, p.NumD)
+	var results int64
+	for i := 0; i < p.NumD; i++ {
+		dl := dLevels[rng.Intn(len(dLevels))]
+		var alpha uint64
+		if rng.Float64() < p.Selectivity {
+			// Under a random ancestor.
+			anc := a[rng.Intn(len(a))]
+			ancAlpha, ancLevel := anc.TopDown(h)
+			span := uint(dl - ancLevel)
+			alpha = ancAlpha<<span + rng.Uint64()%(1<<span)
+		} else {
+			// In the right half of the ancestor base level: every
+			// ancestor's subtree lies in the left half, so no match.
+			half := uint64(1) << uint(base-1)
+			topAlpha := half + rng.Uint64()%half
+			span := uint(dl - base)
+			alpha = topAlpha<<span + rng.Uint64()%(1<<span)
+		}
+		code := pbicode.G(alpha, dl, h)
+		d = append(d, code)
+		// Exact result count: check each ancestor level for a hit.
+		for _, ls := range aSets {
+			span := uint(dl - ls.level)
+			if _, ok := ls.set[alpha>>span]; ok {
+				results++
+			}
+		}
+	}
+	return &SynthData{Params: p, A: a, D: d, TreeHeight: h, Results: results}, nil
+}
+
+// StandardDatasets returns the paper's sixteen dataset parameter sets
+// (Table 2(a) and 2(b)) scaled by scale: L = scale*1e6 elements,
+// S = scale*1e4, minimum 100. The multi-height variants use the height
+// counts of Table 2(b).
+func StandardDatasets(scale float64, seed int64) []SynthParams {
+	large := int(scale * 1e6)
+	small := int(scale * 1e4)
+	if large < 100 {
+		large = 100
+	}
+	if small < 100 {
+		small = 100
+	}
+	const hi, lo = 0.9, 0.04
+	mk := func(name string, na, nd, ha, hd int, sel float64) SynthParams {
+		return SynthParams{Name: name, NumA: na, NumD: nd, HeightsA: ha, HeightsD: hd, Selectivity: sel, Seed: seed + int64(len(name))*7919 + int64(name[0])<<24 + int64(name[1])<<16 + int64(name[2])<<8 + int64(name[3])}
+	}
+	return []SynthParams{
+		// Single-height (Table 2(a)).
+		mk("SLLH", large, large, 1, 1, hi),
+		mk("SLSH", large, small, 1, 1, hi),
+		mk("SSLH", small, large, 1, 1, hi),
+		mk("SSSH", small, small, 1, 1, hi),
+		mk("SLLL", large, large, 1, 1, lo),
+		mk("SLSL", large, small, 1, 1, lo),
+		mk("SSLL", small, large, 1, 1, lo),
+		mk("SSSL", small, small, 1, 1, lo),
+		// Multiple-height, height counts from Table 2(b).
+		mk("MLLH", large, large, 2, 6, hi),
+		mk("MLSH", large, small, 9, 9, hi),
+		mk("MSLH", small, large, 2, 7, hi),
+		mk("MSSH", small, small, 7, 9, hi),
+		mk("MLLL", large, large, 3, 7, lo),
+		mk("MLSL", large, small, 7, 5, lo),
+		mk("MSLL", small, large, 7, 4, lo),
+		mk("MSSL", small, small, 3, 2, lo),
+	}
+}
+
+// Dataset returns the parameters of one named standard dataset.
+func Dataset(name string, scale float64, seed int64) (SynthParams, error) {
+	for _, p := range StandardDatasets(scale, seed) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return SynthParams{}, fmt.Errorf("workload: unknown dataset %q", name)
+}
+
+// ScalabilitySeries returns the Figure 6(g)/(h) dataset series: both sets
+// sized k*base for k = 1..steps, single- or multiple-height.
+func ScalabilitySeries(multi bool, base, steps int, sel float64, seed int64) []SynthParams {
+	ha, hd := 1, 1
+	kind := "S"
+	if multi {
+		ha, hd = 3, 6
+		kind = "M"
+	}
+	out := make([]SynthParams, 0, steps)
+	for k := 1; k <= steps; k++ {
+		out = append(out, SynthParams{
+			Name:        fmt.Sprintf("%sSCALE%d", kind, k),
+			NumA:        k * base,
+			NumD:        k * base,
+			HeightsA:    ha,
+			HeightsD:    hd,
+			Selectivity: sel,
+			Seed:        seed + int64(k),
+		})
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// bruteResults counts the containment join by definition.
+func bruteResults(a, d []pbicode.Code) int64 {
+	set := make(map[pbicode.Code]int64, len(a))
+	for _, c := range a {
+		set[c]++
+	}
+	var n int64
+	for _, dc := range d {
+		h := dc.Height()
+		// Probe every possible ancestor height — cheap with PBiTree codes.
+		for hh := h + 1; hh < 63; hh++ {
+			if cnt, ok := set[pbicode.F(dc, hh)]; ok {
+				n += cnt
+			}
+		}
+	}
+	return n
+}
+
+func TestGenerateExactCount(t *testing.T) {
+	for _, p := range []SynthParams{
+		{Name: "tiny-single", NumA: 200, NumD: 300, HeightsA: 1, HeightsD: 1, Selectivity: 0.9, Seed: 1},
+		{Name: "tiny-multi", NumA: 250, NumD: 400, HeightsA: 4, HeightsD: 5, Selectivity: 0.5, Seed: 2},
+		{Name: "low-sel", NumA: 300, NumD: 300, HeightsA: 2, HeightsD: 2, Selectivity: 0.04, Seed: 3},
+		{Name: "zero-sel", NumA: 100, NumD: 100, HeightsA: 1, HeightsD: 1, Selectivity: 0, Seed: 4},
+		{Name: "full-sel", NumA: 100, NumD: 100, HeightsA: 1, HeightsD: 1, Selectivity: 1, Seed: 5},
+	} {
+		data, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if len(data.A) != p.NumA || len(data.D) != p.NumD {
+			t.Fatalf("%s: sizes %d/%d", p.Name, len(data.A), len(data.D))
+		}
+		if got := bruteResults(data.A, data.D); got != data.Results {
+			t.Fatalf("%s: Results = %d, brute force = %d", p.Name, data.Results, got)
+		}
+		// All codes fit the declared tree.
+		for _, c := range append(append([]pbicode.Code{}, data.A...), data.D...) {
+			if err := c.Validate(data.TreeHeight); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+		}
+	}
+}
+
+func TestGenerateSelectivityShape(t *testing.T) {
+	hi, err := Generate(SynthParams{Name: "hi", NumA: 500, NumD: 2000, HeightsA: 1, HeightsD: 1, Selectivity: 0.9, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Generate(SynthParams{Name: "lo", NumA: 500, NumD: 2000, HeightsA: 1, HeightsD: 1, Selectivity: 0.04, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Results <= 4*lo.Results {
+		t.Fatalf("selectivity knob too weak: hi=%d lo=%d", hi.Results, lo.Results)
+	}
+	// High selectivity should match roughly 90% of descendants (single
+	// height, distinct ancestors: one match per covered descendant).
+	if hi.Results < 1500 || hi.Results > 2000 {
+		t.Fatalf("hi results = %d, want ≈1800", hi.Results)
+	}
+}
+
+func TestGenerateHeights(t *testing.T) {
+	data, err := Generate(SynthParams{Name: "m", NumA: 400, NumD: 400, HeightsA: 3, HeightsD: 4, Selectivity: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha := map[int]bool{}
+	for _, c := range data.A {
+		ha[c.Height()] = true
+	}
+	hd := map[int]bool{}
+	for _, c := range data.D {
+		hd[c.Height()] = true
+	}
+	if len(ha) != 3 {
+		t.Fatalf("ancestor heights = %d, want 3", len(ha))
+	}
+	if len(hd) != 4 {
+		t.Fatalf("descendant heights = %d, want 4", len(hd))
+	}
+	// Ancestor codes are distinct within each height.
+	seen := map[pbicode.Code]bool{}
+	for _, c := range data.A {
+		if seen[c] {
+			t.Fatal("duplicate ancestor")
+		}
+		seen[c] = true
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	p := SynthParams{Name: "d", NumA: 100, NumD: 100, HeightsA: 2, HeightsD: 2, Selectivity: 0.5, Seed: 42}
+	x, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x.A {
+		if x.A[i] != y.A[i] {
+			t.Fatal("A not deterministic")
+		}
+	}
+	for i := range x.D {
+		if x.D[i] != y.D[i] {
+			t.Fatal("D not deterministic")
+		}
+	}
+	if x.Results != y.Results {
+		t.Fatal("Results not deterministic")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := []SynthParams{
+		{NumA: 0, NumD: 1, HeightsA: 1, HeightsD: 1},
+		{NumA: 1, NumD: 1, HeightsA: 0, HeightsD: 1},
+		{NumA: 1, NumD: 1, HeightsA: 1, HeightsD: 1, Selectivity: 1.5},
+		{NumA: 1, NumD: 1, HeightsA: 30, HeightsD: 40},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestStandardDatasets(t *testing.T) {
+	ds := StandardDatasets(0.001, 1)
+	if len(ds) != 16 {
+		t.Fatalf("datasets = %d", len(ds))
+	}
+	names := map[string]bool{}
+	for _, p := range ds {
+		names[p.Name] = true
+		if _, err := Generate(p); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	for _, want := range []string{"SLLH", "SSSL", "MLLH", "MSSL"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+	p, err := Dataset("MLLL", 0.001, 1)
+	if err != nil || p.Name != "MLLL" {
+		t.Fatalf("Dataset: %v %v", p, err)
+	}
+	if p.HeightsA != 3 || p.HeightsD != 7 {
+		t.Fatalf("MLLL heights = %d/%d, want 3/7 (Table 2b)", p.HeightsA, p.HeightsD)
+	}
+	if _, err := Dataset("NOPE", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestScalabilitySeries(t *testing.T) {
+	s := ScalabilitySeries(false, 100, 8, 0.1, 3)
+	if len(s) != 8 {
+		t.Fatalf("series = %d", len(s))
+	}
+	if s[7].NumA != 800 || s[7].NumD != 800 {
+		t.Fatalf("last step sizes = %d/%d", s[7].NumA, s[7].NumD)
+	}
+	m := ScalabilitySeries(true, 100, 3, 0.1, 3)
+	if m[0].HeightsA == 1 {
+		t.Fatal("multi series is single-height")
+	}
+}
+
+func TestGenerateDBLP(t *testing.T) {
+	doc, err := GenerateDBLP(DBLP(0.01, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := doc.Tags()
+	if tags["article"] == 0 || tags["inproceedings"] == 0 || tags["author"] == 0 {
+		t.Fatalf("tags = %v", tags)
+	}
+	// Titles at least one per publication (nested cites add more).
+	if tags["title"] < tags["article"]+tags["inproceedings"] {
+		t.Fatalf("titles = %d < pubs", tags["title"])
+	}
+	// Every query has a defined tag pair present in the document
+	// (rare tags may vanish at tiny scales, so only check tags exist as
+	// concepts for the common ones).
+	for _, q := range DBLPQueries() {
+		if q.AncTag == "" || q.DescTag == "" || q.ID == "" {
+			t.Fatalf("bad query %+v", q)
+		}
+	}
+	// The nested cite structure makes "article" multi-height.
+	heights := map[int]bool{}
+	for _, c := range doc.Codes("article") {
+		heights[c.Height()] = true
+	}
+	if len(heights) < 2 {
+		t.Log("warning: no nested cites at this scale (acceptable at tiny scale)")
+	}
+}
+
+func TestGenerateXMark(t *testing.T) {
+	doc, err := GenerateXMark(XMark(0.01, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := doc.Tags()
+	for _, tag := range []string{"item", "person", "open_auction", "closed_auction", "category", "listitem", "text", "description"} {
+		if tags[tag] == 0 {
+			t.Fatalf("missing %s: %v", tag, tags)
+		}
+	}
+	// The recursive parlist structure must produce multi-height listitem
+	// sets (B2/B10's premise).
+	heights := map[int]bool{}
+	for _, c := range doc.Codes("listitem") {
+		heights[c.Height()] = true
+	}
+	if len(heights) < 2 {
+		t.Fatalf("listitem heights = %d, want nesting", len(heights))
+	}
+	if len(XMarkQueries()) != 10 {
+		t.Fatal("need 10 B queries")
+	}
+}
+
+func TestDocDeterminism(t *testing.T) {
+	a, err := GenerateXMark(XMark(0.005, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateXMark(XMark(0.005, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Codes("item"), b.Codes("item")
+	if len(ca) != len(cb) {
+		t.Fatal("not deterministic")
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("codes differ")
+		}
+	}
+}

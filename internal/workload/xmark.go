@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+// This file generates an XMark-shaped auction-site document (the paper's
+// BENCHMARK data, Schmidt et al.'s XML benchmark project, SF = 1 ≈ 113 MB
+// of text). The generator reproduces the benchmark's structural signature
+// — six regions of items with recursively nested description parlists,
+// people with profiles, open and closed auctions with bidders — which is
+// what the B1–B10 containment joins of Table 2(c) exercise: deeply nested
+// multi-height descendant sets (parlist/listitem recursion), singleton
+// sets (B1/B3's |A| or |D| = 1) and large flat sets.
+
+// XMarkParams sizes the generated site.
+type XMarkParams struct {
+	// Items across all regions (SF=1 ≈ 21750), People (≈ 25500),
+	// OpenAuctions (≈ 12000), ClosedAuctions (≈ 9750),
+	// Categories (≈ 1000).
+	Items, People, OpenAuctions, ClosedAuctions, Categories int
+	Seed                                                    int64
+}
+
+// XMark returns parameters approximating scale factor sf of the benchmark
+// (sf = 1 matches the paper's setup).
+func XMark(sf float64, seed int64) XMarkParams {
+	n := func(base int) int {
+		v := int(sf * float64(base))
+		if v < 20 {
+			v = 20
+		}
+		return v
+	}
+	return XMarkParams{
+		Items:          n(21750),
+		People:         n(25500),
+		OpenAuctions:   n(12000),
+		ClosedAuctions: n(9750),
+		Categories:     n(1000),
+		Seed:           seed,
+	}
+}
+
+var xmarkRegions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// GenerateXMark builds and encodes the document.
+func GenerateXMark(p XMarkParams) (*xmltree.Document, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	root := &xmltree.Element{Tag: "site"}
+	add := func(parent *xmltree.Element, tag, text string) *xmltree.Element {
+		e := &xmltree.Element{Tag: tag, Text: text, Parent: parent}
+		parent.Children = append(parent.Children, e)
+		return e
+	}
+	// description -> parlist -> listitem -> (text | parlist ...): the
+	// benchmark's recursive structure, nesting with decaying probability.
+	var describe func(parent *xmltree.Element, depth int)
+	describe = func(parent *xmltree.Element, depth int) {
+		desc := add(parent, "description", "")
+		par := add(desc, "parlist", "")
+		items := 1 + rng.Intn(3)
+		for i := 0; i < items; i++ {
+			li := add(par, "listitem", "")
+			if depth < 3 && rng.Float64() < 0.3 {
+				inner := add(li, "parlist", "")
+				inLi := add(inner, "listitem", "")
+				add(inLi, "text", "nested detail")
+			} else {
+				add(li, "text", fmt.Sprintf("detail %d", rng.Intn(1000)))
+			}
+		}
+	}
+
+	regions := add(root, "regions", "")
+	for _, rn := range xmarkRegions {
+		add(regions, rn, "")
+	}
+	regionEls := regions.Children
+	for i := 0; i < p.Items; i++ {
+		region := regionEls[rng.Intn(len(regionEls))]
+		item := add(region, "item", "")
+		add(item, "location", "somewhere")
+		add(item, "name", fmt.Sprintf("item %d", i))
+		add(item, "payment", "cash")
+		describe(item, 0)
+		if rng.Float64() < 0.6 {
+			mailbox := add(item, "mailbox", "")
+			for m := 0; m < 1+rng.Intn(2); m++ {
+				mail := add(mailbox, "mail", "")
+				add(mail, "from", fmt.Sprintf("p%d", rng.Intn(p.People)))
+				add(mail, "date", "01/02/2000")
+			}
+		}
+	}
+
+	people := add(root, "people", "")
+	for i := 0; i < p.People; i++ {
+		person := add(people, "person", "")
+		add(person, "name", fmt.Sprintf("Person %d", i))
+		add(person, "emailaddress", fmt.Sprintf("mailto:p%d@site", i))
+		if rng.Float64() < 0.7 {
+			addr := add(person, "address", "")
+			add(addr, "street", fmt.Sprintf("%d Main St", i))
+			add(addr, "city", fmt.Sprintf("City %d", rng.Intn(300)))
+			add(addr, "country", "X")
+		}
+		if rng.Float64() < 0.5 {
+			prof := add(person, "profile", "")
+			add(prof, "education", "Graduate School")
+			for k := 0; k < rng.Intn(3); k++ {
+				add(prof, "interest", fmt.Sprintf("category %d", rng.Intn(p.Categories)))
+			}
+		}
+	}
+
+	open := add(root, "open_auctions", "")
+	for i := 0; i < p.OpenAuctions; i++ {
+		oa := add(open, "open_auction", "")
+		add(oa, "initial", fmt.Sprintf("%d.00", 1+rng.Intn(200)))
+		for b := 0; b < rng.Intn(4); b++ {
+			bidder := add(oa, "bidder", "")
+			add(bidder, "date", "02/03/2000")
+			add(bidder, "increase", fmt.Sprintf("%d.00", 1+rng.Intn(30)))
+		}
+		add(oa, "current", fmt.Sprintf("%d.00", 10+rng.Intn(500)))
+		if rng.Float64() < 0.4 {
+			ann := add(oa, "annotation", "")
+			describe(ann, 1)
+		}
+	}
+
+	closed := add(root, "closed_auctions", "")
+	for i := 0; i < p.ClosedAuctions; i++ {
+		ca := add(closed, "closed_auction", "")
+		add(ca, "price", fmt.Sprintf("%d.00", 5+rng.Intn(400)))
+		add(ca, "date", "03/04/2000")
+		add(ca, "quantity", "1")
+		if rng.Float64() < 0.35 {
+			ann := add(ca, "annotation", "")
+			describe(ann, 1)
+		}
+	}
+
+	cats := add(root, "categories", "")
+	for i := 0; i < p.Categories; i++ {
+		cat := add(cats, "category", "")
+		add(cat, "name", fmt.Sprintf("category %d", i))
+		describe(cat, 1)
+	}
+	return xmltree.Encode(root)
+}
+
+// XMarkQueries returns the ten joins mirroring Table 2(c)'s mix:
+// singleton sides (B1, B3), nested multi-height descendant sets
+// (parlist/listitem/text recursion), and large flat pairs.
+func XMarkQueries() []Query {
+	return []Query{
+		{ID: "B1", AncTag: "people", DescTag: "education", Note: "|A| = 1 container, selective D"},
+		{ID: "B2", AncTag: "item", DescTag: "listitem", Note: "multi-height D via nested parlists"},
+		{ID: "B3", AncTag: "regions", DescTag: "mail", Note: "|A| = 1, medium D"},
+		{ID: "B4", AncTag: "person", DescTag: "city", Note: "large A, ~70% D"},
+		{ID: "B5", AncTag: "category", DescTag: "text", Note: "small A, nested D"},
+		{ID: "B6", AncTag: "closed_auction", DescTag: "parlist", Note: "medium A, sparse nested D"},
+		{ID: "B7", AncTag: "closed_auction", DescTag: "price", Note: "1:1 flat pair"},
+		{ID: "B8", AncTag: "item", DescTag: "text", Note: "large A, deep multi-height D"},
+		{ID: "B9", AncTag: "open_auction", DescTag: "increase", Note: "medium A, bidder D"},
+		{ID: "B10", AncTag: "listitem", DescTag: "text", Note: "multi-height A and D (recursion)"},
+	}
+}

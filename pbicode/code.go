@@ -1,0 +1,294 @@
+// Package pbicode implements the PBiTree coding scheme for tree-structured
+// data from "PBiTree Coding and Efficient Processing of Containment Joins"
+// (Wang, Jiang, Lu, Yu — ICDE 2003).
+//
+// A PBiTree is a perfect binary tree whose nodes are numbered by an in-order
+// traversal starting at 1. A single integer code per node encodes its
+// height, its level, every one of its ancestors, and converts in constant
+// time to the classic region code (Start, End) and to a prefix (Dewey-like)
+// code. An arbitrary data tree is embedded into a PBiTree by the
+// binarization algorithm in tree.go, after which the containment
+// (ancestor-descendant) relationship between any two elements can be decided
+// from their codes alone.
+//
+// All operations are pure integer arithmetic (shifts, masks, adds) on
+// uint64 codes; a PBiTree of height H has the code space [1, 2^H-1], so
+// heights up to 63 are supported.
+package pbicode
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Code is a PBiTree code: the in-order number of a node of a perfect binary
+// tree, in [1, 2^H-1] for a tree of height H. The zero value is not a valid
+// code; it is used as a sentinel meaning "no node".
+type Code uint64
+
+// MaxHeight is the largest supported PBiTree height. A tree of height H has
+// 2^H - 1 nodes, so 63 exhausts the uint64 code space.
+const MaxHeight = 63
+
+// Height returns the height of the node identified by c: the position of
+// the rightmost set bit of the code (Property 2 of the paper). Leaves have
+// height 0. Height panics on the invalid code 0.
+func (c Code) Height() int {
+	if c == 0 {
+		panic("pbicode: Height of invalid code 0")
+	}
+	return bits.TrailingZeros64(uint64(c))
+}
+
+// Level returns the level of the node in a PBiTree of height h: the root is
+// at level 0 and leaves at level h-1 (Property 2: level = H - height - 1).
+func (c Code) Level(h int) int { return h - c.Height() - 1 }
+
+// F returns the code of the ancestor of c at height h (Property 1):
+//
+//	F(n, h) = 2^(h+1) * floor(n / 2^(h+1)) + 2^h
+//
+// evaluated with shifts only. h must be in [Height(c), MaxHeight]; calling F
+// with h < Height(c) returns a node that is not an ancestor of c (it is a
+// node inside c's subtree), matching the paper's definition, so callers that
+// need strict ancestors must compare heights first (see IsAncestor).
+func F(c Code, h int) Code {
+	n := uint64(c)
+	return Code((n>>(uint(h)+1))<<(uint(h)+1) | 1<<uint(h))
+}
+
+// Ancestor is shorthand for F(c, h): the ancestor of c at height h.
+func (c Code) Ancestor(h int) Code { return F(c, h) }
+
+// Parent returns the code of the parent of c in the PBiTree, or 0 if c is
+// the root of a tree of height h (i.e. its height is h-1).
+func (c Code) Parent(h int) Code {
+	hc := c.Height()
+	if hc >= h-1 {
+		return 0
+	}
+	return F(c, hc+1)
+}
+
+// IsAncestor reports whether a is a proper ancestor of d in the PBiTree
+// (Lemma 1): a == F(d, Height(a)) with Height(a) > Height(d). A node is not
+// its own ancestor.
+func IsAncestor(a, d Code) bool {
+	ha := a.Height()
+	return ha > d.Height() && F(d, ha) == a
+}
+
+// IsAncestorOrSelf reports whether a is d or a proper ancestor of d.
+func IsAncestorOrSelf(a, d Code) bool {
+	ha := a.Height()
+	return ha >= d.Height() && F(d, ha) == a
+}
+
+// G converts a top-down code (alpha, l) to a PBiTree code in a tree of
+// height h (Lemma 2):
+//
+//	G(alpha, l) = (1 + 2*alpha) * 2^(h-l-1)
+//
+// where l is the level (root = 0) and alpha the zero-based left-to-right
+// position index at that level, alpha in [0, 2^l - 1].
+func G(alpha uint64, l, h int) Code {
+	return Code((1 + 2*alpha) << uint(h-l-1))
+}
+
+// TopDown returns the top-down code (alpha, l) of c in a tree of height h:
+// the level l and the zero-based position alpha of the node at that level.
+// It is the inverse of G.
+func (c Code) TopDown(h int) (alpha uint64, l int) {
+	hc := c.Height()
+	l = h - hc - 1
+	alpha = (uint64(c)>>uint(hc) - 1) / 2
+	return alpha, l
+}
+
+// Region is a region code (Start, End) derived from a PBiTree code
+// (Lemma 3): the closed range of leaf-level in-order positions covered by
+// the node's subtree. Unlike document-offset region codes, these ranges
+// share boundaries along leftmost/rightmost paths (a node and its leftmost
+// descendant have equal Start), so containment tests use inclusive
+// comparisons plus distinctness: node a properly contains node d iff
+// a.Start <= d.Start && d.End <= a.End && a != d. Subtree ranges of
+// distinct nodes are never equal, and are either disjoint or nested.
+type Region struct {
+	Start uint64
+	End   uint64
+}
+
+// Contains reports whether r properly contains s, under PBiTree region
+// semantics: inclusive bounds, r != s.
+func (r Region) Contains(s Region) bool {
+	return r.Start <= s.Start && s.End <= r.End && r != s
+}
+
+// ContainsPoint reports whether the point p lies inside the closed range r.
+// Note that for ancestry tests via d.Start stabbing, callers must also
+// compare heights (an ancestor's Start can equal its descendant's): a is a
+// proper ancestor of d iff a.Region().ContainsPoint(d.Start()) and
+// a.Height() > d.Height().
+func (r Region) ContainsPoint(p uint64) bool {
+	return r.Start <= p && p <= r.End
+}
+
+// Region converts the PBiTree code to its equivalent region code (Lemma 3):
+// (n - (2^h - 1), n + (2^h - 1)) where h = Height(n). The code itself acts
+// as the Start position of region-coded descendants: d is a descendant of a
+// iff a.Start < d (as a number) < a.End.
+func (c Code) Region() Region {
+	span := uint64(1)<<uint(c.Height()) - 1
+	return Region{Start: uint64(c) - span, End: uint64(c) + span}
+}
+
+// Start returns the Start component of the region code of c.
+func (c Code) Start() uint64 { return uint64(c) - (1<<uint(c.Height()) - 1) }
+
+// End returns the End component of the region code of c.
+func (c Code) End() uint64 { return uint64(c) + (1<<uint(c.Height()) - 1) }
+
+// Prefix returns the paper's literal prefix code of c (Lemma 4): the value
+// n >> h, h = Height(n). Note that as a bare integer this value drops the
+// leading-zero steps of the root path; the path of c is the Level(c)-bit
+// representation of n >> (h+1) (see PrefixString), and prefix-based ancestry
+// tests must therefore be height-aware (see IsPrefixAncestor).
+func (c Code) Prefix() uint64 { return uint64(c) >> uint(c.Height()) }
+
+// PrefixString renders the root path of c in a PBiTree of height h as a
+// string of '0'/'1' steps from the root ("" for the root itself): '0' =
+// left child, '1' = right child. The path is the Level-bit binary
+// representation of n >> (Height(n)+1), including leading zeros.
+func (c Code) PrefixString(h int) string {
+	l := c.Level(h)
+	alpha := uint64(c) >> uint(c.Height()+1)
+	var b strings.Builder
+	b.Grow(l)
+	for i := l - 1; i >= 0; i-- {
+		if alpha>>uint(i)&1 == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// IsPrefixAncestor reports whether a is a proper ancestor of d by comparing
+// root paths (Lemma 4): a's path must be a strict prefix of d's. Because a
+// node at height h has path n >> (h+1) (of Level(n) bits), the test reduces
+// to Height(a) > Height(d) and equal leading bits above height(a).
+func IsPrefixAncestor(a, d Code) bool {
+	ha := a.Height()
+	if ha <= d.Height() {
+		return false
+	}
+	return uint64(d)>>uint(ha+1) == uint64(a)>>uint(ha+1)
+}
+
+// FromRegion converts a region code back to the PBiTree code it came from.
+// This is only valid for regions produced by Code.Region.
+func FromRegion(r Region) Code { return Code((r.Start + r.End) / 2) }
+
+// LeftChild returns the left child of c in the PBiTree, or 0 when c is a
+// leaf (height 0).
+func (c Code) LeftChild() Code {
+	h := c.Height()
+	if h == 0 {
+		return 0
+	}
+	return c - 1<<uint(h-1)
+}
+
+// RightChild returns the right child of c in the PBiTree, or 0 when c is a
+// leaf (height 0).
+func (c Code) RightChild() Code {
+	h := c.Height()
+	if h == 0 {
+		return 0
+	}
+	return c + 1<<uint(h-1)
+}
+
+// Root returns the code of the root of a PBiTree of height h.
+func Root(h int) Code { return Code(1) << uint(h-1) }
+
+// SiblingDistance returns the number of same-level positions separating a
+// and b, which must be at the same PBiTree height (error otherwise).
+// Because the binarization places all children of a data-tree node
+// contiguously on one level (§2.2's heuristic, chosen to "assist
+// containment and proximity queries"), the distance between two siblings
+// equals their data-tree sibling distance.
+func SiblingDistance(a, b Code) (uint64, error) {
+	ha, hb := a.Height(), b.Height()
+	if ha != hb {
+		return 0, fmt.Errorf("pbicode: codes at heights %d and %d are not level-mates", ha, hb)
+	}
+	pa := uint64(a) >> uint(ha+1)
+	pb := uint64(b) >> uint(hb+1)
+	if pa > pb {
+		return pa - pb, nil
+	}
+	return pb - pa, nil
+}
+
+// LCA returns the lowest common ancestor-or-self of a and b: the deepest
+// node whose subtree contains both. The partitioning joins cut the tree
+// below the LCA of their inputs so that skewed embeddings (documents whose
+// elements concentrate in one subtree) still split evenly.
+func LCA(a, b Code) Code {
+	if a == b {
+		return a
+	}
+	// The LCA sits at the height of the highest differing bit: all bits
+	// above it agree, and the LCA is that shared prefix with bit h set.
+	h := bits.Len64(uint64(a)^uint64(b)) - 1
+	if ha := a.Height(); ha > h {
+		h = ha // a is itself an ancestor of b
+	}
+	if hb := b.Height(); hb > h {
+		h = hb
+	}
+	return F(a, h)
+}
+
+// NumNodes returns the number of nodes of a PBiTree of height h, 2^h - 1.
+func NumNodes(h int) uint64 { return 1<<uint(h) - 1 }
+
+// SubtreeRange returns the inclusive range [lo, hi] of level-l position
+// indices (alphas) covered by the subtree of c, in a tree of height h.
+// l must be >= Level(c); when l == Level(c) the range is the single index
+// of c itself. This is the partition range used by the vertical
+// partitioning join.
+func (c Code) SubtreeRange(l, h int) (lo, hi uint64) {
+	alpha, lc := c.TopDown(h)
+	span := uint(l - lc)
+	lo = alpha << span
+	hi = lo + (1<<span - 1)
+	return lo, hi
+}
+
+// String renders the code as its decimal value plus height, e.g. "18(h1)".
+func (c Code) String() string {
+	if c == 0 {
+		return "<nil>"
+	}
+	return strconv.FormatUint(uint64(c), 10) + "(h" + strconv.Itoa(c.Height()) + ")"
+}
+
+// Validate reports an error when c is not a valid code for a PBiTree of
+// height h.
+func (c Code) Validate(h int) error {
+	if c == 0 {
+		return fmt.Errorf("pbicode: code 0 is invalid")
+	}
+	if h < 1 || h > MaxHeight {
+		return fmt.Errorf("pbicode: tree height %d out of range [1,%d]", h, MaxHeight)
+	}
+	if uint64(c) > NumNodes(h) {
+		return fmt.Errorf("pbicode: code %d exceeds code space [1,%d] of height-%d tree", c, NumNodes(h), h)
+	}
+	return nil
+}

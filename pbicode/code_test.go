@@ -1,0 +1,389 @@
+package pbicode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperExample checks every number used in the paper's running example
+// (Figure 2, a PBiTree of height 5, node 18).
+func TestPaperExample(t *testing.T) {
+	const H = 5
+	n := Code(18)
+	if got := n.Height(); got != 1 {
+		t.Errorf("Height(18) = %d, want 1", got)
+	}
+	if got := n.Level(H); got != 3 {
+		t.Errorf("Level(18) = %d, want 3", got)
+	}
+	// Ancestors at heights 2, 3, 4 are 20, 24, 16.
+	for _, tc := range []struct {
+		h    int
+		want Code
+	}{{2, 20}, {3, 24}, {4, 16}} {
+		if got := F(n, tc.h); got != tc.want {
+			t.Errorf("F(18, %d) = %d, want %d", tc.h, got, tc.want)
+		}
+	}
+	// Top-down code of 18 is (alpha=4, l=3) and G(4, 3) = 18.
+	alpha, l := n.TopDown(H)
+	if alpha != 4 || l != 3 {
+		t.Errorf("TopDown(18) = (%d, %d), want (4, 3)", alpha, l)
+	}
+	if got := G(4, 3, H); got != 18 {
+		t.Errorf("G(4, 3, 5) = %d, want 18", got)
+	}
+	if got := Root(H); got != 16 {
+		t.Errorf("Root(5) = %d, want 16", got)
+	}
+}
+
+func TestRegionLemma3(t *testing.T) {
+	// Lemma 3: region of n is (n - (2^h - 1), n + (2^h - 1)).
+	for _, tc := range []struct {
+		c          Code
+		start, end uint64
+	}{
+		{18, 17, 19}, // height 1
+		{16, 1, 31},  // root of height-5 tree, height 4
+		{20, 17, 23}, // height 2
+		{1, 1, 1},    // leaf
+		{24, 17, 31}, // height 3
+	} {
+		r := tc.c.Region()
+		if r.Start != tc.start || r.End != tc.end {
+			t.Errorf("Region(%d) = (%d,%d), want (%d,%d)", tc.c, r.Start, r.End, tc.start, tc.end)
+		}
+		if FromRegion(r) != tc.c {
+			t.Errorf("FromRegion(Region(%d)) = %d", tc.c, FromRegion(r))
+		}
+		if tc.c.Start() != tc.start || tc.c.End() != tc.end {
+			t.Errorf("Start/End(%d) = (%d,%d), want (%d,%d)", tc.c, tc.c.Start(), tc.c.End(), tc.start, tc.end)
+		}
+	}
+}
+
+// enumerate all proper ancestor pairs of a PBiTree of height h by explicit
+// tree construction, as an oracle.
+func ancestorOracle(h int) map[[2]Code]bool {
+	oracle := make(map[[2]Code]bool)
+	var walk func(c Code, ancs []Code)
+	walk = func(c Code, ancs []Code) {
+		for _, a := range ancs {
+			oracle[[2]Code{a, c}] = true
+		}
+		if c.Height() == 0 {
+			return
+		}
+		ancs = append(ancs, c)
+		walk(c.LeftChild(), ancs)
+		walk(c.RightChild(), ancs)
+	}
+	walk(Root(h), nil)
+	return oracle
+}
+
+func TestIsAncestorExhaustive(t *testing.T) {
+	const H = 6
+	oracle := ancestorOracle(H)
+	n := NumNodes(H)
+	for a := Code(1); uint64(a) <= n; a++ {
+		for d := Code(1); uint64(d) <= n; d++ {
+			want := oracle[[2]Code{a, d}]
+			if got := IsAncestor(a, d); got != want {
+				t.Fatalf("IsAncestor(%d, %d) = %v, want %v", a, d, got, want)
+			}
+			if got := a.Region().Contains(d.Region()); got != want {
+				t.Fatalf("region Contains(%d, %d) = %v, want %v", a, d, got, want)
+			}
+			if got := IsPrefixAncestor(a, d); got != want {
+				t.Fatalf("IsPrefixAncestor(%d, %d) = %v, want %v", a, d, got, want)
+			}
+			if got := IsAncestorOrSelf(a, d); got != (want || a == d) {
+				t.Fatalf("IsAncestorOrSelf(%d, %d) = %v", a, d, got)
+			}
+		}
+	}
+}
+
+func TestParentChildren(t *testing.T) {
+	const H = 8
+	n := NumNodes(H)
+	for c := Code(1); uint64(c) <= n; c++ {
+		l, r := c.LeftChild(), c.RightChild()
+		if c.Height() == 0 {
+			if l != 0 || r != 0 {
+				t.Fatalf("leaf %d has children %d, %d", c, l, r)
+			}
+			continue
+		}
+		if l.Parent(H) != c || r.Parent(H) != c {
+			t.Fatalf("Parent of children of %d: %d, %d", c, l.Parent(H), r.Parent(H))
+		}
+		if !IsAncestor(c, l) || !IsAncestor(c, r) {
+			t.Fatalf("%d not ancestor of its children", c)
+		}
+		if l.Height() != c.Height()-1 || r.Height() != c.Height()-1 {
+			t.Fatalf("child heights of %d wrong", c)
+		}
+	}
+	if Root(H).Parent(H) != 0 {
+		t.Fatal("root has a parent")
+	}
+}
+
+func TestFEqualsParentChain(t *testing.T) {
+	const H = 10
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		c := Code(rng.Uint64()%NumNodes(H) + 1)
+		// Walk the parent chain and compare each ancestor against F.
+		cur := c
+		for {
+			p := cur.Parent(H)
+			if p == 0 {
+				break
+			}
+			if got := F(c, p.Height()); got != p {
+				t.Fatalf("F(%d, %d) = %d, want parent-chain %d", c, p.Height(), got, p)
+			}
+			cur = p
+		}
+		// F at the node's own height returns the node itself.
+		if F(c, c.Height()) != c {
+			t.Fatalf("F(%d, own height) != self", c)
+		}
+	}
+}
+
+func TestTopDownGRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := 1 + rng.Intn(40)
+		c := Code(rng.Uint64()%NumNodes(h) + 1)
+		alpha, l := c.TopDown(h)
+		if l != c.Level(h) {
+			return false
+		}
+		if alpha > NumNodes(l+1)/2 && l > 0 { // alpha in [0, 2^l - 1]
+			return false
+		}
+		return G(alpha, l, h) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAncestryEquivalencesQuick(t *testing.T) {
+	// Property: Lemma 1, Lemma 3 and Lemma 4 decide ancestry identically.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := 2 + rng.Intn(40)
+		a := Code(rng.Uint64()%NumNodes(h) + 1)
+		d := Code(rng.Uint64()%NumNodes(h) + 1)
+		byLemma1 := IsAncestor(a, d)
+		byRegion := a.Region().Contains(d.Region())
+		byPrefix := IsPrefixAncestor(a, d)
+		byPoint := a.Height() > d.Height() && a.Region().ContainsPoint(d.Start())
+		return byLemma1 == byRegion && byRegion == byPrefix && byPrefix == byPoint
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	const H = 5
+	for _, tc := range []struct {
+		c    Code
+		want string
+	}{
+		{16, ""},    // root
+		{8, "0"},    // left child of root
+		{24, "1"},   // right child of root
+		{20, "10"},  // root -> right(24) -> left(20)
+		{18, "100"}, // root -> right(24) -> left(20) -> left(18)
+		{4, "00"},
+		{1, "0000"},
+		{31, "1111"},
+	} {
+		if got := tc.c.PrefixString(H); got != tc.want {
+			t.Errorf("PrefixString(%d) = %q, want %q", tc.c, got, tc.want)
+		}
+	}
+	// A node's prefix string must be a strict prefix of its descendants'.
+	oracle := ancestorOracle(H)
+	for pair := range oracle {
+		pa, pd := pair[0].PrefixString(H), pair[1].PrefixString(H)
+		if len(pa) >= len(pd) || pd[:len(pa)] != pa {
+			t.Errorf("prefix %q of %d not a strict prefix of %q of %d", pa, pair[0], pd, pair[1])
+		}
+	}
+}
+
+func TestSubtreeRange(t *testing.T) {
+	const H = 7
+	n := NumNodes(H)
+	for c := Code(1); uint64(c) <= n; c++ {
+		_, lc := c.TopDown(H)
+		for l := lc; l < H; l++ {
+			lo, hi := c.SubtreeRange(l, H)
+			// Oracle: collect level-l alphas of all descendants-or-self at level l.
+			var wantLo, wantHi uint64
+			first := true
+			for d := Code(1); uint64(d) <= n; d++ {
+				if d.Level(H) != l || !IsAncestorOrSelf(c, d) {
+					continue
+				}
+				alpha, _ := d.TopDown(H)
+				if first || alpha < wantLo {
+					wantLo = alpha
+				}
+				if first || alpha > wantHi {
+					wantHi = alpha
+				}
+				first = false
+			}
+			if first {
+				t.Fatalf("no level-%d node under %d", l, c)
+			}
+			if lo != wantLo || hi != wantHi {
+				t.Fatalf("SubtreeRange(%d, l=%d) = [%d,%d], want [%d,%d]", c, l, lo, hi, wantLo, wantHi)
+			}
+		}
+	}
+}
+
+func TestSiblingDistance(t *testing.T) {
+	// Children of one node binarize contiguously: distances match sibling
+	// offsets.
+	root := &Node{Label: "r"}
+	for i := 0; i < 5; i++ {
+		root.AddChild("c")
+	}
+	tr, err := Binarize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range root.Children {
+		for j, d := range root.Children {
+			got, err := SiblingDistance(c.Code, d.Code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uint64(i - j)
+			if j > i {
+				want = uint64(j - i)
+			}
+			if got != want {
+				t.Fatalf("distance(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	// Different heights error.
+	if _, err := SiblingDistance(root.Code, root.Children[0].Code); err == nil {
+		t.Fatal("cross-height distance accepted")
+	}
+	_ = tr
+}
+
+func TestLCAExhaustive(t *testing.T) {
+	// Oracle: walk both parent chains to the root collecting ancestors.
+	const H = 7
+	n := NumNodes(H)
+	ancSet := func(c Code) map[Code]bool {
+		set := map[Code]bool{c: true}
+		for cur := c; ; {
+			p := cur.Parent(H)
+			if p == 0 {
+				break
+			}
+			set[p] = true
+			cur = p
+		}
+		return set
+	}
+	for a := Code(1); uint64(a) <= n; a++ {
+		ancA := ancSet(a)
+		for b := Code(1); uint64(b) <= n; b++ {
+			// The oracle LCA: deepest ancestor-or-self of b also in ancA.
+			var want Code
+			bestHeight := H
+			for c := range ancSet(b) {
+				if ancA[c] && c.Height() < bestHeight {
+					want, bestHeight = c, c.Height()
+				}
+			}
+			if got := LCA(a, b); got != want {
+				t.Fatalf("LCA(%d, %d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestLCAQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := 2 + rng.Intn(50)
+		a := Code(rng.Uint64()%NumNodes(h) + 1)
+		b := Code(rng.Uint64()%NumNodes(h) + 1)
+		l := LCA(a, b)
+		// The LCA contains both and is symmetric.
+		if !IsAncestorOrSelf(l, a) || !IsAncestorOrSelf(l, b) {
+			return false
+		}
+		if LCA(b, a) != l {
+			return false
+		}
+		// No child of the LCA contains both.
+		if l.Height() > 0 {
+			for _, c := range []Code{l.LeftChild(), l.RightChild()} {
+				if IsAncestorOrSelf(c, a) && IsAncestorOrSelf(c, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Code(0).Validate(5); err == nil {
+		t.Error("Validate(0) passed")
+	}
+	if err := Code(31).Validate(5); err != nil {
+		t.Errorf("Validate(31, h=5): %v", err)
+	}
+	if err := Code(32).Validate(5); err == nil {
+		t.Error("Validate(32, h=5) passed")
+	}
+	if err := Code(1).Validate(0); err == nil {
+		t.Error("Validate(h=0) passed")
+	}
+	if err := Code(1).Validate(64); err == nil {
+		t.Error("Validate(h=64) passed")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Code(18).String(); got != "18(h1)" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Code(0).String(); got != "<nil>" {
+		t.Errorf("String(0) = %q", got)
+	}
+}
+
+func TestHeightPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Height(0) did not panic")
+		}
+	}()
+	Code(0).Height()
+}

@@ -1,0 +1,73 @@
+package pbicode_test
+
+import (
+	"fmt"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// Example reproduces the paper's running example: the height-5 PBiTree of
+// Figure 2 and the node with code 18.
+func Example() {
+	n := pbicode.Code(18)
+	fmt.Println("height:", n.Height())
+	fmt.Println("ancestor at height 2:", pbicode.F(n, 2))
+	fmt.Println("ancestor at height 3:", pbicode.F(n, 3))
+	fmt.Println("ancestor at height 4:", pbicode.F(n, 4))
+	fmt.Println("is 24 an ancestor of 18:", pbicode.IsAncestor(24, 18))
+	fmt.Println("is 20 an ancestor of 24:", pbicode.IsAncestor(20, 24))
+	r := n.Region()
+	fmt.Printf("region code: (%d, %d)\n", r.Start, r.End)
+	// Output:
+	// height: 1
+	// ancestor at height 2: 20(h2)
+	// ancestor at height 3: 24(h3)
+	// ancestor at height 4: 16(h4)
+	// is 24 an ancestor of 18: true
+	// is 20 an ancestor of 24: false
+	// region code: (17, 19)
+}
+
+// ExampleBinarize embeds the paper's Figure 1(b) data tree into a PBiTree
+// (Figure 3): the root gets code 16 and its three children land two levels
+// lower.
+func ExampleBinarize() {
+	root := &pbicode.Node{Label: "contact_info"}
+	for i := 0; i < 3; i++ {
+		root.AddChild("person")
+	}
+	tree, err := pbicode.Binarize(root)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("height:", tree.Height)
+	fmt.Println("root:", root.Code)
+	for _, c := range root.Children {
+		fmt.Println("child:", c.Code)
+	}
+	// The tree is shallower than Figure 3's height-5 PBiTree because this
+	// document has no grandchildren.
+
+	// Output:
+	// height: 3
+	// root: 4(h2)
+	// child: 1(h0)
+	// child: 3(h0)
+	// child: 5(h0)
+}
+
+// ExampleG converts a top-down code to a PBiTree code (Lemma 2): node 18
+// is the fifth node (alpha = 4) on level 3 of a height-5 tree.
+func ExampleG() {
+	fmt.Println(pbicode.G(4, 3, 5))
+	// Output: 18(h1)
+}
+
+// ExampleLCA finds the deepest node containing two others.
+func ExampleLCA() {
+	fmt.Println(pbicode.LCA(18, 22))
+	fmt.Println(pbicode.LCA(18, 2))
+	// Output:
+	// 20(h2)
+	// 16(h4)
+}

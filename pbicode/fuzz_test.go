@@ -1,0 +1,47 @@
+package pbicode
+
+import "testing"
+
+// FuzzCodeRoundtrips checks every identity of section 2 on arbitrary
+// codes: top-down/G, region/FromRegion, F at own height, and the
+// equivalence of the three ancestry tests against a random partner.
+func FuzzCodeRoundtrips(f *testing.F) {
+	f.Add(uint64(18), uint64(20))
+	f.Add(uint64(1), uint64(1))
+	f.Add(uint64(1)<<62, uint64(3))
+	f.Fuzz(func(t *testing.T, x, y uint64) {
+		if x == 0 || y == 0 {
+			return
+		}
+		a, d := Code(x), Code(y)
+		// Smallest tree containing both.
+		h := 1
+		for NumNodes(h) < x || NumNodes(h) < y {
+			h++
+		}
+		alpha, l := a.TopDown(h)
+		if G(alpha, l, h) != a {
+			t.Fatalf("G/TopDown roundtrip broke for %d (h=%d)", x, h)
+		}
+		if FromRegion(a.Region()) != a {
+			t.Fatalf("region roundtrip broke for %d", x)
+		}
+		if F(a, a.Height()) != a {
+			t.Fatal("F at own height is not identity")
+		}
+		byLemma1 := IsAncestor(a, d)
+		if byLemma1 != a.Region().Contains(d.Region()) {
+			t.Fatalf("Lemma1 vs region disagree for (%d, %d)", x, y)
+		}
+		if byLemma1 != IsPrefixAncestor(a, d) {
+			t.Fatalf("Lemma1 vs prefix disagree for (%d, %d)", x, y)
+		}
+		lca := LCA(a, d)
+		if !IsAncestorOrSelf(lca, a) || !IsAncestorOrSelf(lca, d) {
+			t.Fatalf("LCA(%d, %d) = %d does not contain both", x, y, uint64(lca))
+		}
+		if byLemma1 && lca != a {
+			t.Fatal("ancestor is not its own LCA")
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package pbicode
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Node is a node of an arbitrary data tree to be embedded into a PBiTree.
+// Label carries application data (an XML tag, for instance); Code is filled
+// in by Binarize.
+type Node struct {
+	Label    string
+	Children []*Node
+	Code     Code
+}
+
+// AddChild appends a new child with the given label and returns it.
+func (n *Node) AddChild(label string) *Node {
+	c := &Node{Label: label}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// Tree is a data tree together with the height of the PBiTree it has been
+// embedded into.
+type Tree struct {
+	Root *Node
+	// Height is the height H of the enclosing PBiTree; codes live in
+	// [1, 2^H-1]. Zero until Binarize has run.
+	Height int
+}
+
+// topDown is the (l, alpha) top-down code assigned to a node during the
+// first binarization pass (Lemma 2).
+type topDown struct {
+	node  *Node
+	alpha uint64
+	l     int
+}
+
+// Binarize embeds the data tree rooted at root into a PBiTree and assigns
+// every node its PBiTree code (Algorithm 1, BinarizeTree). The heuristic
+// places all children of a node contiguously k levels below it, where
+// k = ceil(log2(number of children)) (k = 1 for a single child), which keeps
+// siblings at the same PBiTree level.
+//
+// The algorithm runs in two passes: the first assigns top-down (l, alpha)
+// codes and finds the deepest level used, which fixes the PBiTree height
+// H = maxLevel + 1; the second converts top-down codes to PBiTree codes via
+// G (Lemma 2). It returns an error when the required height exceeds
+// MaxHeight.
+func Binarize(root *Node) (*Tree, error) { return BinarizeWithHeadroom(root, 0) }
+
+// BinarizeWithHeadroom is Binarize with extra sibling-slot headroom: every
+// node's children descend headroom additional levels, multiplying each
+// sibling range by 2^headroom. The spare virtual slots absorb future
+// insertions without renumbering — the PBiTree analogue of the durable
+// numbering schemes the paper's related work discusses — at the price of a
+// taller tree (more code bits).
+func BinarizeWithHeadroom(root *Node, headroom int) (*Tree, error) {
+	if root == nil {
+		return nil, fmt.Errorf("pbicode: Binarize of nil tree")
+	}
+	if headroom < 0 || headroom > 16 {
+		return nil, fmt.Errorf("pbicode: headroom %d out of [0,16]", headroom)
+	}
+	// Pass 1: assign (l, alpha) top-down, iteratively to survive deep trees.
+	maxLevel := 0
+	all := make([]topDown, 0, 64)
+	stack := []topDown{{node: root, alpha: 0, l: 0}}
+	for len(stack) > 0 {
+		td := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		all = append(all, td)
+		if td.l > maxLevel {
+			maxLevel = td.l
+		}
+		n := len(td.node.Children)
+		if n == 0 {
+			continue
+		}
+		k := ceilLog2(n) + headroom
+		if td.l+k > MaxHeight-1 {
+			return nil, fmt.Errorf("pbicode: tree requires PBiTree height > %d", MaxHeight)
+		}
+		for i, child := range td.node.Children {
+			stack = append(stack, topDown{
+				node:  child,
+				alpha: td.alpha<<uint(k) + uint64(i),
+				l:     td.l + k,
+			})
+		}
+	}
+	h := maxLevel + 1
+	// Pass 2: convert top-down codes to PBiTree codes.
+	for _, td := range all {
+		td.node.Code = G(td.alpha, td.l, h)
+	}
+	return &Tree{Root: root, Height: h}, nil
+}
+
+// ceilLog2 returns ceil(log2(n)) for n >= 1, with the convention that a
+// single child still descends one level (ceilLog2(1) == 1): a node cannot
+// share its own PBiTree slot with its child.
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Walk calls fn for every node of the subtree rooted at n in document
+// (pre-) order. It stops early when fn returns false.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !fn(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Nodes returns all nodes of the tree in document order.
+func (t *Tree) Nodes() []*Node {
+	var out []*Node
+	t.Root.Walk(func(n *Node) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// Codes returns the PBiTree codes of all nodes in document order.
+func (t *Tree) Codes() []Code {
+	nodes := t.Nodes()
+	out := make([]Code, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Code
+	}
+	return out
+}
+
+// Select returns the codes of all nodes whose label equals label, in
+// document order. It is the simplest way to form the input sets of a
+// containment join from an encoded tree.
+func (t *Tree) Select(label string) []Code {
+	var out []Code
+	t.Root.Walk(func(n *Node) bool {
+		if n.Label == label {
+			out = append(out, n.Code)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,281 @@
+package pbicode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// figure1Tree builds the data tree of the paper's Figure 1(b): a root with
+// three children, the first child having three children of its own.
+func figure1Tree() *Node {
+	root := &Node{Label: "contact_info"} // &1
+	e2 := root.AddChild("person")        // &2
+	root.AddChild("person")              // &3
+	root.AddChild("person")              // &4
+	e2.AddChild("id")                    // children of &2
+	e2.AddChild("name")
+	e2.AddChild("email")
+	return root
+}
+
+func TestBinarizePaperFigure3(t *testing.T) {
+	// Figure 3 of the paper embeds Figure 1(b)'s tree in a height-5 PBiTree:
+	// the root gets top-down code (0,0) -> code 16, and its three children
+	// are placed two levels lower (k = 2), at (0,2), (1,2), (2,2) ->
+	// codes G(0,2)=2? No: G(alpha,2,5) = (1+2a)*2^2 = 4, 12, 20.
+	root := figure1Tree()
+	tr, err := Binarize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height != 5 {
+		t.Fatalf("Height = %d, want 5", tr.Height)
+	}
+	if root.Code != 16 {
+		t.Errorf("root code = %d, want 16", root.Code)
+	}
+	wantChildren := []Code{4, 12, 20} // G(0,2,5), G(1,2,5), G(2,2,5)
+	for i, c := range root.Children {
+		if c.Code != wantChildren[i] {
+			t.Errorf("child %d code = %d, want %d", i, c.Code, wantChildren[i])
+		}
+	}
+	// Grandchildren of the root via &2 (code 4, level 2) go k=2 levels
+	// lower, to level 4 (the leaf level), alphas 0, 1, 2 -> codes 1, 3, 5.
+	// The paper's Figure 3 shows "&9 (fervvac)" — the first grandchild —
+	// with code 1.
+	wantGrand := []Code{1, 3, 5}
+	for i, c := range root.Children[0].Children {
+		if c.Code != wantGrand[i] {
+			t.Errorf("grandchild %d code = %d, want %d", i, c.Code, wantGrand[i])
+		}
+	}
+}
+
+func TestBinarizeSingleNode(t *testing.T) {
+	tr, err := Binarize(&Node{Label: "root"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height != 1 || tr.Root.Code != 1 {
+		t.Fatalf("single node: height=%d code=%d, want 1, 1", tr.Height, tr.Root.Code)
+	}
+}
+
+func TestBinarizeNil(t *testing.T) {
+	if _, err := Binarize(nil); err == nil {
+		t.Fatal("Binarize(nil) succeeded")
+	}
+}
+
+func TestBinarizeSingleChildChain(t *testing.T) {
+	// A chain of single children: each child must still descend one level.
+	root := &Node{Label: "0"}
+	cur := root
+	const depth = 20
+	for i := 0; i < depth; i++ {
+		cur = cur.AddChild("c")
+	}
+	tr, err := Binarize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height != depth+1 {
+		t.Fatalf("Height = %d, want %d", tr.Height, depth+1)
+	}
+	// Every node must be an ancestor of all nodes below it.
+	nodes := tr.Nodes()
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if !IsAncestor(nodes[i].Code, nodes[j].Code) {
+				t.Fatalf("chain node %d not ancestor of %d", i, j)
+			}
+		}
+	}
+}
+
+func TestBinarizeTooDeep(t *testing.T) {
+	root := &Node{}
+	cur := root
+	for i := 0; i < MaxHeight; i++ {
+		cur = cur.AddChild("c")
+	}
+	if _, err := Binarize(root); err == nil {
+		t.Fatal("Binarize of over-deep tree succeeded")
+	}
+}
+
+// randomTree builds a random data tree with n nodes and maximum fanout f.
+func randomTree(rng *rand.Rand, n, f int) *Node {
+	root := &Node{Label: "n0"}
+	nodes := []*Node{root}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		if len(p.Children) >= f {
+			continue
+		}
+		c := p.AddChild("n")
+		nodes = append(nodes, c)
+	}
+	return root
+}
+
+// TestBinarizePreservesAncestry is the central correctness property of the
+// embedding (the injective function h of section 2.2): ancestry in the data
+// tree must hold iff ancestry of the codes holds, and codes must be unique.
+func TestBinarizePreservesAncestry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := randomTree(rng, 2+rng.Intn(60), 1+rng.Intn(6))
+		tr, err := Binarize(root)
+		if err != nil {
+			return false
+		}
+		// Collect ancestry oracle by walking with the ancestor path.
+		type rel struct{ anc, desc Code }
+		oracle := make(map[rel]bool)
+		var codes []Code
+		var walk func(n *Node, path []Code)
+		walk = func(n *Node, path []Code) {
+			for _, a := range path {
+				oracle[rel{a, n.Code}] = true
+			}
+			codes = append(codes, n.Code)
+			path = append(path, n.Code)
+			for _, c := range n.Children {
+				walk(c, path)
+			}
+		}
+		walk(root, nil)
+		// Injectivity.
+		seen := make(map[Code]bool)
+		for _, c := range codes {
+			if c == 0 || seen[c] || c.Validate(tr.Height) != nil {
+				return false
+			}
+			seen[c] = true
+		}
+		// Ancestry equivalence over all pairs.
+		for _, a := range codes {
+			for _, d := range codes {
+				if IsAncestor(a, d) != oracle[rel{a, d}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBinarizeSiblingsSameLevel checks the paper's heuristic: all children
+// of a node land contiguously on the same PBiTree level, in order.
+func TestBinarizeSiblingsSameLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		root := randomTree(rng, 80, 8)
+		tr, err := Binarize(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Root.Walk(func(n *Node) bool {
+			if len(n.Children) == 0 {
+				return true
+			}
+			k := ceilLog2(len(n.Children))
+			wantLevel := n.Code.Level(tr.Height) + k
+			var prevAlpha uint64
+			for i, c := range n.Children {
+				alpha, l := c.Code.TopDown(tr.Height)
+				if l != wantLevel {
+					t.Errorf("child level %d, want %d", l, wantLevel)
+				}
+				if i > 0 && alpha != prevAlpha+1 {
+					t.Errorf("children not contiguous: alpha %d after %d", alpha, prevAlpha)
+				}
+				prevAlpha = alpha
+			}
+			return true
+		})
+	}
+}
+
+func TestBinarizeWithHeadroom(t *testing.T) {
+	build := func() *Node {
+		root := &Node{Label: "r"}
+		for i := 0; i < 4; i++ {
+			c := root.AddChild("c")
+			c.AddChild("g")
+		}
+		return root
+	}
+	tight, err := Binarize(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomy, err := BinarizeWithHeadroom(build(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Headroom adds one level per fanout step: children land deeper.
+	if roomy.Height <= tight.Height {
+		t.Fatalf("heights: tight %d, roomy %d", tight.Height, roomy.Height)
+	}
+	// Ancestry still preserved.
+	roomy.Root.Walk(func(n *Node) bool {
+		for _, c := range n.Children {
+			if !IsAncestor(n.Code, c.Code) {
+				t.Errorf("ancestry broken under headroom")
+			}
+		}
+		return true
+	})
+	// Children of the roomy root sit in an 8-slot range (4 used): their
+	// level is 3 below the root instead of 2.
+	_, l := roomy.Root.Children[0].Code.TopDown(roomy.Height)
+	if l != 3 {
+		t.Fatalf("child level = %d, want 3", l)
+	}
+	if _, err := BinarizeWithHeadroom(build(), -1); err == nil {
+		t.Fatal("negative headroom accepted")
+	}
+	if _, err := BinarizeWithHeadroom(build(), 99); err == nil {
+		t.Fatal("huge headroom accepted")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5}
+	for n, want := range cases {
+		if got := ceilLog2(n); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTreeSelectAndCodes(t *testing.T) {
+	root := figure1Tree()
+	tr, err := Binarize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persons := tr.Select("person")
+	if len(persons) != 3 {
+		t.Fatalf("Select(person) = %v", persons)
+	}
+	if got := tr.Select("nosuch"); len(got) != 0 {
+		t.Fatalf("Select(nosuch) = %v", got)
+	}
+	if len(tr.Codes()) != 7 {
+		t.Fatalf("Codes() len = %d, want 7", len(tr.Codes()))
+	}
+	// Walk early stop.
+	count := 0
+	tr.Root.Walk(func(*Node) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("early-stop walk visited %d", count)
+	}
+}

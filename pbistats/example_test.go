@@ -1,0 +1,23 @@
+package pbistats_test
+
+import (
+	"fmt"
+
+	"github.com/pbitree/pbitree/pbistats"
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+// Example estimates a containment join's cardinality from synopses instead
+// of running it — optimizer-style.
+func Example() {
+	doc, _ := xmltree.ParseString(`<lib>
+	  <shelf><book/><book/><book/></shelf>
+	  <shelf><book/></shelf>
+	  <bin><book/></bin>
+	</lib>`, xmltree.Options{})
+	shelves, _ := pbistats.Build(doc.Codes("shelf"), 2, doc.Height)
+	books, _ := pbistats.Build(doc.Codes("book"), 2, doc.Height)
+	est, _ := shelves.EstimateJoin(books)
+	fmt.Printf("estimated //shelf//book pairs: %.0f\n", est)
+	// Output: estimated //shelf//book pairs: 4
+}

@@ -1,0 +1,201 @@
+// Package pbistats maintains statistics over PBiTree-coded element sets
+// and estimates containment join cardinalities from them — the direction
+// the paper's section 6 sketches: "the regular structure of the PBiTree
+// brings about new possibilities to maintain the statistics of the
+// corresponding data tree, which can in turn be exploited in query
+// processing."
+//
+// A Synopsis buckets elements by (subtree at a chosen level, node height).
+// Because PBiTree heights and subtree spans are arithmetic on the codes,
+// the expected number of descendants one bucket contributes to another is
+// a closed form: a node at height ha covers a fraction 2^(ha-hb) of its
+// enclosing level-l subtree (hb the subtree's height), independent of the
+// descendant's height. Estimates are exact for complete subtrees and
+// uniform fills, and feed the cost-based algorithm selection.
+package pbistats
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// Synopsis summarizes one element multiset.
+type Synopsis struct {
+	level int // bucket level (0 = root: one bucket)
+	h     int // PBiTree height the codes live in
+
+	// below buckets elements at or below the bucket level by
+	// (level-l subtree position, node height).
+	below map[bucketKey]int64
+	// above counts elements above the bucket level exactly by code
+	// (there are at most 2^level - 1 such positions).
+	above map[pbicode.Code]int64
+	total int64
+}
+
+type bucketKey struct {
+	alpha  uint64
+	height int
+}
+
+// New returns an empty synopsis for a PBiTree of height treeHeight,
+// bucketing at the given level. Higher levels are finer (and larger):
+// level 6-10 is typical. level must be in [0, treeHeight-1].
+func New(level, treeHeight int) (*Synopsis, error) {
+	if treeHeight < 1 || treeHeight > pbicode.MaxHeight {
+		return nil, fmt.Errorf("pbistats: tree height %d out of range", treeHeight)
+	}
+	if level < 0 || level >= treeHeight {
+		return nil, fmt.Errorf("pbistats: level %d out of [0, %d)", level, treeHeight)
+	}
+	return &Synopsis{
+		level: level,
+		h:     treeHeight,
+		below: make(map[bucketKey]int64),
+		above: make(map[pbicode.Code]int64),
+	}, nil
+}
+
+// Build constructs a synopsis over codes.
+func Build(codes []pbicode.Code, level, treeHeight int) (*Synopsis, error) {
+	s, err := New(level, treeHeight)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range codes {
+		s.Add(c)
+	}
+	return s, nil
+}
+
+// bucketHeight returns the height of the level-l subtree roots.
+func (s *Synopsis) bucketHeight() int { return s.h - s.level - 1 }
+
+// Add records one element. O(1).
+func (s *Synopsis) Add(c pbicode.Code) {
+	s.total++
+	hc := c.Height()
+	hb := s.bucketHeight()
+	if hc > hb {
+		s.above[c]++
+		return
+	}
+	anc := pbicode.F(c, hb)
+	s.below[bucketKey{alpha: uint64(anc) >> uint(hb+1), height: hc}]++
+}
+
+// Merge folds other (same level and tree height) into s.
+func (s *Synopsis) Merge(other *Synopsis) error {
+	if s.level != other.level || s.h != other.h {
+		return fmt.Errorf("pbistats: merging synopses of different shape")
+	}
+	for k, n := range other.below {
+		s.below[k] += n
+	}
+	for c, n := range other.above {
+		s.above[c] += n
+	}
+	s.total += other.total
+	return nil
+}
+
+// Total returns the number of recorded elements.
+func (s *Synopsis) Total() int64 { return s.total }
+
+// Buckets returns the number of occupied (subtree, height) buckets plus
+// exact above-level entries — the synopsis footprint.
+func (s *Synopsis) Buckets() int { return len(s.below) + len(s.above) }
+
+// Level returns the bucket level.
+func (s *Synopsis) Level() int { return s.level }
+
+// TreeHeight returns the PBiTree height.
+func (s *Synopsis) TreeHeight() int { return s.h }
+
+// EstimateJoin estimates |a ◁ d|: the containment join cardinality with a
+// as ancestors and d as descendants. Both synopses must share level and
+// tree height.
+func (a *Synopsis) EstimateJoin(d *Synopsis) (float64, error) {
+	if a.level != d.level || a.h != d.h {
+		return 0, fmt.Errorf("pbistats: estimating across synopses of different shape")
+	}
+	hb := a.bucketHeight()
+	var est float64
+
+	// Within-bucket pairs (both sides at/below the level): a node at
+	// height ha covers 2^(ha-hb) of its bucket, uniformly in descendant
+	// height.
+	dByAlpha := make(map[uint64][]bucketKey, len(d.below))
+	for k := range d.below {
+		dByAlpha[k.alpha] = append(dByAlpha[k.alpha], k)
+	}
+	for ka, na := range a.below {
+		for _, kd := range dByAlpha[ka.alpha] {
+			if kd.height >= ka.height {
+				continue
+			}
+			frac := pow2(ka.height - hb) // ha <= hb, so <= 1
+			est += float64(na) * float64(d.below[kd]) * frac
+		}
+	}
+
+	// Above-level ancestors cover whole buckets: every below-level
+	// descendant in their subtree range qualifies. Prefix sums over the
+	// occupied d alphas make range totals cheap.
+	if len(a.above) > 0 {
+		alphas := make([]uint64, 0, len(dByAlpha))
+		for alpha := range dByAlpha {
+			alphas = append(alphas, alpha)
+		}
+		sort.Slice(alphas, func(i, j int) bool { return alphas[i] < alphas[j] })
+		prefix := make([]int64, len(alphas)+1)
+		for i, alpha := range alphas {
+			var n int64
+			for _, k := range dByAlpha[alpha] {
+				n += d.below[k]
+			}
+			prefix[i+1] = prefix[i] + n
+		}
+		rangeSum := func(lo, hi uint64) int64 {
+			i := sort.Search(len(alphas), func(i int) bool { return alphas[i] >= lo })
+			j := sort.Search(len(alphas), func(i int) bool { return alphas[i] > hi })
+			return prefix[j] - prefix[i]
+		}
+		for ac, na := range a.above {
+			lo, hi := ac.SubtreeRange(a.level, a.h)
+			est += float64(na) * float64(rangeSum(lo, hi))
+			// Above-level descendants under an above-level ancestor:
+			// exact, both sets are small.
+			for dc, nd := range d.above {
+				if pbicode.IsAncestor(ac, dc) {
+					est += float64(na) * float64(nd)
+				}
+			}
+		}
+	}
+	// Below-level ancestors cannot contain above-level descendants
+	// (their heights are no larger), so no fourth term exists.
+	return est, nil
+}
+
+// EstimateSelectivity estimates the paper's selectivity notion: average
+// matched descendants per ancestor element.
+func (a *Synopsis) EstimateSelectivity(d *Synopsis) (float64, error) {
+	if a.total == 0 {
+		return 0, nil
+	}
+	j, err := a.EstimateJoin(d)
+	if err != nil {
+		return 0, err
+	}
+	return j / float64(a.total), nil
+}
+
+func pow2(e int) float64 {
+	if e >= 0 {
+		return float64(uint64(1) << uint(e))
+	}
+	return 1 / float64(uint64(1)<<uint(-e))
+}

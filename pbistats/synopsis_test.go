@@ -1,0 +1,181 @@
+package pbistats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+func trueJoin(a, d []pbicode.Code) int64 {
+	var n int64
+	for _, ac := range a {
+		for _, dc := range d {
+			if pbicode.IsAncestor(ac, dc) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func allNodes(h int) []pbicode.Code {
+	out := make([]pbicode.Code, 0, pbicode.NumNodes(h))
+	for c := pbicode.Code(1); uint64(c) <= pbicode.NumNodes(h); c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestEstimateExactOnCompleteTree(t *testing.T) {
+	// A complete PBiTree self-joined: the uniform-fill assumption holds
+	// exactly, so the estimate must match the true count at any level.
+	const h = 8
+	codes := allNodes(h)
+	want := float64(trueJoin(codes, codes))
+	for _, level := range []int{0, 2, 4, 7} {
+		s, err := Build(codes, level, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.EstimateJoin(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("level %d: estimate %.1f, true %.0f", level, got, want)
+		}
+	}
+}
+
+func TestEstimateUniformRandom(t *testing.T) {
+	const h = 14
+	rng := rand.New(rand.NewSource(5))
+	randCodes := func(n int) []pbicode.Code {
+		out := make([]pbicode.Code, n)
+		for i := range out {
+			out[i] = pbicode.Code(rng.Uint64()%pbicode.NumNodes(h) + 1)
+		}
+		return out
+	}
+	a := randCodes(3000)
+	d := randCodes(3000)
+	want := float64(trueJoin(a, d))
+	sa, err := Build(a, 5, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := Build(d, 5, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sa.EstimateJoin(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want > 0 && (got < want/2 || got > want*2) {
+		t.Fatalf("estimate %.1f vs true %.0f (outside 2x)", got, want)
+	}
+	sel, err := sa.EstimateSelectivity(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sel-got/float64(sa.Total())) > 1e-9 {
+		t.Fatalf("selectivity %v inconsistent", sel)
+	}
+}
+
+func TestAboveLevelAncestors(t *testing.T) {
+	// One high ancestor covering the whole tree: estimate is exact.
+	const h = 10
+	root := pbicode.Root(h)
+	var d []pbicode.Code
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		d = append(d, pbicode.Code(rng.Uint64()%pbicode.NumNodes(h-2)+1)) // all strictly below root
+	}
+	sa, err := Build([]pbicode.Code{root, root}, 4, h) // duplicated ancestor
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := Build(d, 4, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sa.EstimateJoin(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(trueJoin([]pbicode.Code{root, root}, d))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("estimate %.1f, true %.0f", got, want)
+	}
+}
+
+func TestAboveAboveExact(t *testing.T) {
+	// Both sets above the bucket level: counted exactly, pairwise.
+	const h = 10
+	root := pbicode.Root(h)
+	child := root.LeftChild()
+	grand := child.LeftChild()
+	sa, _ := Build([]pbicode.Code{root, child}, 6, h)
+	sd, _ := Build([]pbicode.Code{child, grand}, 6, h)
+	got, err := sa.EstimateJoin(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs: (root,child), (root,grand), (child,grand) = 3.
+	if got != 3 {
+		t.Fatalf("estimate %.1f, want 3", got)
+	}
+}
+
+func TestAddMergeTotal(t *testing.T) {
+	const h = 8
+	s1, _ := New(3, h)
+	s2, _ := New(3, h)
+	s1.Add(5)
+	s1.Add(pbicode.Root(h))
+	s2.Add(9)
+	if err := s1.Merge(s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Total() != 3 {
+		t.Fatalf("Total = %d", s1.Total())
+	}
+	if s1.Buckets() == 0 {
+		t.Fatal("no buckets")
+	}
+	if s1.Level() != 3 || s1.TreeHeight() != h {
+		t.Fatal("metadata lost")
+	}
+	bad, _ := New(2, h)
+	if err := s1.Merge(bad); err == nil {
+		t.Fatal("mismatched merge accepted")
+	}
+	if _, err := s1.EstimateJoin(bad); err == nil {
+		t.Fatal("mismatched estimate accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 8); err == nil {
+		t.Fatal("negative level accepted")
+	}
+	if _, err := New(8, 8); err == nil {
+		t.Fatal("level == height accepted")
+	}
+	if _, err := New(0, 0); err == nil {
+		t.Fatal("zero height accepted")
+	}
+	if _, err := New(0, 99); err == nil {
+		t.Fatal("huge height accepted")
+	}
+}
+
+func TestPow2(t *testing.T) {
+	if pow2(3) != 8 || pow2(0) != 1 || pow2(-2) != 0.25 {
+		t.Fatal("pow2 broken")
+	}
+}

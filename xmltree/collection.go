@@ -1,0 +1,147 @@
+package xmltree
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// Collection encodes a corpus of documents in ONE PBiTree by hanging every
+// document under a synthetic root: document subtrees occupy disjoint code
+// ranges, so element codes stay unique corpus-wide and every containment
+// join algorithm works across the whole collection unchanged — the
+// multi-document story falls out of the embedding for free (cross-document
+// pairs cannot arise: no document root is an ancestor of another's
+// elements).
+type Collection struct {
+	doc   *Document // the encoded forest under the synthetic root
+	roots []*Element
+	names []string
+}
+
+// collectionRootTag names the synthetic root; it is not a queryable tag.
+const collectionRootTag = "#collection"
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection { return &Collection{} }
+
+// AddDocument parses one document from r and adds it under the given name.
+// The whole collection is re-encoded (codes of previously added documents
+// change; re-read any derived code sets).
+func (c *Collection) AddDocument(name string, r io.Reader, opts Options) error {
+	doc, err := Parse(r, opts)
+	if err != nil {
+		return err
+	}
+	return c.AddTree(name, doc.Root)
+}
+
+// AddTree adds an already-built element tree as a document.
+func (c *Collection) AddTree(name string, root *Element) error {
+	if root == nil {
+		return fmt.Errorf("xmltree: nil document root")
+	}
+	for _, existing := range c.names {
+		if existing == name {
+			return fmt.Errorf("xmltree: duplicate document name %q", name)
+		}
+	}
+	c.roots = append(c.roots, root)
+	c.names = append(c.names, name)
+	return c.reencode()
+}
+
+func (c *Collection) reencode() error {
+	super := &Element{Tag: collectionRootTag, Children: c.roots}
+	for _, r := range c.roots {
+		r.Parent = super
+	}
+	doc, err := Encode(super)
+	if err != nil {
+		return err
+	}
+	c.doc = doc
+	return nil
+}
+
+// NumDocuments returns the number of documents.
+func (c *Collection) NumDocuments() int { return len(c.roots) }
+
+// Names returns the document names in insertion order.
+func (c *Collection) Names() []string { return append([]string(nil), c.names...) }
+
+// Height returns the PBiTree height of the corpus encoding.
+func (c *Collection) Height() int {
+	if c.doc == nil {
+		return 0
+	}
+	return c.doc.Height
+}
+
+// Codes returns the corpus-wide code set of a tag, in corpus order.
+func (c *Collection) Codes(tag string) []pbicode.Code {
+	if c.doc == nil {
+		return nil
+	}
+	return c.doc.Codes(tag)
+}
+
+// CodesIn returns the code set of a tag within one named document.
+func (c *Collection) CodesIn(name, tag string) ([]pbicode.Code, error) {
+	root, err := c.docRoot(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []pbicode.Code
+	var walk func(e *Element)
+	walk = func(e *Element) {
+		if e.Tag == tag {
+			out = append(out, e.Code)
+		}
+		for _, ch := range e.Children {
+			walk(ch)
+		}
+	}
+	walk(root)
+	return out, nil
+}
+
+// DocumentOf returns the name of the document containing the element with
+// the given code.
+func (c *Collection) DocumentOf(code pbicode.Code) (string, error) {
+	if c.doc == nil {
+		return "", fmt.Errorf("xmltree: empty collection")
+	}
+	for i, root := range c.roots {
+		if pbicode.IsAncestorOrSelf(root.Code, code) {
+			return c.names[i], nil
+		}
+	}
+	return "", fmt.Errorf("xmltree: code %v not in any document", code)
+}
+
+// ByCode returns the element with the given code, or nil.
+func (c *Collection) ByCode(code pbicode.Code) *Element {
+	if c.doc == nil {
+		return nil
+	}
+	e := c.doc.ByCode(code)
+	if e != nil && e.Tag == collectionRootTag {
+		return nil // the synthetic root is not an element of the corpus
+	}
+	return e
+}
+
+// Document returns the underlying encoded forest for advanced use (its
+// root is the synthetic collection root).
+func (c *Collection) Document() *Document { return c.doc }
+
+func (c *Collection) docRoot(name string) (*Element, error) {
+	for i, n := range c.names {
+		if n == name {
+			return c.roots[i], nil
+		}
+	}
+	return nil, fmt.Errorf("xmltree: no document %q", name)
+}

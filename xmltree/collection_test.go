@@ -1,0 +1,130 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+func TestCollectionBasics(t *testing.T) {
+	c := NewCollection()
+	if err := c.AddDocument("d1", strings.NewReader(`<lib><book><fig/></book></lib>`), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDocument("d2", strings.NewReader(`<lib><book/><book><fig/></book></lib>`), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocuments() != 2 || len(c.Names()) != 2 {
+		t.Fatalf("docs = %d", c.NumDocuments())
+	}
+	if c.Height() == 0 {
+		t.Fatal("no height")
+	}
+	books := c.Codes("book")
+	if len(books) != 3 {
+		t.Fatalf("corpus books = %d", len(books))
+	}
+	d2books, err := c.CodesIn("d2", "book")
+	if err != nil || len(d2books) != 2 {
+		t.Fatalf("d2 books = %d, %v", len(d2books), err)
+	}
+	// Codes are unique corpus-wide and document-attributable.
+	seen := map[pbicode.Code]bool{}
+	for _, b := range books {
+		if seen[b] {
+			t.Fatal("duplicate code across documents")
+		}
+		seen[b] = true
+		if _, err := c.DocumentOf(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCollectionJoinStaysWithinDocuments(t *testing.T) {
+	c := NewCollection()
+	if err := c.AddDocument("a", strings.NewReader(`<r><s><f/></s></r>`), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDocument("b", strings.NewReader(`<r><s/><f/></r>`), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// //s//f across the corpus: only document a's pair qualifies; b's f
+	// is a sibling of its s, and cross-document pairs are impossible.
+	pairs := 0
+	for _, s := range c.Codes("s") {
+		for _, f := range c.Codes("f") {
+			if pbicode.IsAncestor(s, f) {
+				pairs++
+				if docS, _ := c.DocumentOf(s); docS != "a" {
+					t.Fatalf("pair from wrong document %s", docS)
+				}
+			}
+		}
+	}
+	if pairs != 1 {
+		t.Fatalf("corpus pairs = %d, want 1", pairs)
+	}
+	// The corpus roots are contained in nothing queryable.
+	if e := c.ByCode(c.Document().Root.Code); e != nil {
+		t.Fatal("synthetic root leaked")
+	}
+}
+
+func TestCollectionErrors(t *testing.T) {
+	c := NewCollection()
+	if err := c.AddTree("x", nil); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if err := c.AddDocument("d", strings.NewReader(`<a/>`), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDocument("d", strings.NewReader(`<a/>`), Options{}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := c.AddDocument("bad", strings.NewReader(`<a>`), Options{}); err == nil {
+		t.Fatal("malformed document accepted")
+	}
+	if _, err := c.CodesIn("nope", "a"); err == nil {
+		t.Fatal("unknown document accepted")
+	}
+	if _, err := c.DocumentOf(pbicode.Code(1 << 60)); err == nil {
+		t.Fatal("foreign code attributed")
+	}
+	empty := NewCollection()
+	if empty.Codes("a") != nil || empty.ByCode(1) != nil || empty.Height() != 0 {
+		t.Fatal("empty collection not empty")
+	}
+	if _, err := empty.DocumentOf(1); err == nil {
+		t.Fatal("empty collection attributed a code")
+	}
+}
+
+func TestCollectionReencodeOnAdd(t *testing.T) {
+	c := NewCollection()
+	if err := c.AddDocument("d1", strings.NewReader(`<a><b/></a>`), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Codes("b")[0]
+	for i := 0; i < 4; i++ {
+		name := string(rune('e' + i))
+		if err := c.AddDocument(name, strings.NewReader(`<a><b/><b/></a>`), Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 9 b's total, all unique, all attributable; the original code may
+	// have changed (documented behavior).
+	bs := c.Codes("b")
+	if len(bs) != 9 {
+		t.Fatalf("b count = %d", len(bs))
+	}
+	_ = before
+	seen := map[pbicode.Code]bool{}
+	for _, b := range bs {
+		if seen[b] {
+			t.Fatal("duplicate")
+		}
+		seen[b] = true
+	}
+}

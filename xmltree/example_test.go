@@ -1,0 +1,39 @@
+package xmltree_test
+
+import (
+	"fmt"
+
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+// Example parses a document and reads the codes the embedding assigned.
+func Example() {
+	doc, _ := xmltree.ParseString(`<contact_info>
+	  <person><id>9</id><name>fervvac</name></person>
+	  <person><id>10</id><name>jianghf</name></person>
+	</contact_info>`, xmltree.Options{})
+	fmt.Println("height:", doc.Height)
+	fmt.Println("persons:", len(doc.Codes("person")))
+	first := doc.Elements("person")[0]
+	fmt.Println("root contains first person:",
+		doc.Root.Code != first.Code && doc.Root.Code == first.Parent.Code)
+	// Output:
+	// height: 3
+	// persons: 2
+	// root contains first person: true
+}
+
+// ExampleDocument_InsertChild inserts into a virtual-node slot without
+// renumbering the document.
+func ExampleDocument_InsertChild() {
+	doc, _ := xmltree.ParseString(`<r><a/><b/><c/></r>`, xmltree.Options{})
+	before := doc.Root.Children[0].Code
+	e, err := doc.InsertChild(doc.Root, "d")
+	fmt.Println("insert error:", err)
+	fmt.Println("new element got a code:", e.Code != 0)
+	fmt.Println("existing codes unchanged:", doc.Root.Children[0].Code == before)
+	// Output:
+	// insert error: <nil>
+	// new element got a code: true
+	// existing codes unchanged: true
+}

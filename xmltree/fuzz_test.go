@@ -1,0 +1,60 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// FuzzParse feeds arbitrary bytes through the parser; any accepted
+// document must satisfy the encoding invariants and round-trip through the
+// serializer.
+func FuzzParse(f *testing.F) {
+	f.Add(`<a><b/><c>text</c></a>`)
+	f.Add(`<a x="1"><a><a/></a></a>`)
+	f.Add(`<x>&amp;&lt;</x>`)
+	f.Add(`not xml at all`)
+	f.Add(`<a>` + strings.Repeat("<b>", 40) + strings.Repeat("</b>", 40) + `</a>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseString(src, Options{TextNodes: len(src)%2 == 0})
+		if err != nil {
+			return // rejection is fine; crashes are not
+		}
+		seen := map[pbicode.Code]bool{}
+		doc.Walk(func(e *Element) bool {
+			if e.Code == 0 || seen[e.Code] {
+				t.Fatalf("bad or duplicate code %v", e.Code)
+			}
+			seen[e.Code] = true
+			if e.Parent != nil && !pbicode.IsAncestor(e.Parent.Code, e.Code) {
+				t.Fatal("parent not an ancestor")
+			}
+			return true
+		})
+		if len(seen) != doc.NumElements() {
+			t.Fatal("count mismatch")
+		}
+		// Serializing and re-parsing preserves structure.
+		var sb strings.Builder
+		if err := WriteDoc(&sb, doc); err != nil {
+			t.Fatalf("serialize: %v", err)
+		}
+		doc2, err := ParseString(sb.String(), Options{})
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, sb.String())
+		}
+		// Element-node counts must agree (synthetic #text children of the
+		// original fold back into character data).
+		count := 0
+		doc.Walk(func(e *Element) bool {
+			if !strings.HasPrefix(e.Tag, "#") && !strings.HasPrefix(e.Tag, "@") {
+				count++
+			}
+			return true
+		})
+		if doc2.NumElements() != count {
+			t.Fatalf("reparse elements %d, want %d", doc2.NumElements(), count)
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package xmltree
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// This file implements dynamic updates on an encoded document, exploiting
+// the paper's observation (§2.3.2) that the virtual nodes of the PBiTree
+// embedding "serve as placeholders and thus be advantageous to update": a
+// new element can take an unused sibling slot without renumbering anything.
+// When a parent's slot range is exhausted, ErrNoFreeSlot is returned and
+// the caller re-encodes (Reencode), the same trade-off durable numbering
+// schemes make.
+
+// ErrNoFreeSlot reports that a parent's sibling slot range is full (or the
+// PBiTree has no level left below a leaf parent); Reencode the document to
+// make room.
+var ErrNoFreeSlot = errors.New("xmltree: no free sibling slot; re-encode the document")
+
+// InsertChild adds a new element with the given tag under parent,
+// assigning it a PBiTree code from the virtual-node slots next to its
+// siblings. Existing codes never change. The new element is appended to
+// parent.Children and indexed; it starts childless (fresh subtrees under
+// it use the slots of its own virtual subtree).
+func (d *Document) InsertChild(parent *Element, tag string) (*Element, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("xmltree: nil parent")
+	}
+	if d.ByCode(parent.Code) != parent {
+		return nil, fmt.Errorf("xmltree: parent is not part of this document")
+	}
+	pAlpha, pLevel := parent.Code.TopDown(d.Height)
+
+	var childLevel int
+	var slotBase, capacity uint64
+	if len(parent.Children) > 0 {
+		// Children sit on one level; their slot range descends from the
+		// parent's position.
+		childLevel = parent.Children[0].Code.Level(d.Height)
+		span := uint(childLevel - pLevel)
+		slotBase = pAlpha << span
+		capacity = 1 << span
+	} else {
+		// A childless parent opens the level just below it: two slots.
+		childLevel = pLevel + 1
+		if childLevel > d.Height-1 {
+			return nil, ErrNoFreeSlot
+		}
+		slotBase = pAlpha << 1
+		capacity = 2
+	}
+
+	used := make(map[uint64]bool, len(parent.Children))
+	for _, c := range parent.Children {
+		alpha, _ := c.Code.TopDown(d.Height)
+		used[alpha-slotBase] = true
+	}
+	slot := uint64(0)
+	for ; slot < capacity; slot++ {
+		if !used[slot] {
+			break
+		}
+	}
+	if slot == capacity {
+		return nil, ErrNoFreeSlot
+	}
+	e := &Element{
+		Tag:    tag,
+		Parent: parent,
+		Code:   pbicode.G(slotBase+slot, childLevel, d.Height),
+	}
+	parent.Children = append(parent.Children, e)
+	d.byTag[tag] = append(d.byTag[tag], e)
+	d.byCode[e.Code] = e
+	d.count++
+	return e, nil
+}
+
+// Delete removes the element and its whole subtree from the document. The
+// freed codes become virtual again and are reusable by InsertChild.
+// Deleting the root is an error.
+func (d *Document) Delete(e *Element) error {
+	if e == nil || d.ByCode(e.Code) != e {
+		return fmt.Errorf("xmltree: element is not part of this document")
+	}
+	if e.Parent == nil {
+		return fmt.Errorf("xmltree: cannot delete the document root")
+	}
+	// Unlink from the parent.
+	siblings := e.Parent.Children
+	for i, c := range siblings {
+		if c == e {
+			e.Parent.Children = append(siblings[:i], siblings[i+1:]...)
+			break
+		}
+	}
+	// Drop the subtree from the indexes.
+	var drop func(*Element)
+	drop = func(x *Element) {
+		delete(d.byCode, x.Code)
+		tagged := d.byTag[x.Tag]
+		for i, c := range tagged {
+			if c == x {
+				d.byTag[x.Tag] = append(tagged[:i], tagged[i+1:]...)
+				break
+			}
+		}
+		d.count--
+		for _, c := range x.Children {
+			drop(c)
+		}
+	}
+	drop(e)
+	return nil
+}
+
+// Reencode rebuilds the document's PBiTree embedding from scratch
+// (Algorithm 1 again) with the given sibling-slot headroom: every node's
+// child ranges get 2^headroom times their minimal size, so subsequent
+// InsertChild calls find free slots even where the old ranges were packed.
+// Every element may receive a new code; indexes and derived code sets must
+// be re-read afterwards.
+func (d *Document) Reencode(headroom int) error {
+	mirror := toNode(d.Root)
+	tree, err := pbicode.BinarizeWithHeadroom(mirror, headroom)
+	if err != nil {
+		return err
+	}
+	fresh := &Document{
+		Root:   d.Root,
+		Height: tree.Height,
+		byTag:  make(map[string][]*Element),
+		byCode: make(map[pbicode.Code]*Element),
+	}
+	copyCodes(d.Root, mirror, fresh)
+	*d = *fresh
+	return nil
+}

@@ -1,0 +1,72 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Write serializes the element tree rooted at e as XML. Synthetic "#text"
+// children are emitted as character data and "@name" children as
+// attributes, inverting the Options that created them; an element's own
+// Text is emitted as character data when it has no "#text" children.
+func Write(w io.Writer, root *Element) error {
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := writeElement(enc, root); err != nil {
+		return err
+	}
+	if err := enc.Flush(); err != nil {
+		return fmt.Errorf("xmltree: write: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// WriteDoc serializes a parsed document.
+func WriteDoc(w io.Writer, d *Document) error { return Write(w, d.Root) }
+
+func writeElement(enc *xml.Encoder, e *Element) error {
+	if strings.HasPrefix(e.Tag, "#") || strings.HasPrefix(e.Tag, "@") {
+		return fmt.Errorf("xmltree: cannot serialize synthetic node %q as an element", e.Tag)
+	}
+	start := xml.StartElement{Name: xml.Name{Local: e.Tag}}
+	seen := map[string]bool{}
+	for _, c := range e.Children {
+		if strings.HasPrefix(c.Tag, "@") {
+			start.Attr = append(start.Attr, xml.Attr{Name: xml.Name{Local: c.Tag[1:]}, Value: c.Text})
+			seen[c.Tag[1:]] = true
+		}
+	}
+	for k, v := range e.Attrs {
+		if !seen[k] {
+			start.Attr = append(start.Attr, xml.Attr{Name: xml.Name{Local: k}, Value: v})
+		}
+	}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	wroteText := false
+	for _, c := range e.Children {
+		switch {
+		case strings.HasPrefix(c.Tag, "@"):
+			// already emitted as attribute
+		case c.Tag == "#text":
+			if err := enc.EncodeToken(xml.CharData(c.Text)); err != nil {
+				return err
+			}
+			wroteText = true
+		default:
+			if err := writeElement(enc, c); err != nil {
+				return err
+			}
+		}
+	}
+	if e.Text != "" && !wroteText {
+		if err := enc.EncodeToken(xml.CharData(e.Text)); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(xml.EndElement{Name: start.Name})
+}

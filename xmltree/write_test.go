@@ -1,0 +1,78 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteRoundtrip(t *testing.T) {
+	src := `<doc id="1"><section><title>Intro</title><figure ref="f1"/></section><note>hi</note></doc>`
+	doc, err := ParseString(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteDoc(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseString(sb.String(), Options{})
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	// Same structure: tags, counts, texts, attributes.
+	if doc2.NumElements() != doc.NumElements() {
+		t.Fatalf("elements %d != %d", doc2.NumElements(), doc.NumElements())
+	}
+	for tag, n := range doc.Tags() {
+		if doc2.Tags()[tag] != n {
+			t.Fatalf("tag %s: %d != %d", tag, doc2.Tags()[tag], n)
+		}
+	}
+	if doc2.Elements("title")[0].Text != "Intro" {
+		t.Fatal("text lost")
+	}
+	if doc2.Elements("figure")[0].Attrs["ref"] != "f1" {
+		t.Fatal("attr lost")
+	}
+	// Codes identical because the structure is identical.
+	if doc2.Root.Code != doc.Root.Code {
+		t.Fatal("codes diverged")
+	}
+}
+
+func TestWriteSyntheticNodes(t *testing.T) {
+	doc, err := ParseString(`<a href="u">body</a>`, Options{TextNodes: true, AttrNodes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteDoc(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `href="u"`) || !strings.Contains(out, "body") {
+		t.Fatalf("output %q", out)
+	}
+	// Synthetic root is not serializable.
+	if err := Write(&sb, &Element{Tag: "#text"}); err == nil {
+		t.Fatal("synthetic root accepted")
+	}
+}
+
+func TestWriteEscaping(t *testing.T) {
+	doc, err := ParseString(`<a>x &amp; y &lt;z&gt;</a>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteDoc(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseString(sb.String(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2.Root.Text != "x & y <z>" {
+		t.Fatalf("Text = %q", doc2.Root.Text)
+	}
+}

@@ -1,0 +1,242 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+const paperDoc = `<?xml version="1.0"?>
+<contact_info>
+  <person>
+    <id>9</id>
+    <name>fervvac</name>
+    <email>fervvac@ust.hk</email>
+  </person>
+  <person>
+    <id>10</id>
+    <name>jianghf</name>
+  </person>
+  <person>
+    <id>11</id>
+    <name>luhj</name>
+  </person>
+</contact_info>`
+
+func TestParsePaperDocument(t *testing.T) {
+	doc, err := ParseString(paperDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Tag != "contact_info" {
+		t.Fatalf("root tag %q", doc.Root.Tag)
+	}
+	if n := len(doc.Elements("person")); n != 3 {
+		t.Fatalf("persons = %d", n)
+	}
+	// Every child code must be a descendant of its parent's code.
+	doc.Walk(func(e *Element) bool {
+		for _, c := range e.Children {
+			if !pbicode.IsAncestor(e.Code, c.Code) {
+				t.Errorf("%s(%v) not ancestor of %s(%v)", e.Tag, e.Code, c.Tag, c.Code)
+			}
+		}
+		return true
+	})
+	// Codes are unique and indexed.
+	seen := map[pbicode.Code]bool{}
+	doc.Walk(func(e *Element) bool {
+		if seen[e.Code] {
+			t.Errorf("duplicate code %v", e.Code)
+		}
+		seen[e.Code] = true
+		if doc.ByCode(e.Code) != e {
+			t.Errorf("ByCode(%v) mismatch", e.Code)
+		}
+		return true
+	})
+	if doc.NumElements() != len(seen) {
+		t.Fatalf("NumElements = %d, indexed %d", doc.NumElements(), len(seen))
+	}
+	// Text landed on the elements.
+	names := doc.Elements("name")
+	if names[0].Text != "fervvac" {
+		t.Fatalf("name[0].Text = %q", names[0].Text)
+	}
+	if got := doc.Elements("id")[2].Text; got != "11" {
+		t.Fatalf("id[2].Text = %q", got)
+	}
+}
+
+func TestParseTextNodes(t *testing.T) {
+	doc, err := ParseString(`<a>x<b>y</b>z</a>`, Options{TextNodes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := doc.Elements("#text")
+	if len(texts) != 3 {
+		t.Fatalf("#text nodes = %d", len(texts))
+	}
+	// Text leaves are proper descendants of the root.
+	for _, e := range texts {
+		if !pbicode.IsAncestor(doc.Root.Code, e.Code) {
+			t.Errorf("#text %q not under root", e.Text)
+		}
+	}
+	if doc.Elements("b")[0].Parent != doc.Root {
+		t.Error("parent links broken")
+	}
+}
+
+func TestParseAttrNodes(t *testing.T) {
+	doc, err := ParseString(`<item id="7" cat="x"><sub id="8"/></item>`, Options{AttrNodes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := doc.Elements("@id")
+	if len(ids) != 2 {
+		t.Fatalf("@id nodes = %d", len(ids))
+	}
+	if doc.Elements("item")[0].Attrs["cat"] != "x" {
+		t.Error("Attrs map not populated")
+	}
+	// Attribute of sub is a descendant of item through sub.
+	item := doc.Elements("item")[0]
+	sub := doc.Elements("sub")[0]
+	var subID *Element
+	for _, e := range ids {
+		if e.Parent == sub {
+			subID = e
+		}
+	}
+	if subID == nil || !pbicode.IsAncestor(item.Code, subID.Code) {
+		t.Error("nested attribute not contained in outer element")
+	}
+}
+
+func TestCodesWhere(t *testing.T) {
+	docSrc := `<doc>
+	  <section><title>Introduction</title><figure/><figure/></section>
+	  <section><title>Related Work</title><figure/></section>
+	</doc>`
+	doc, err := ParseString(docSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intro := doc.CodesWhere("title", func(e *Element) bool { return e.Text == "Introduction" })
+	if len(intro) != 1 {
+		t.Fatalf("intro titles = %d", len(intro))
+	}
+	sections := doc.Codes("section")
+	figures := doc.Codes("figure")
+	if len(sections) != 2 || len(figures) != 3 {
+		t.Fatalf("sections=%d figures=%d", len(sections), len(figures))
+	}
+	// The motivating query: figures under the Introduction section.
+	introSection := doc.Elements("title")[0].Parent
+	n := 0
+	for _, f := range figures {
+		if pbicode.IsAncestor(introSection.Code, f) {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("figures in intro section = %d", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"empty":       ``,
+		"unbalanced":  `<a><b></a>`,
+		"truncated":   `<a><b>`,
+		"two roots":   `<a/><b/>`,
+		"stray close": `</a>`,
+		"text only":   `hello`,
+	} {
+		if _, err := ParseString(src, Options{}); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestTagsAndLevel(t *testing.T) {
+	doc, err := ParseString(`<a><b><c/></b><b/></a>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := doc.Tags()
+	if tags["a"] != 1 || tags["b"] != 2 || tags["c"] != 1 {
+		t.Fatalf("Tags = %v", tags)
+	}
+	c := doc.Elements("c")[0]
+	if c.Level() != 2 {
+		t.Fatalf("Level(c) = %d", c.Level())
+	}
+	if doc.Root.Level() != 0 {
+		t.Fatal("root level != 0")
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	doc, err := ParseString(`<a><b/><c/><d/></a>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	doc.Walk(func(*Element) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestLargeFlatDocument(t *testing.T) {
+	// A root with many children exercises wide binarization levels.
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 1000; i++ {
+		sb.WriteString("<item><v>x</v></item>")
+	}
+	sb.WriteString("</root>")
+	doc, err := ParseString(sb.String(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := doc.Codes("item")
+	if len(items) != 1000 {
+		t.Fatalf("items = %d", len(items))
+	}
+	// All items at one level (contiguous placement heuristic) and all
+	// contained in the root.
+	h0 := items[0].Height()
+	for _, c := range items {
+		if c.Height() != h0 {
+			t.Fatal("siblings at different heights")
+		}
+		if !pbicode.IsAncestor(doc.Root.Code, c) {
+			t.Fatal("item not under root")
+		}
+	}
+	// 1000 children need 10 levels: height = 1 (item leaf has a child v,
+	// and v has none) — just sanity-check the height bound.
+	if doc.Height < 11 || doc.Height > 13 {
+		t.Fatalf("Height = %d", doc.Height)
+	}
+}
+
+func TestEncodeGeneratedTree(t *testing.T) {
+	// Encode supports trees built without XML parsing (generators).
+	root := &Element{Tag: "r"}
+	for i := 0; i < 5; i++ {
+		c := &Element{Tag: "c", Parent: root}
+		root.Children = append(root.Children, c)
+	}
+	doc, err := Encode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Codes("c")) != 5 {
+		t.Fatal("Encode lost children")
+	}
+}
