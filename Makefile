@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench fuzz experiments experiments-full clean
+.PHONY: all build test vet race cover bench fuzz experiments experiments-full serve-smoke clean
 
 all: build vet test
 
@@ -35,6 +35,11 @@ fuzz:
 # Quick interactive experiment sweep (about a minute).
 experiments:
 	$(GO) run ./cmd/pbibench -exp all
+
+# End-to-end serving check: pbiserve on a tiny generated database driven
+# by pbiload; fails on any non-200 or a crashed server.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 # The paper-scale runs behind EXPERIMENTS.md (several minutes).
 experiments-full:

@@ -114,9 +114,13 @@ func build(args []string) {
 		coll.NumDocuments(), len(rels), strings.Join(stored, " "))
 }
 
+// openDB opens the database read-only: tags and join never modify stored
+// relations, and an overlay absorbs temporary join state, so concurrent
+// invocations (or a running pbiserve) can share the same page file.
 func openDB(db string, buffer int) (*containment.Engine, map[string]*containment.Relation) {
 	eng, rels, err := containment.Open(containment.Config{
 		Path:        db,
+		ReadOnly:    true,
 		BufferPages: buffer,
 		DiskCost:    containment.DefaultDiskCost,
 	})
@@ -168,16 +172,10 @@ func join(args []string) {
 	if !ok {
 		fail(fmt.Errorf("no stored relation for tag %q", *desc))
 	}
-	algs := map[string]containment.Algorithm{
-		"auto": containment.Auto, "nlj": containment.NestedLoop,
-		"mhcj": containment.MHCJ, "rollup": containment.MHCJRollup,
-		"vpj": containment.VPJ, "inljn": containment.INLJN,
-		"stacktree": containment.StackTree, "mpmgjn": containment.MPMGJN,
-		"adb": containment.ADBPlus,
-	}
-	alg, ok := algs[strings.ToLower(*algo)]
+	alg, ok := containment.ParseAlgorithm(*algo)
 	if !ok {
-		fail(fmt.Errorf("unknown algorithm %q", *algo))
+		fail(fmt.Errorf("unknown algorithm %q (accepted: %s)", *algo,
+			strings.Join(containment.AlgorithmNames(), ", ")))
 	}
 	res, err := eng.Join(a, d, containment.JoinOptions{Algorithm: alg})
 	if err != nil {

@@ -23,21 +23,6 @@ import (
 	"github.com/pbitree/pbitree/pbicode"
 )
 
-var algorithms = map[string]containment.Algorithm{
-	"auto":      containment.Auto,
-	"cost":      containment.Auto, // with CostBased
-	"nlj":       containment.NestedLoop,
-	"shcj":      containment.SHCJ,
-	"mhcj":      containment.MHCJ,
-	"rollup":    containment.MHCJRollup,
-	"vpj":       containment.VPJ,
-	"inljn":     containment.INLJN,
-	"stacktree": containment.StackTree,
-	"stackanc":  containment.StackTreeAnc,
-	"mpmgjn":    containment.MPMGJN,
-	"adb":       containment.ADBPlus,
-}
-
 func main() {
 	var (
 		algo     = flag.String("algo", "auto", "algorithm (auto|cost|nlj|shcj|mhcj|rollup|vpj|inljn|stacktree|stackanc|mpmgjn|adb)")
@@ -50,9 +35,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: pbijoin [-algo NAME] [-compare] a.codes d.codes")
 		os.Exit(2)
 	}
-	alg, ok := algorithms[strings.ToLower(*algo)]
+	// "cost" is pbijoin's extra alias: Auto selection by the §3.4 cost
+	// model instead of the Table 1 rules.
+	name := *algo
+	if strings.EqualFold(name, "cost") {
+		name = "auto"
+	}
+	alg, ok := containment.ParseAlgorithm(name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "pbijoin: unknown algorithm %q\n", *algo)
+		fmt.Fprintf(os.Stderr, "pbijoin: unknown algorithm %q (accepted: cost, %s)\n",
+			*algo, strings.Join(containment.AlgorithmNames(), ", "))
 		os.Exit(2)
 	}
 	aCodes, err := readCodes(flag.Arg(0))
@@ -101,7 +93,8 @@ func main() {
 
 	if *compare {
 		for _, name := range []string{"rollup", "vpj", "stacktree", "mpmgjn", "inljn", "adb", "nlj"} {
-			run(name, containment.JoinOptions{Algorithm: algorithms[name]})
+			a, _ := containment.ParseAlgorithm(name)
+			run(name, containment.JoinOptions{Algorithm: a})
 		}
 		return
 	}

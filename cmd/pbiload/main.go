@@ -1,0 +1,395 @@
+// Command pbiload drives a pbiserve instance with a containment-query
+// workload and reports throughput plus latency percentiles — the serving
+// benchmark counterpart of cmd/pbibench's single-engine experiments
+// (shaped after ReqBench-style load generators).
+//
+// Two loop disciplines:
+//
+//   - closed (default): -c workers each keep exactly one request in
+//     flight — throughput emerges from latency.
+//   - open: requests fire at a fixed -qps regardless of completions —
+//     latency emerges from load (tail latencies under overload).
+//
+// The query mix comes from -queries/-paths, or -mix dblp|xmark, which
+// replays the paper's D1–D10 / B1–B10 join workloads (tags absent from
+// the served database are skipped after consulting /relations).
+//
+// Usage:
+//
+//	pbiload -url http://localhost:8080 -mix xmark -c 8 -n 2000
+//	pbiload -url http://localhost:8080 -mode open -qps 200 -duration 30s \
+//	        -queries section/figure,section/para/rollup -paths //a//b//c
+//
+// Exit status is nonzero if any request failed or returned non-200, so CI
+// smoke jobs can gate on it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pbitree/pbitree/internal/workload"
+)
+
+func main() {
+	var (
+		base     = flag.String("url", "http://localhost:8080", "pbiserve base URL")
+		mode     = flag.String("mode", "closed", "loop discipline: closed|open")
+		conc     = flag.Int("c", 8, "closed loop: concurrent workers")
+		qps      = flag.Float64("qps", 100, "open loop: target request rate")
+		n        = flag.Int64("n", 0, "total requests (0 = run for -duration)")
+		duration = flag.Duration("duration", 10*time.Second, "run length when -n is 0")
+		queries  = flag.String("queries", "", "comma-separated joins anc/desc[/algo]")
+		paths    = flag.String("paths", "", "comma-separated path expressions //a//b")
+		mix      = flag.String("mix", "", "replay a benchmark mix: dblp|xmark")
+		stats    = flag.Bool("stats", true, "print server /stats after the run")
+	)
+	flag.Parse()
+
+	urls, err := buildMix(*base, *queries, *paths, *mix)
+	if err != nil {
+		fail(err)
+	}
+	if len(urls) == 0 {
+		fail(fmt.Errorf("empty query mix: pass -queries, -paths or -mix"))
+	}
+	fmt.Printf("pbiload: %d distinct queries, mode=%s\n", len(urls), *mode)
+
+	var results []result
+	var elapsed time.Duration
+	switch *mode {
+	case "closed":
+		results, elapsed = closedLoop(urls, *conc, *n, *duration)
+	case "open":
+		results, elapsed = openLoop(urls, *qps, *n, *duration)
+	default:
+		fail(fmt.Errorf("unknown -mode %q (closed|open)", *mode))
+	}
+
+	bad := report(results, elapsed)
+	if *stats {
+		printServerStats(*base)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// result is one request's outcome.
+type result struct {
+	latency time.Duration
+	status  int // 0 on transport error
+	cached  bool
+}
+
+// buildMix assembles the request URL list.
+func buildMix(base, queries, paths, mix string) ([]string, error) {
+	base = strings.TrimRight(base, "/")
+	var urls []string
+	for _, spec := range splitList(queries) {
+		parts := strings.Split(spec, "/")
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, fmt.Errorf("bad -queries entry %q (want anc/desc[/algo])", spec)
+		}
+		u := fmt.Sprintf("%s/join?anc=%s&desc=%s", base,
+			url.QueryEscape(parts[0]), url.QueryEscape(parts[1]))
+		if len(parts) == 3 {
+			u += "&algo=" + url.QueryEscape(parts[2])
+		}
+		urls = append(urls, u)
+	}
+	for _, expr := range splitList(paths) {
+		urls = append(urls, base+"/query?path="+url.QueryEscape(expr))
+	}
+	if mix != "" {
+		var qs []workload.Query
+		switch mix {
+		case "dblp":
+			qs = workload.DBLPQueries()
+		case "xmark":
+			qs = workload.XMarkQueries()
+		default:
+			return nil, fmt.Errorf("unknown -mix %q (dblp|xmark)", mix)
+		}
+		available, err := servedTags(base)
+		if err != nil {
+			return nil, fmt.Errorf("fetch /relations for -mix filtering: %w", err)
+		}
+		skipped := 0
+		for _, q := range qs {
+			if !available[q.AncTag] || !available[q.DescTag] {
+				skipped++
+				continue
+			}
+			urls = append(urls, fmt.Sprintf("%s/join?anc=%s&desc=%s", base,
+				url.QueryEscape(q.AncTag), url.QueryEscape(q.DescTag)))
+		}
+		if skipped > 0 {
+			fmt.Printf("pbiload: mix %s: skipped %d/%d queries whose tags are not in the served database\n",
+				mix, skipped, len(qs))
+		}
+	}
+	return urls, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// servedTags asks the server which tag relations it stores.
+func servedTags(base string) (map[string]bool, error) {
+	resp, err := http.Get(base + "/relations")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/relations: status %d", resp.StatusCode)
+	}
+	var rels []struct {
+		Tag string `json:"tag"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rels); err != nil {
+		return nil, err
+	}
+	tags := make(map[string]bool, len(rels))
+	for _, r := range rels {
+		tags[r.Tag] = true
+	}
+	return tags, nil
+}
+
+// doRequest issues one GET and classifies the outcome.
+func doRequest(client *http.Client, u string) result {
+	start := time.Now()
+	resp, err := client.Get(u)
+	if err != nil {
+		return result{latency: time.Since(start)}
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
+	resp.Body.Close()
+	return result{
+		latency: time.Since(start),
+		status:  resp.StatusCode,
+		cached:  resp.Header.Get("X-Cache") == "hit",
+	}
+}
+
+// closedLoop runs conc workers, each holding one request in flight, until
+// total requests are issued (or the duration elapses when total is 0).
+func closedLoop(urls []string, conc int, total int64, duration time.Duration) ([]result, time.Duration) {
+	if conc < 1 {
+		conc = 1
+	}
+	deadline := time.Now().Add(duration)
+	var issued atomic.Int64
+	resc := make(chan result, 1024)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for {
+				i := issued.Add(1)
+				if total > 0 && i > total {
+					return
+				}
+				if total == 0 && time.Now().After(deadline) {
+					return
+				}
+				resc <- doRequest(client, urls[int(i-1)%len(urls)])
+			}
+		}()
+	}
+	results := collect(resc, &wg)
+	return results, time.Since(start)
+}
+
+// openLoop fires requests on a fixed schedule regardless of completions.
+// Outstanding requests are capped (far above any sane completion rate) so
+// a dead server cannot exhaust file descriptors.
+func openLoop(urls []string, qps float64, total int64, duration time.Duration) ([]result, time.Duration) {
+	if qps <= 0 {
+		qps = 1
+	}
+	interval := time.Duration(float64(time.Second) / qps)
+	deadline := time.Now().Add(duration)
+	sem := make(chan struct{}, 1024)
+	resc := make(chan result, 1024)
+	var wg sync.WaitGroup
+	client := &http.Client{}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	start := time.Now()
+	// Issue from a goroutine so collect drains results concurrently:
+	// otherwise a full resc blocks completions, which pins sem slots and
+	// deadlocks the issuing loop once in-flight results exceed resc's cap.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var issued int64
+		for range ticker.C {
+			if total > 0 && issued >= total {
+				return
+			}
+			if total == 0 && time.Now().After(deadline) {
+				return
+			}
+			issued++
+			u := urls[int(issued-1)%len(urls)]
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resc <- doRequest(client, u)
+				<-sem
+			}()
+		}
+	}()
+	results := collect(resc, &wg)
+	return results, time.Since(start)
+}
+
+// collect drains the result channel until all senders finish.
+func collect(resc chan result, wg *sync.WaitGroup) []result {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	var results []result
+	for {
+		select {
+		case r := <-resc:
+			results = append(results, r)
+		case <-done:
+			for {
+				select {
+				case r := <-resc:
+					results = append(results, r)
+				default:
+					return results
+				}
+			}
+		}
+	}
+}
+
+// report prints the summary and returns the number of failed requests.
+func report(results []result, elapsed time.Duration) int {
+	var transportErrs, non200, cached int
+	lats := make([]time.Duration, 0, len(results))
+	byStatus := map[int]int{}
+	for _, r := range results {
+		switch {
+		case r.status == 0:
+			transportErrs++
+		case r.status != http.StatusOK:
+			non200++
+			byStatus[r.status]++
+		default:
+			lats = append(lats, r.latency)
+			if r.cached {
+				cached++
+			}
+		}
+	}
+	fmt.Printf("pbiload: %d requests in %v (%.1f req/s)  ok=%d cached=%d non200=%d errors=%d\n",
+		len(results), elapsed.Round(time.Millisecond),
+		float64(len(results))/elapsed.Seconds(),
+		len(lats), cached, non200, transportErrs)
+	for status, count := range byStatus {
+		fmt.Printf("pbiload:   status %d: %d\n", status, count)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("pbiload: latency p50=%v p95=%v p99=%v max=%v\n",
+			pct(lats, 0.50), pct(lats, 0.95), pct(lats, 0.99), lats[len(lats)-1])
+	}
+	return transportErrs + non200
+}
+
+// pct returns the p-quantile of a sorted sample (nearest rank).
+func pct(sorted []time.Duration, p float64) time.Duration {
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank].Round(time.Microsecond)
+}
+
+// printServerStats surfaces the server-side view: cache hit rate, queue
+// pressure, per-algorithm page I/O.
+func printServerStats(base string) {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/stats")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbiload: fetch /stats: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	var s struct {
+		Requests int64 `json:"requests"`
+		Rejected int64 `json:"rejected"`
+		Cache    *struct {
+			Hits    int64   `json:"hits"`
+			Misses  int64   `json:"misses"`
+			HitRate float64 `json:"hit_rate"`
+		} `json:"cache"`
+		Latency struct {
+			P50US int64 `json:"p50_us"`
+			P95US int64 `json:"p95_us"`
+			P99US int64 `json:"p99_us"`
+		} `json:"latency"`
+		Algorithms map[string]struct {
+			Requests int64 `json:"requests"`
+			PageIO   int64 `json:"page_io"`
+		} `json:"algorithms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		fmt.Fprintf(os.Stderr, "pbiload: parse /stats: %v\n", err)
+		return
+	}
+	fmt.Printf("server: %d requests, %d rejected", s.Requests, s.Rejected)
+	if s.Cache != nil {
+		fmt.Printf(", cache %d/%d hits (%.0f%%)", s.Cache.Hits, s.Cache.Hits+s.Cache.Misses, 100*s.Cache.HitRate)
+	}
+	fmt.Printf(", server-side p50=%dµs p95=%dµs p99=%dµs\n",
+		s.Latency.P50US, s.Latency.P95US, s.Latency.P99US)
+	if len(s.Algorithms) > 0 {
+		names := make([]string, 0, len(s.Algorithms))
+		for name := range s.Algorithms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			a := s.Algorithms[name]
+			fmt.Printf("server:   %-16s %6d joins %10d page I/O\n", name, a.Requests, a.PageIO)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pbiload: %v\n", err)
+	os.Exit(1)
+}

@@ -25,20 +25,6 @@ import (
 	"github.com/pbitree/pbitree/xmltree"
 )
 
-var algorithms = map[string]containment.Algorithm{
-	"auto":      containment.Auto,
-	"nlj":       containment.NestedLoop,
-	"shcj":      containment.SHCJ,
-	"mhcj":      containment.MHCJ,
-	"rollup":    containment.MHCJRollup,
-	"vpj":       containment.VPJ,
-	"inljn":     containment.INLJN,
-	"stacktree": containment.StackTree,
-	"stackanc":  containment.StackTreeAnc,
-	"mpmgjn":    containment.MPMGJN,
-	"adb":       containment.ADBPlus,
-}
-
 func main() {
 	var (
 		anc    = flag.String("anc", "", "ancestor tag")
@@ -54,9 +40,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: pbiquery (-anc TAG -desc TAG | -path EXPR) [-algo NAME] [-where child=text] [-limit N] file.xml|-")
 		os.Exit(2)
 	}
-	alg, ok := algorithms[strings.ToLower(*algo)]
+	alg, ok := containment.ParseAlgorithm(*algo)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "pbiquery: unknown algorithm %q\n", *algo)
+		fmt.Fprintf(os.Stderr, "pbiquery: unknown algorithm %q (accepted: %s)\n",
+			*algo, strings.Join(containment.AlgorithmNames(), ", "))
 		os.Exit(2)
 	}
 

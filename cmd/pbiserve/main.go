@@ -1,0 +1,117 @@
+// Command pbiserve serves containment and path queries from a persisted
+// database (built by pbidb build) over HTTP+JSON, with a pool of
+// read-only engines, a bounded admission queue and an LRU result cache —
+// see internal/qserv and doc/SERVER.md.
+//
+// Usage:
+//
+//	pbiserve -db site.db [-addr :8080] [-workers 8] [-queue 64]
+//	         [-cache 1024] [-buffer 256] [-diskcost 2003|none]
+//
+// Endpoints:
+//
+//	GET /join?anc=TAG&desc=TAG[&algo=NAME]   one containment join
+//	GET /query?path=//a//b//c                descendant-axis path query
+//	GET /relations                           stored relations
+//	GET /stats                               cache / queue / latency / per-algorithm I/O
+//	GET /healthz                             liveness
+//
+// SIGINT/SIGTERM drain in-flight queries before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/internal/qserv"
+)
+
+func main() {
+	var (
+		db       = flag.String("db", "", "database page file built by pbidb build (required)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "engine pool size (0 = min(NumCPU, 8))")
+		queue    = flag.Int("queue", 64, "admission queue depth beyond the worker count (0 = no queue)")
+		cache    = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
+		buffer   = flag.Int("buffer", 256, "buffer pool pages per worker")
+		diskcost = flag.String("diskcost", "2003", "virtual disk cost model: 2003|none")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+	if *db == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: pbiserve -db FILE [-addr :8080] [-workers N] [-queue N] [-cache N] [-buffer N]")
+		os.Exit(2)
+	}
+	var cost containment.DiskCost
+	switch *diskcost {
+	case "2003":
+		cost = containment.DefaultDiskCost
+	case "none":
+	default:
+		fail(fmt.Errorf("unknown -diskcost %q (2003|none)", *diskcost))
+	}
+
+	// The flag default is explicit, so a user-given 0 means "no queue" —
+	// map it to the Config convention (negative), where 0 means default.
+	if *queue == 0 {
+		*queue = -1
+	}
+	qs, err := qserv.New(qserv.Config{
+		DBPath:       *db,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		BufferPages:  *buffer,
+		DiskCost:     cost,
+	})
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range qs.Relations() {
+		fmt.Printf("pbiserve: relation %-24s %10d elements %8d pages\n", r.Tag, r.Elements, r.Pages)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: qs.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("pbiserve: serving %s on %s\n", *db, *addr)
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal.
+		qs.Close() //nolint:errcheck // exiting anyway
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("pbiserve: draining in-flight queries...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "pbiserve: shutdown: %v\n", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pbiserve: serve: %v\n", err)
+	}
+	// All handlers have returned; engines are safe to close now.
+	if err := qs.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Println("pbiserve: stopped")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pbiserve: %v\n", err)
+	os.Exit(1)
+}

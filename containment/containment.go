@@ -15,6 +15,9 @@
 package containment
 
 import (
+	"sort"
+	"strings"
+
 	"github.com/pbitree/pbitree/pbicode"
 )
 
@@ -60,6 +63,43 @@ const (
 
 // String returns the paper's name for the algorithm.
 func (a Algorithm) String() string { return coreAlg(a).String() }
+
+// algorithmNames maps the short CLI/API names to algorithms — the one
+// vocabulary every front end (pbiquery, pbijoin, pbidb, qserv) accepts.
+var algorithmNames = map[string]Algorithm{
+	"auto":      Auto,
+	"nlj":       NestedLoop,
+	"shcj":      SHCJ,
+	"mhcj":      MHCJ,
+	"rollup":    MHCJRollup,
+	"vpj":       VPJ,
+	"inljn":     INLJN,
+	"stacktree": StackTree,
+	"stackanc":  StackTreeAnc,
+	"mpmgjn":    MPMGJN,
+	"adb":       ADBPlus,
+}
+
+// ParseAlgorithm resolves a short algorithm name (case-insensitive; the
+// empty string means Auto). The boolean reports whether the name is known.
+func ParseAlgorithm(name string) (Algorithm, bool) {
+	if name == "" {
+		return Auto, true
+	}
+	a, ok := algorithmNames[strings.ToLower(name)]
+	return a, ok
+}
+
+// AlgorithmNames returns the accepted short algorithm names, sorted — for
+// usage strings and error messages.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(algorithmNames))
+	for n := range algorithmNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Spec describes what is known about the inputs, steering Auto selection
 // (Table 1 of the paper).

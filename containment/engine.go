@@ -29,6 +29,15 @@ type Config struct {
 	// TreeHeight is the PBiTree height of the codes the engine will see.
 	// 0 lets Load infer it from the largest loaded code.
 	TreeHeight int
+	// ReadOnly opens the page file without write access: stored pages are
+	// served from the shared file while writes and fresh allocations
+	// (temporary join state, spooled intermediates) live in a private
+	// in-memory overlay that never reaches disk. Only Open honors it —
+	// NewEngine builds a database and rejects the flag. Because read-only
+	// engines share no mutable state, any number may be open over one
+	// database file at once; that is the foundation of concurrent serving
+	// (see internal/qserv).
+	ReadOnly bool
 }
 
 // DiskCost assigns virtual time per page access (see storage.CostModel).
@@ -42,7 +51,15 @@ type DiskCost struct {
 var DefaultDiskCost = DiskCost{Random: 10 * time.Millisecond, Sequential: 200 * time.Microsecond}
 
 // Engine evaluates containment joins against a paged storage substrate.
-// It is not safe for concurrent use.
+//
+// An Engine — together with everything reached through it: its buffer
+// pool, its Relations, its scans — is single-threaded, like the
+// one-disk-head system the paper models. It must be owned by exactly one
+// goroutine (worker) at a time; no method is safe to call concurrently
+// with another. To serve queries in parallel, open one read-only engine
+// per worker over a shared database file (Config.ReadOnly with Open) and
+// multiplex requests across the workers; internal/qserv implements that
+// pattern behind an HTTP server.
 type Engine struct {
 	disk storage.Disk
 	pool *buffer.Pool
@@ -73,8 +90,26 @@ func (r *Relation) Len() int64 { return r.rel.NumRecords() }
 // Pages returns the number of occupied disk pages, the paper's ‖R‖.
 func (r *Relation) Pages() int64 { return r.rel.NumPages() }
 
+// Codes materializes the relation's codes in storage order. The read goes
+// through the engine's buffer pool and is charged like any scan; the
+// caller is responsible for the result fitting in memory.
+func (r *Relation) Codes() ([]pbicode.Code, error) {
+	recs, err := r.rel.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]pbicode.Code, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.Code
+	}
+	return out, nil
+}
+
 // NewEngine creates an engine per cfg.
 func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.ReadOnly {
+		return nil, fmt.Errorf("containment: ReadOnly applies to Open, not NewEngine (which creates a database)")
+	}
 	if cfg.PageSize == 0 {
 		cfg.PageSize = storage.DefaultPageSize
 	}

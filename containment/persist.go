@@ -43,9 +43,12 @@ type catalogEntry struct {
 func catalogPath(path string) string { return path + ".catalog" }
 
 // Save flushes all pages and writes the catalog for the given relations.
-// Only file-backed engines can be saved. Relations must have distinct
-// names.
+// Only writable file-backed engines can be saved. Relations must have
+// distinct names.
 func (e *Engine) Save(relations ...*Relation) error {
+	if e.ReadOnly() {
+		return fmt.Errorf("containment: engine is read-only; cannot save")
+	}
 	fd, ok := e.disk.(*storage.FileDisk)
 	if !ok {
 		return fmt.Errorf("containment: only file-backed engines can be saved")
@@ -97,6 +100,12 @@ func (e *Engine) Save(relations ...*Relation) error {
 
 // Open reopens a saved file-backed engine: the page file plus its catalog
 // sidecar. The returned map holds the persisted relations by name.
+//
+// With cfg.ReadOnly set, the page file is opened without write access and
+// all writes go to a private in-memory overlay (storage.OverlayDisk), so
+// any number of engines — each still single-threaded — can be opened over
+// the same database concurrently; internal/qserv builds its worker pool
+// this way.
 func Open(cfg Config) (*Engine, map[string]*Relation, error) {
 	if cfg.Path == "" {
 		return nil, nil, fmt.Errorf("containment: Open requires Config.Path")
@@ -125,18 +134,28 @@ func Open(cfg Config) (*Engine, map[string]*Relation, error) {
 		cfg.TreeHeight = cat.TreeHeight
 	}
 	cost := storage.CostModel{Random: cfg.DiskCost.Random, Sequential: cfg.DiskCost.Sequential}
-	fd, err := storage.ReopenFileDisk(cfg.Path, cfg.PageSize, cost)
-	if err != nil {
-		return nil, nil, err
+	var disk storage.Disk
+	if cfg.ReadOnly {
+		od, err := storage.OpenOverlay(cfg.Path, cfg.PageSize, cost)
+		if err != nil {
+			return nil, nil, err
+		}
+		disk = od
+	} else {
+		fd, err := storage.ReopenFileDisk(cfg.Path, cfg.PageSize, cost)
+		if err != nil {
+			return nil, nil, err
+		}
+		disk = fd
 	}
-	e := &Engine{disk: fd, pool: buffer.New(fd, cfg.BufferPages), cfg: cfg}
+	e := &Engine{disk: disk, pool: buffer.New(disk, cfg.BufferPages), cfg: cfg}
 	rels := make(map[string]*Relation, len(cat.Relations))
 	for _, entry := range cat.Relations {
 		pages := make([]storage.PageID, len(entry.Pages))
 		for i, id := range entry.Pages {
-			if id < 0 || storage.PageID(id) >= fd.NumPages() {
+			if id < 0 || storage.PageID(id) >= disk.NumPages() {
 				e.Close() //nolint:errcheck // best-effort cleanup
-				return nil, nil, fmt.Errorf("containment: catalog references page %d beyond file (%d pages)", id, fd.NumPages())
+				return nil, nil, fmt.Errorf("containment: catalog references page %d beyond file (%d pages)", id, disk.NumPages())
 			}
 			pages[i] = storage.PageID(id)
 		}
@@ -149,4 +168,45 @@ func Open(cfg Config) (*Engine, map[string]*Relation, error) {
 		}
 	}
 	return e, rels, nil
+}
+
+// ReadOnly reports whether the engine was opened with Config.ReadOnly.
+func (e *Engine) ReadOnly() bool {
+	_, ok := e.disk.(*storage.OverlayDisk)
+	return ok
+}
+
+// ReleaseTemp drops every page a read-only engine allocated beyond the
+// shared base file — spooled intermediates, partition files, any other
+// temporary join state — returning the overlay's memory and page IDs.
+// Stored relations are untouched, and base pages cached in the buffer pool
+// stay resident, so a warm pool survives. The caller must have Freed all
+// temporary relations first (their dead pages may still be resident; they
+// are discarded here). On writable engines it is a no-op: their temporary
+// pages live in the page file, as in the paper's system.
+//
+// Long-running servers call it between requests so per-request temporary
+// state cannot accumulate (see internal/qserv).
+func (e *Engine) ReleaseTemp() error {
+	od, ok := e.disk.(*storage.OverlayDisk)
+	if !ok {
+		return nil
+	}
+	for id := od.BaseNumPages(); id < od.NumPages(); id++ {
+		if err := e.pool.Discard(id); err != nil {
+			return fmt.Errorf("containment: release temp page %d: %w", id, err)
+		}
+	}
+	od.Release()
+	return nil
+}
+
+// TempPages returns the number of pages currently materialized in a
+// read-only engine's private overlay (0 for writable engines) — a memory
+// gauge for servers.
+func (e *Engine) TempPages() int {
+	if od, ok := e.disk.(*storage.OverlayDisk); ok {
+		return od.OverlayPages()
+	}
+	return 0
 }

@@ -1,0 +1,125 @@
+package containment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+// buildTestDB saves a small two-relation database and returns its path and
+// the expected //section//figure pair count.
+func buildTestDB(t *testing.T) (string, int64) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("<doc>")
+	for i := 0; i < 40; i++ {
+		sb.WriteString("<section><title>t</title><figure/><para><figure/></para></section>")
+	}
+	sb.WriteString("</doc>")
+	doc, err := xmltree.ParseString(sb.String(), xmltree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ro.db")
+	eng, err := NewEngine(Config{Path: path, TreeHeight: doc.Height})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eng.Load("tag:section", doc.Codes("section"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.Load("tag:figure", doc.Codes("figure"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Join(a, d, JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Save(a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, res.Count
+}
+
+func TestOpenReadOnly(t *testing.T) {
+	path, want := buildTestDB(t)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two engines over the same file at once, each joining independently.
+	var engines []*Engine
+	for i := 0; i < 2; i++ {
+		eng, rels, err := Open(Config{Path: path, ReadOnly: true, BufferPages: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		engines = append(engines, eng)
+		if !eng.ReadOnly() {
+			t.Fatal("engine not read-only")
+		}
+		for _, alg := range []Algorithm{Auto, MHCJRollup, StackTree} {
+			res, err := eng.Join(rels["tag:section"], rels["tag:figure"], JoinOptions{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("engine %d alg %v: %v", i, alg, err)
+			}
+			if res.Count != want {
+				t.Fatalf("engine %d alg %v: count = %d, want %d", i, alg, res.Count, want)
+			}
+		}
+		if err := eng.Save(rels["tag:section"]); err == nil {
+			t.Fatal("Save on read-only engine succeeded")
+		}
+		if err := eng.ReleaseTemp(); err != nil {
+			t.Fatal(err)
+		}
+		if n := eng.TempPages(); n != 0 {
+			t.Fatalf("temp pages after release = %d", n)
+		}
+	}
+	_ = engines
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("read-only engines modified the database file")
+	}
+	if _, err := os.Stat(catalogPath(path)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewEngineRejectsReadOnly(t *testing.T) {
+	if _, err := NewEngine(Config{ReadOnly: true}); err == nil {
+		t.Fatal("NewEngine accepted ReadOnly")
+	}
+}
+
+func TestRelationCodes(t *testing.T) {
+	path, _ := buildTestDB(t)
+	eng, rels, err := Open(Config{Path: path, ReadOnly: true, BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	codes, err := rels["tag:figure"].Codes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(codes)) != rels["tag:figure"].Len() {
+		t.Fatalf("Codes() = %d codes, Len() = %d", len(codes), rels["tag:figure"].Len())
+	}
+}

@@ -1,0 +1,72 @@
+package qserv
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // a is now most recent
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("C")) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	s := c.snapshot()
+	if s.Entries != 2 || s.Evicted != 1 {
+		t.Fatalf("snapshot = %+v, want 2 entries / 1 evicted", s)
+	}
+	// hits: a, a, c = 3; misses: b before insert? get(b) after evict = 1.
+	if s.Hits != 3 || s.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", s.Hits, s.Misses)
+	}
+	if s.HitRate < 0.74 || s.HitRate > 0.76 {
+		t.Fatalf("hit rate = %v, want 0.75", s.HitRate)
+	}
+}
+
+func TestCacheReplace(t *testing.T) {
+	c := newResultCache(4)
+	c.put("k", []byte("v1"))
+	c.put("k", []byte("v2"))
+	got, ok := c.get("k")
+	if !ok || string(got) != "v2" {
+		t.Fatalf("get = %q/%v, want v2", got, ok)
+	}
+	if s := c.snapshot(); s.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", s.Entries)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(32)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%64)
+				if _, ok := c.get(key); !ok {
+					c.put(key, []byte(key))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	s := c.snapshot()
+	if s.Entries > 32 {
+		t.Fatalf("cache over capacity: %d", s.Entries)
+	}
+}

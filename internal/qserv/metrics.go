@@ -1,0 +1,147 @@
+package qserv
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pbitree/pbitree/containment"
+)
+
+// latWindow is the number of most recent request latencies retained for
+// percentile estimation. A fixed ring keeps the cost per request O(1) and
+// the estimate representative of current load rather than all of history.
+const latWindow = 8192
+
+// metrics aggregates everything /stats reports: request counters, a
+// sliding latency window, and per-algorithm physical-cost totals summed
+// from join results.
+type metrics struct {
+	start time.Time
+
+	requests atomic.Int64 // completed requests (cached or executed)
+	errors   atomic.Int64 // requests answered with a non-2xx status
+	rejected atomic.Int64 // admissions refused with 503 (queue full)
+	queued   atomic.Int64 // admitted requests waiting for a worker
+	busy     atomic.Int64 // workers currently executing
+
+	mu   sync.Mutex
+	ring [latWindow]time.Duration
+	n    int // samples in ring (≤ latWindow)
+	next int // ring write position
+
+	algs map[string]*algTotals
+}
+
+// algTotals accumulates the physical cost of every join one algorithm ran.
+type algTotals struct {
+	Requests    int64         `json:"requests"`
+	Pairs       int64         `json:"pairs"`
+	PageIO      int64         `json:"page_io"`
+	SeqIO       int64         `json:"seq_io"`
+	VirtualTime time.Duration `json:"-"`
+	WallTime    time.Duration `json:"-"`
+}
+
+// algSnapshot is the JSON form of algTotals with durations in microseconds.
+type algSnapshot struct {
+	Requests  int64 `json:"requests"`
+	Pairs     int64 `json:"pairs"`
+	PageIO    int64 `json:"page_io"`
+	SeqIO     int64 `json:"seq_io"`
+	VirtualUS int64 `json:"virtual_us"`
+	WallUS    int64 `json:"wall_us"`
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), algs: map[string]*algTotals{}}
+}
+
+// observe records one completed request's latency.
+func (m *metrics) observe(d time.Duration) {
+	m.requests.Add(1)
+	m.mu.Lock()
+	m.ring[m.next] = d
+	m.next = (m.next + 1) % latWindow
+	if m.n < latWindow {
+		m.n++
+	}
+	m.mu.Unlock()
+}
+
+// recordJoin folds one join result into the per-algorithm totals.
+func (m *metrics) recordJoin(res *containment.Result) {
+	m.mu.Lock()
+	t := m.algs[res.Algorithm]
+	if t == nil {
+		t = &algTotals{}
+		m.algs[res.Algorithm] = t
+	}
+	t.Requests++
+	t.Pairs += res.Count
+	t.PageIO += res.IO.Total()
+	t.SeqIO += res.IO.SeqReads + res.IO.SeqWrites
+	t.VirtualTime += res.IO.VirtualTime
+	t.WallTime += res.IO.WallTime
+	m.mu.Unlock()
+}
+
+// latencyStats is the /stats latency block (microseconds).
+type latencyStats struct {
+	Samples int   `json:"samples"`
+	P50US   int64 `json:"p50_us"`
+	P95US   int64 `json:"p95_us"`
+	P99US   int64 `json:"p99_us"`
+	MaxUS   int64 `json:"max_us"`
+}
+
+// percentile returns the p-quantile (0 < p ≤ 1) of a sorted sample using
+// the nearest-rank method.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// latencySnapshot sorts a copy of the current window and extracts the
+// reported percentiles.
+func (m *metrics) latencySnapshot() latencyStats {
+	m.mu.Lock()
+	sample := make([]time.Duration, m.n)
+	copy(sample, m.ring[:m.n])
+	m.mu.Unlock()
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	s := latencyStats{Samples: len(sample)}
+	if len(sample) > 0 {
+		s.P50US = percentile(sample, 0.50).Microseconds()
+		s.P95US = percentile(sample, 0.95).Microseconds()
+		s.P99US = percentile(sample, 0.99).Microseconds()
+		s.MaxUS = sample[len(sample)-1].Microseconds()
+	}
+	return s
+}
+
+// algSnapshots converts the per-algorithm totals for JSON.
+func (m *metrics) algSnapshots() map[string]algSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]algSnapshot, len(m.algs))
+	for name, t := range m.algs {
+		out[name] = algSnapshot{
+			Requests: t.Requests, Pairs: t.Pairs,
+			PageIO: t.PageIO, SeqIO: t.SeqIO,
+			VirtualUS: t.VirtualTime.Microseconds(),
+			WallUS:    t.WallTime.Microseconds(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package qserv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// This file evaluates descendant-axis path expressions (//a//b//c) against
+// stored relations: each step is one containment join between the previous
+// step's match set and the next tag's stored element set, exactly the
+// paper's decomposition of structural queries into containment-join
+// chains. Intermediate match sets are unsorted and unindexed — the case
+// the partitioning algorithms exist for — so each step goes through the
+// engine's normal Auto selection.
+//
+// The child axis (/) and equality predicates ([t="v"]) need the source
+// document's structure and text, which a stored database does not retain;
+// those are rejected at validation with a pointer to pbiquery.
+
+// canonicalPath validates a parsed expression for serving and returns its
+// canonical form (the cache key component) and the step tags.
+func canonicalPath(steps []containment.Step) (string, []string, error) {
+	tags := make([]string, len(steps))
+	var sb strings.Builder
+	for i, st := range steps {
+		if !st.Descendant {
+			return "", nil, fmt.Errorf("child axis (/%s) needs the source document; only // steps can be served from stored relations (use pbiquery for the full language)", st.Tag)
+		}
+		if st.PredChild != "" {
+			return "", nil, fmt.Errorf("predicates ([%s=...]) need document text; only bare // steps can be served from stored relations", st.PredChild)
+		}
+		tags[i] = st.Tag
+		sb.WriteString("//")
+		sb.WriteString(st.Tag)
+	}
+	return sb.String(), tags, nil
+}
+
+// pathStep reports one join step of a path evaluation.
+type pathStep struct {
+	Anc       string `json:"anc"`
+	Desc      string `json:"desc"`
+	Algorithm string `json:"algorithm"`
+	Matches   int64  `json:"matches"`
+}
+
+// evalPath runs the join chain for tags on one worker. It returns the
+// final match set in document order plus per-step join reports.
+func (wk *worker) evalPath(tags []string) ([]pbicode.Code, []pathStep, []*containment.Result, error) {
+	first, ok := wk.relation(tags[0])
+	if !ok {
+		return nil, nil, nil, &unknownRelationError{tags[0]}
+	}
+	if len(tags) == 1 {
+		codes, err := first.Codes()
+		return codes, nil, nil, err
+	}
+
+	var steps []pathStep
+	var results []*containment.Result
+	// anc is the stored first relation for step 1, then a temporary
+	// relation loaded from the previous match set.
+	anc := first
+	temp := false
+	for i := 1; i < len(tags); i++ {
+		desc, ok := wk.relation(tags[i])
+		if !ok {
+			return nil, nil, nil, &unknownRelationError{tags[i]}
+		}
+		matched := make(map[pbicode.Code]bool)
+		res, err := wk.eng.Join(anc, desc, containment.JoinOptions{
+			Emit: func(p containment.Pair) error {
+				matched[p.D] = true
+				return nil
+			},
+		})
+		if temp {
+			if ferr := wk.eng.Free(anc); ferr != nil && err == nil {
+				err = ferr
+			}
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		results = append(results, res)
+		steps = append(steps, pathStep{
+			Anc: tags[i-1], Desc: tags[i],
+			Algorithm: res.Algorithm, Matches: int64(len(matched)),
+		})
+		cur := make([]pbicode.Code, 0, len(matched))
+		for c := range matched {
+			cur = append(cur, c)
+		}
+		if i == len(tags)-1 {
+			sortDocOrder(cur)
+			return cur, steps, results, nil
+		}
+		anc, err = wk.eng.Load("q.path.anc", cur)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		temp = true
+	}
+	panic("unreachable")
+}
+
+// sortDocOrder orders codes as a document traversal would: by region
+// start, ancestors before their descendants.
+func sortDocOrder(codes []pbicode.Code) {
+	sort.Slice(codes, func(i, j int) bool {
+		si, sj := codes[i].Start(), codes[j].Start()
+		if si != sj {
+			return si < sj
+		}
+		return codes[i].Height() > codes[j].Height()
+	})
+}
+
+// unknownRelationError distinguishes "no such relation" (a 404) from
+// execution failures (500s).
+type unknownRelationError struct{ name string }
+
+func (e *unknownRelationError) Error() string {
+	return fmt.Sprintf("no stored relation for tag %q", e.name)
+}

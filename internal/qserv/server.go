@@ -1,0 +1,489 @@
+// Package qserv serves containment and path queries from a persisted
+// database (containment.Save / Open) over HTTP+JSON, with real
+// concurrency on top of the repository's deliberately single-threaded
+// Engine.
+//
+// The design keeps the paper's engine invariant — one goroutine per
+// engine — and gets parallelism from replication instead of locking:
+//
+//   - Engine pool: N engines are opened read-only over the one database
+//     file (Config.ReadOnly → storage.OverlayDisk). Each engine owns a
+//     private buffer pool and a private in-memory overlay for temporary
+//     join state, so engines share nothing mutable. A request borrows one
+//     engine for its whole execution and returns it.
+//   - Bounded admission: at most Workers requests execute and QueueDepth
+//     more wait; beyond that the server sheds load with 503 instead of
+//     queueing unboundedly.
+//   - Result cache: stored relations are immutable while serving, so a
+//     normalized query maps to one answer for the server's lifetime. An
+//     LRU cache returns byte-identical payloads on hits without touching
+//     an engine.
+//   - /stats: per-algorithm page I/O and virtual-clock totals, cache hit
+//     rate, queue gauges and p50/p95/p99 latency over a sliding window.
+//
+// cmd/pbiserve wraps this package in a binary with graceful shutdown;
+// cmd/pbiload drives it with closed- and open-loop workloads.
+package qserv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/pbitree/pbitree/containment"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DBPath is the page file of a database built with containment.Save
+	// (e.g. by pbidb build). Required.
+	DBPath string
+	// Workers is the engine pool size: the maximum number of queries
+	// executing at once. 0 means min(NumCPU, 8).
+	Workers int
+	// QueueDepth is the number of admitted requests that may wait for a
+	// worker before the server sheds load with 503. 0 means 64.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache. 0 means 1024; negative
+	// disables caching.
+	CacheEntries int
+	// BufferPages is each worker's private buffer pool size. 0 means 256.
+	BufferPages int
+	// DiskCost models the virtual disk each worker charges (stats only;
+	// no real delays). The zero value disables the clock.
+	DiskCost containment.DiskCost
+	// MaxCodes caps how many result codes /query echoes per response.
+	// 0 means 100.
+	MaxCodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.BufferPages == 0 {
+		c.BufferPages = 256
+	}
+	if c.MaxCodes <= 0 {
+		c.MaxCodes = 100
+	}
+	return c
+}
+
+// worker is one engine plus its view of the stored relations. Exactly one
+// request uses a worker at a time.
+type worker struct {
+	eng  *containment.Engine
+	rels map[string]*containment.Relation
+}
+
+// relation resolves a tag name, accepting both the raw catalog name and
+// the pbidb "tag:" convention.
+func (wk *worker) relation(name string) (*containment.Relation, bool) {
+	if r, ok := wk.rels[name]; ok {
+		return r, true
+	}
+	if r, ok := wk.rels["tag:"+name]; ok {
+		return r, true
+	}
+	return nil, false
+}
+
+// RelationInfo describes one stored relation (the /relations payload).
+type RelationInfo struct {
+	Name     string `json:"name"`
+	Tag      string `json:"tag"`
+	Elements int64  `json:"elements"`
+	Pages    int64  `json:"pages"`
+	Sorted   bool   `json:"sorted"`
+}
+
+// Server is a concurrent containment-join query server over one database.
+type Server struct {
+	cfg     Config
+	all     []*worker
+	workers chan *worker
+	admit   chan struct{}
+	cache   *resultCache // nil when disabled
+	met     *metrics
+	mux     *http.ServeMux
+	rels    []RelationInfo
+}
+
+// New opens cfg.Workers read-only engines over cfg.DBPath and returns a
+// server ready to handle requests.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DBPath == "" {
+		return nil, fmt.Errorf("qserv: Config.DBPath is required")
+	}
+	s := &Server{
+		cfg:     cfg,
+		workers: make(chan *worker, cfg.Workers),
+		admit:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		met:     newMetrics(),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		eng, rels, err := containment.Open(containment.Config{
+			Path:        cfg.DBPath,
+			ReadOnly:    true,
+			BufferPages: cfg.BufferPages,
+			DiskCost:    cfg.DiskCost,
+		})
+		if err != nil {
+			s.Close() //nolint:errcheck // the open error wins
+			return nil, fmt.Errorf("qserv: open worker %d: %w", i, err)
+		}
+		wk := &worker{eng: eng, rels: rels}
+		s.all = append(s.all, wk)
+		s.workers <- wk
+	}
+	for name, r := range s.all[0].rels {
+		s.rels = append(s.rels, RelationInfo{
+			Name: name, Tag: strings.TrimPrefix(name, "tag:"),
+			Elements: r.Len(), Pages: r.Pages(), Sorted: r.Sorted(),
+		})
+	}
+	sort.Slice(s.rels, func(i, j int) bool { return s.rels[i].Name < s.rels[j].Name })
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/join", s.handleJoin)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/relations", s.handleRelations)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Relations returns the stored relations' catalog metadata.
+func (s *Server) Relations() []RelationInfo { return s.rels }
+
+// Close releases every worker engine. It must only be called once no
+// request is in flight — after http.Server.Shutdown has drained the
+// handler (engines are single-threaded; see containment.Engine).
+func (s *Server) Close() error {
+	var first error
+	for _, wk := range s.all {
+		if err := wk.eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.all = nil
+	return first
+}
+
+// acquire admits a request and borrows a worker, or reports saturation.
+// The returned release must be called exactly once.
+func (s *Server) acquire() (*worker, func(), bool) {
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.met.rejected.Add(1)
+		return nil, nil, false
+	}
+	s.met.queued.Add(1)
+	wk := <-s.workers
+	s.met.queued.Add(-1)
+	s.met.busy.Add(1)
+	release := func() {
+		s.met.busy.Add(-1)
+		s.workers <- wk
+		<-s.admit
+	}
+	return wk, release, true
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.met.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)}) //nolint:errcheck // best-effort error body
+}
+
+// writePayload sends a rendered JSON payload, marking cache disposition.
+func (s *Server) writePayload(w http.ResponseWriter, payload []byte, cached bool, start time.Time) {
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(payload) //nolint:errcheck // client gone; nothing to do
+	s.met.observe(time.Since(start))
+}
+
+// overloaded sheds one request with 503 and a hint to retry.
+func (s *Server) overloaded(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	s.writeError(w, http.StatusServiceUnavailable,
+		"server saturated: %d executing, %d queued", s.cfg.Workers, s.cfg.QueueDepth)
+}
+
+// joinResponse is the /join payload.
+type joinResponse struct {
+	Anc         string `json:"anc"`
+	Desc        string `json:"desc"`
+	Algorithm   string `json:"algorithm"`
+	Count       int64  `json:"count"`
+	FalseHits   int64  `json:"false_hits,omitempty"`
+	PageIO      int64  `json:"page_io"`
+	SeqIO       int64  `json:"seq_io"`
+	PredictedIO int64  `json:"predicted_io"`
+	VirtualUS   int64  `json:"virtual_us"`
+	WallUS      int64  `json:"wall_us"`
+}
+
+// handleJoin serves GET /join?anc=TAG&desc=TAG[&algo=NAME].
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	anc, desc := r.URL.Query().Get("anc"), r.URL.Query().Get("desc")
+	if anc == "" || desc == "" {
+		s.writeError(w, http.StatusBadRequest, "anc and desc query parameters are required")
+		return
+	}
+	algoName := r.URL.Query().Get("algo")
+	alg, ok := containment.ParseAlgorithm(algoName)
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, "unknown algorithm %q (accepted: %s)",
+			algoName, strings.Join(containment.AlgorithmNames(), ", "))
+		return
+	}
+	key := fmt.Sprintf("join\x00%s\x00%s\x00%d", anc, desc, alg)
+	if payload, ok := s.lookup(key); ok {
+		s.writePayload(w, payload, true, start)
+		return
+	}
+
+	wk, release, ok := s.acquire()
+	if !ok {
+		s.overloaded(w)
+		return
+	}
+	defer release()
+	a, ok := wk.relation(anc)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", anc)
+		return
+	}
+	d, ok := wk.relation(desc)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", desc)
+		return
+	}
+	res, err := wk.eng.Join(a, d, containment.JoinOptions{Algorithm: alg})
+	if rerr := wk.eng.ReleaseTemp(); rerr != nil && err == nil {
+		err = rerr
+	}
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "join failed: %v", err)
+		return
+	}
+	s.met.recordJoin(res)
+	payload := mustJSON(joinResponse{
+		Anc: anc, Desc: desc,
+		Algorithm: res.Algorithm, Count: res.Count, FalseHits: res.FalseHits,
+		PageIO: res.IO.Total(), SeqIO: res.IO.SeqReads + res.IO.SeqWrites,
+		PredictedIO: res.PredictedIO,
+		VirtualUS:   res.IO.VirtualTime.Microseconds(),
+		WallUS:      res.IO.WallTime.Microseconds(),
+	})
+	s.store(key, payload)
+	s.writePayload(w, payload, false, start)
+}
+
+// queryResponse is the /query payload.
+type queryResponse struct {
+	Path      string     `json:"path"`
+	Count     int        `json:"count"`
+	Codes     []uint64   `json:"codes"`
+	Truncated bool       `json:"truncated"`
+	Steps     []pathStep `json:"steps,omitempty"`
+	PageIO    int64      `json:"page_io"`
+	VirtualUS int64      `json:"virtual_us"`
+	WallUS    int64      `json:"wall_us"`
+}
+
+// handleQuery serves GET /query?path=//a//b — descendant-axis path
+// expressions over stored relations.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	expr := r.URL.Query().Get("path")
+	if expr == "" {
+		s.writeError(w, http.StatusBadRequest, "path query parameter is required")
+		return
+	}
+	steps, err := containment.ParsePath(expr)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	canon, tags, err := canonicalPath(steps)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := "path\x00" + canon
+	if payload, ok := s.lookup(key); ok {
+		s.writePayload(w, payload, true, start)
+		return
+	}
+
+	wk, release, ok := s.acquire()
+	if !ok {
+		s.overloaded(w)
+		return
+	}
+	defer release()
+	codes, stepInfo, results, err := wk.evalPath(tags)
+	if rerr := wk.eng.ReleaseTemp(); rerr != nil && err == nil {
+		err = rerr
+	}
+	if err != nil {
+		var unknown *unknownRelationError
+		if errors.As(err, &unknown) {
+			s.writeError(w, http.StatusNotFound, "%v", err)
+		} else {
+			s.writeError(w, http.StatusInternalServerError, "path query failed: %v", err)
+		}
+		return
+	}
+	resp := queryResponse{Path: canon, Count: len(codes), Steps: stepInfo}
+	for _, res := range results {
+		s.met.recordJoin(res)
+		resp.PageIO += res.IO.Total()
+		resp.VirtualUS += res.IO.VirtualTime.Microseconds()
+		resp.WallUS += res.IO.WallTime.Microseconds()
+	}
+	n := len(codes)
+	if n > s.cfg.MaxCodes {
+		n, resp.Truncated = s.cfg.MaxCodes, true
+	}
+	resp.Codes = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		resp.Codes[i] = uint64(codes[i])
+	}
+	payload := mustJSON(resp)
+	s.store(key, payload)
+	s.writePayload(w, payload, false, start)
+}
+
+// writeJSON sends an uncached JSON body without touching the query
+// metrics (introspection endpoints stay out of the latency window).
+func writeJSON(w http.ResponseWriter, payload []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(payload) //nolint:errcheck // client gone; nothing to do
+}
+
+// handleRelations serves GET /relations.
+func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, mustJSON(s.rels))
+}
+
+// queueStats is the /stats admission block.
+type queueStats struct {
+	Workers  int   `json:"workers"`
+	Busy     int64 `json:"busy"`
+	Depth    int64 `json:"depth"`
+	Capacity int   `json:"capacity"`
+}
+
+// statsResponse is the /stats payload.
+type statsResponse struct {
+	UptimeS    float64                `json:"uptime_s"`
+	Database   string                 `json:"database"`
+	Requests   int64                  `json:"requests"`
+	Errors     int64                  `json:"errors"`
+	Rejected   int64                  `json:"rejected"`
+	Queue      queueStats             `json:"queue"`
+	Cache      *cacheStats            `json:"cache,omitempty"`
+	Latency    latencyStats           `json:"latency"`
+	Algorithms map[string]algSnapshot `json:"algorithms"`
+}
+
+// handleStats serves GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		UptimeS:  time.Since(s.met.start).Seconds(),
+		Database: s.cfg.DBPath,
+		Requests: s.met.requests.Load(),
+		Errors:   s.met.errors.Load(),
+		Rejected: s.met.rejected.Load(),
+		Queue: queueStats{
+			Workers: s.cfg.Workers, Busy: s.met.busy.Load(),
+			Depth: s.met.queued.Load(), Capacity: s.cfg.QueueDepth,
+		},
+		Latency:    s.met.latencySnapshot(),
+		Algorithms: s.met.algSnapshots(),
+	}
+	if s.cache != nil {
+		cs := s.cache.snapshot()
+		resp.Cache = &cs
+	}
+	writeJSON(w, mustJSON(resp))
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{"status":"ok"}`)) //nolint:errcheck // best effort
+}
+
+// lookup consults the cache when enabled.
+func (s *Server) lookup(key string) ([]byte, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	return s.cache.get(key)
+}
+
+// store populates the cache when enabled.
+func (s *Server) store(key string, payload []byte) {
+	if s.cache != nil {
+		s.cache.put(key, payload)
+	}
+}
+
+// mustJSON marshals a response struct; the structs here cannot fail.
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return append(data, '\n')
+}

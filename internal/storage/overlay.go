@@ -1,0 +1,178 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// OverlayDisk is a Disk over an immutable base page file opened read-only,
+// with every write and new allocation absorbed by a private in-memory
+// overlay. Any number of OverlayDisks may be open over the same file at
+// once — each holds its own descriptor, its own overlay and its own I/O
+// accounting — which is what lets N single-threaded engines serve queries
+// from one shared database concurrently (see containment.Config.ReadOnly
+// and internal/qserv).
+//
+// Semantics:
+//
+//   - Reads of base pages come from the file unless the page has been
+//     written through this overlay, in which case the private copy wins
+//     (copy-on-write; the file is never modified).
+//   - Alloc extends the page space beyond the base; those pages live only
+//     in the overlay. An allocated-but-unwritten page reads as zeroes,
+//     matching FileDisk.
+//   - Release drops the whole overlay: allocated pages disappear, modified
+//     base pages revert to their on-file content, and NumPages returns to
+//     the base count. Callers must ensure no live data (and no resident
+//     buffer-pool frame) references overlay state first; long-running
+//     servers call it between requests so temporary join state cannot
+//     accumulate.
+//
+// All accesses — base or overlay — feed the same sequential/random
+// accounting and virtual clock as FileDisk, so cost shapes match a
+// read-write engine spooling real temporary files.
+type OverlayDisk struct {
+	accounting
+	pageSize  int
+	f         *os.File
+	basePages PageID
+	overlay   map[PageID][]byte
+	numPages  PageID
+	closed    bool
+}
+
+// OpenOverlay opens the page file at path read-only and returns an
+// OverlayDisk over it. The file is never written; see OverlayDisk.
+func OpenOverlay(path string, pageSize int, cost CostModel) (*OverlayDisk, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open read-only disk file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat disk file: %w", err)
+	}
+	if st.Size()%int64(pageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: file size %d is not a multiple of page size %d", st.Size(), pageSize)
+	}
+	base := PageID(st.Size() / int64(pageSize))
+	return &OverlayDisk{
+		accounting: newAccounting(cost),
+		pageSize:   pageSize,
+		f:          f,
+		basePages:  base,
+		overlay:    map[PageID][]byte{},
+		numPages:   base,
+	}, nil
+}
+
+// PageSize implements Disk.
+func (d *OverlayDisk) PageSize() int { return d.pageSize }
+
+// NumPages implements Disk.
+func (d *OverlayDisk) NumPages() PageID { return d.numPages }
+
+// BaseNumPages returns the number of pages in the immutable base file.
+// Pages at or beyond this ID exist only in the overlay.
+func (d *OverlayDisk) BaseNumPages() PageID { return d.basePages }
+
+// OverlayPages returns the number of pages currently materialized in the
+// overlay (allocations plus copy-on-write copies) — a memory gauge.
+func (d *OverlayDisk) OverlayPages() int { return len(d.overlay) }
+
+// Read implements Disk.
+func (d *OverlayDisk) Read(id PageID, p []byte) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkBuf(p, d.pageSize); err != nil {
+		return err
+	}
+	if id < 0 || id >= d.numPages {
+		return fmt.Errorf("%w: read %d of %d", errPageRange, id, d.numPages)
+	}
+	d.onRead(id)
+	if data, ok := d.overlay[id]; ok {
+		copy(p, data)
+		return nil
+	}
+	if id >= d.basePages {
+		// Allocated but never written: zero page.
+		clear(p)
+		return nil
+	}
+	n, err := d.f.ReadAt(p, int64(id)*int64(d.pageSize))
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	for i := n; i < len(p); i++ {
+		p[i] = 0
+	}
+	return nil
+}
+
+// Write implements Disk. The base file is untouched; the page content is
+// retained in the overlay.
+func (d *OverlayDisk) Write(id PageID, p []byte) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkBuf(p, d.pageSize); err != nil {
+		return err
+	}
+	if id < 0 || id >= d.numPages {
+		return fmt.Errorf("%w: write %d of %d", errPageRange, id, d.numPages)
+	}
+	d.onWrite(id)
+	data, ok := d.overlay[id]
+	if !ok {
+		data = make([]byte, d.pageSize)
+		d.overlay[id] = data
+	}
+	copy(data, p)
+	return nil
+}
+
+// Alloc implements Disk. The new page lives only in the overlay.
+func (d *OverlayDisk) Alloc() (PageID, error) {
+	if d.closed {
+		return InvalidPageID, ErrClosed
+	}
+	d.stats.Allocs++
+	id := d.numPages
+	d.numPages++
+	return id, nil
+}
+
+// Release drops the overlay, reverting the disk to the base file's state:
+// pages allocated beyond the base disappear and modified base pages read
+// back their on-file content again. I/O counters are unaffected.
+func (d *OverlayDisk) Release() {
+	d.overlay = map[PageID][]byte{}
+	d.numPages = d.basePages
+}
+
+// Stats implements Disk.
+func (d *OverlayDisk) Stats() Stats { return d.stats }
+
+// ResetStats implements Disk.
+func (d *OverlayDisk) ResetStats() { d.reset() }
+
+// Close implements Disk.
+func (d *OverlayDisk) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	d.overlay = nil
+	return d.f.Close()
+}
+
+// Path returns the base file's name.
+func (d *OverlayDisk) Path() string { return d.f.Name() }
