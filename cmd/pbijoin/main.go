@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	pbijoin [-algo auto] [-buffer 500] [-pagesize 4096] [-compare] a.codes d.codes
+//	pbijoin [-algo auto] [-buffer 500] [-pagesize 4096] [-compare] [-analyze] a.codes d.codes
 //
 // -compare runs every applicable algorithm on the same inputs and prints a
-// comparison table instead of a single run.
+// comparison table instead of a single run. -analyze prints an EXPLAIN
+// ANALYZE table: the per-phase breakdown of page I/O, virtual disk time,
+// buffer-pool hit rate and pairs, against the §3.4 cost prediction.
 package main
 
 import (
@@ -29,6 +31,7 @@ func main() {
 		buffer   = flag.Int("buffer", 500, "buffer pool pages")
 		pageSize = flag.Int("pagesize", 4096, "page size in bytes")
 		compare  = flag.Bool("compare", false, "run all applicable algorithms and compare")
+		analyze  = flag.Bool("analyze", false, "EXPLAIN ANALYZE: print the per-phase cost breakdown")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -81,6 +84,15 @@ func main() {
 			fail(err)
 		}
 		eng.ResetIOStats()
+		if *analyze {
+			an, err := eng.Analyze(a, d, opts)
+			if err != nil {
+				fmt.Printf("%-12s error: %v\n", name, err)
+				return
+			}
+			fmt.Print(an.Table())
+			return
+		}
 		res, err := eng.Join(a, d, opts)
 		if err != nil {
 			fmt.Printf("%-12s error: %v\n", name, err)

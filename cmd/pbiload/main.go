@@ -88,8 +88,8 @@ func main() {
 // result is one request's outcome.
 type result struct {
 	latency time.Duration
-	status  int // 0 on transport error
-	cached  bool
+	status  int    // 0 on transport error
+	cache   string // X-Cache response header: "hit", "miss" or ""
 }
 
 // buildMix assembles the request URL list.
@@ -187,7 +187,7 @@ func doRequest(client *http.Client, u string) result {
 	return result{
 		latency: time.Since(start),
 		status:  resp.StatusCode,
-		cached:  resp.Header.Get("X-Cache") == "hit",
+		cache:   resp.Header.Get("X-Cache"),
 	}
 }
 
@@ -295,7 +295,7 @@ func collect(resc chan result, wg *sync.WaitGroup) []result {
 
 // report prints the summary and returns the number of failed requests.
 func report(results []result, elapsed time.Duration) int {
-	var transportErrs, non200, cached int
+	var transportErrs, non200, hits, misses int
 	lats := make([]time.Duration, 0, len(results))
 	byStatus := map[int]int{}
 	for _, r := range results {
@@ -307,17 +307,26 @@ func report(results []result, elapsed time.Duration) int {
 			byStatus[r.status]++
 		default:
 			lats = append(lats, r.latency)
-			if r.cached {
-				cached++
+			switch r.cache {
+			case "hit":
+				hits++
+			case "miss":
+				misses++
 			}
 		}
 	}
 	fmt.Printf("pbiload: %d requests in %v (%.1f req/s)  ok=%d cached=%d non200=%d errors=%d\n",
 		len(results), elapsed.Round(time.Millisecond),
 		float64(len(results))/elapsed.Seconds(),
-		len(lats), cached, non200, transportErrs)
+		len(lats), hits, non200, transportErrs)
 	for status, count := range byStatus {
 		fmt.Printf("pbiload:   status %d: %d\n", status, count)
+	}
+	// Server-side cache disposition, counted from the X-Cache header every
+	// /join and /query response carries.
+	if hits+misses > 0 {
+		fmt.Printf("pbiload: server cache: %d hits / %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
 	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })

@@ -27,13 +27,14 @@ import (
 
 func main() {
 	var (
-		anc    = flag.String("anc", "", "ancestor tag")
-		desc   = flag.String("desc", "", "descendant tag")
-		path   = flag.String("path", "", "path expression, e.g. //a[t=\"v\"]//b (overrides -anc/-desc)")
-		algo   = flag.String("algo", "auto", "algorithm: auto|nlj|shcj|mhcj|rollup|vpj|inljn|stacktree|stackanc|mpmgjn|adb")
-		where  = flag.String("where", "", "ancestor filter childTag=text")
-		limit  = flag.Int("limit", 10, "result pairs to print (0 = count only)")
-		buffer = flag.Int("buffer", 500, "buffer pool pages")
+		anc     = flag.String("anc", "", "ancestor tag")
+		desc    = flag.String("desc", "", "descendant tag")
+		path    = flag.String("path", "", "path expression, e.g. //a[t=\"v\"]//b (overrides -anc/-desc)")
+		algo    = flag.String("algo", "auto", "algorithm: auto|nlj|shcj|mhcj|rollup|vpj|inljn|stacktree|stackanc|mpmgjn|adb")
+		where   = flag.String("where", "", "ancestor filter childTag=text")
+		limit   = flag.Int("limit", 10, "result pairs to print (0 = count only)")
+		buffer  = flag.Int("buffer", 500, "buffer pool pages")
+		analyze = flag.Bool("analyze", false, "EXPLAIN ANALYZE: print the per-phase cost breakdown (with -anc/-desc)")
 	)
 	flag.Parse()
 	if (*path == "" && (*anc == "" || *desc == "")) || flag.NArg() != 1 {
@@ -118,6 +119,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pbiquery: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *analyze {
+		an, err := eng.Analyze(a, d, containment.JoinOptions{Algorithm: alg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbiquery: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("//%s//%s:\n%s", *anc, *desc, an.Table())
+		return
 	}
 
 	printed := 0

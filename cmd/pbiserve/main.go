@@ -7,6 +7,7 @@
 //
 //	pbiserve -db site.db [-addr :8080] [-workers 8] [-queue 64]
 //	         [-cache 1024] [-buffer 256] [-diskcost 2003|none]
+//	         [-accesslog FILE|-] [-pprof]
 //
 // Endpoints:
 //
@@ -14,7 +15,13 @@
 //	GET /query?path=//a//b//c                descendant-axis path query
 //	GET /relations                           stored relations
 //	GET /stats                               cache / queue / latency / per-algorithm I/O
+//	GET /metrics                             Prometheus text exposition
+//	GET /debug/trace?anc=..&desc=..|query=.. EXPLAIN ANALYZE span tree (JSON)
+//	GET /debug/pprof/                        profiling (only with -pprof)
 //	GET /healthz                             liveness
+//
+// Every response carries an X-Trace-Id header; -accesslog writes one JSON
+// line per request with the same ID (see doc/OBSERVABILITY.md).
 //
 // SIGINT/SIGTERM drain in-flight queries before the process exits.
 package main
@@ -24,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,14 +44,16 @@ import (
 
 func main() {
 	var (
-		db       = flag.String("db", "", "database page file built by pbidb build (required)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "engine pool size (0 = min(NumCPU, 8))")
-		queue    = flag.Int("queue", 64, "admission queue depth beyond the worker count (0 = no queue)")
-		cache    = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
-		buffer   = flag.Int("buffer", 256, "buffer pool pages per worker")
-		diskcost = flag.String("diskcost", "2003", "virtual disk cost model: 2003|none")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		db        = flag.String("db", "", "database page file built by pbidb build (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "engine pool size (0 = min(NumCPU, 8))")
+		queue     = flag.Int("queue", 64, "admission queue depth beyond the worker count (0 = no queue)")
+		cache     = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
+		buffer    = flag.Int("buffer", 256, "buffer pool pages per worker")
+		diskcost  = flag.String("diskcost", "2003", "virtual disk cost model: 2003|none")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		accesslog = flag.String("accesslog", "", "write JSON request logs to this file (- = stdout)")
+		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *db == "" || flag.NArg() != 0 {
@@ -59,6 +69,20 @@ func main() {
 		fail(fmt.Errorf("unknown -diskcost %q (2003|none)", *diskcost))
 	}
 
+	var logw io.Writer
+	switch *accesslog {
+	case "":
+	case "-":
+		logw = os.Stdout
+	default:
+		f, err := os.OpenFile(*accesslog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		logw = f
+	}
+
 	// The flag default is explicit, so a user-given 0 means "no queue" —
 	// map it to the Config convention (negative), where 0 means default.
 	if *queue == 0 {
@@ -71,6 +95,8 @@ func main() {
 		CacheEntries: *cache,
 		BufferPages:  *buffer,
 		DiskCost:     cost,
+		AccessLog:    logw,
+		EnablePprof:  *pprofFlag,
 	})
 	if err != nil {
 		fail(err)

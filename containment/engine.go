@@ -10,6 +10,7 @@ import (
 	"github.com/pbitree/pbitree/internal/itree"
 	"github.com/pbitree/pbitree/internal/relation"
 	"github.com/pbitree/pbitree/internal/storage"
+	"github.com/pbitree/pbitree/internal/trace"
 	"github.com/pbitree/pbitree/pbicode"
 	"github.com/pbitree/pbitree/xmltree"
 )
@@ -250,6 +251,12 @@ type IOStats struct {
 	VirtualTime time.Duration
 	// WallTime is the measured host time.
 	WallTime time.Duration
+	// PoolHits / PoolMisses / PoolEvictions are buffer-pool counters for
+	// the same window: page requests served from memory, requests that went
+	// to disk, and frames evicted to make room.
+	PoolHits      int64
+	PoolMisses    int64
+	PoolEvictions int64
 }
 
 // Total returns total page I/Os.
@@ -332,8 +339,36 @@ func (s *optSink) Emit(a, d relation.Rec) error {
 
 // Join evaluates a ◁ d.
 func (e *Engine) Join(a, d *Relation, opts JoinOptions) (*Result, error) {
+	res, _, err := e.join(a, d, opts, false)
+	return res, err
+}
+
+// snapCounters builds the trace snapshot closure over the engine's physical
+// counters plus the per-join pair count.
+func (e *Engine) snapCounters(stats *core.Stats) func() trace.Counters {
+	return func() trace.Counters {
+		ds := e.disk.Stats()
+		ps := e.pool.Stats()
+		return trace.Counters{
+			Reads:         ds.Reads,
+			Writes:        ds.Writes,
+			SeqReads:      ds.SeqReads,
+			SeqWrites:     ds.SeqWrites,
+			VirtualIO:     ds.VirtualIO,
+			PoolHits:      ps.Hits,
+			PoolMisses:    ps.Misses,
+			PoolEvictions: ps.Evictions,
+			Pairs:         stats.Pairs,
+		}
+	}
+}
+
+// join is the shared body of Join and Analyze. When traced is set it runs
+// the execution under a trace.Recorder whose root span brackets exactly the
+// window measured into Result.IO, and returns the finished span tree.
+func (e *Engine) join(a, d *Relation, opts JoinOptions, traced bool) (*Result, *trace.Span, error) {
 	if opts.BufferPages > e.pool.Size() {
-		return nil, fmt.Errorf("containment: BufferPages %d exceeds pool size %d", opts.BufferPages, e.pool.Size())
+		return nil, nil, fmt.Errorf("containment: BufferPages %d exceeds pool size %d", opts.BufferPages, e.pool.Size())
 	}
 	stats := &core.Stats{}
 	ctx := &core.Context{
@@ -360,6 +395,13 @@ func (e *Engine) Join(a, d *Relation, opts JoinOptions) (*Result, error) {
 	}
 	res.PredictedIO = core.EstimateIO(alg, core.Gather(ctx, spec, a.rel, d.rel))
 
+	// The recorder's root span opens here so its counter window coincides
+	// with the before/after bracketing below: the root Total equals
+	// Result.IO, and self-attributed phase costs sum to it exactly.
+	if traced {
+		ctx.Trace = trace.New("join", e.snapCounters(stats))
+	}
+	poolBefore := e.pool.Stats()
 	before := e.disk.Stats()
 	start := time.Now()
 	var err error
@@ -377,10 +419,12 @@ func (e *Engine) Join(a, d *Relation, opts JoinOptions) (*Result, error) {
 		}
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	wall := time.Since(start)
 	io := e.disk.Stats().Sub(before)
+	poolIO := e.pool.Stats().Sub(poolBefore)
+	root := ctx.Trace.Finish()
 
 	res.Algorithm = alg.String()
 	res.Count = stats.Pairs
@@ -392,14 +436,17 @@ func (e *Engine) Join(a, d *Relation, opts JoinOptions) (*Result, error) {
 	res.Replicated = stats.Replicated
 	res.IndexProbes = stats.IndexProbes
 	res.IO = IOStats{
-		Reads:       io.Reads,
-		Writes:      io.Writes,
-		SeqReads:    io.SeqReads,
-		SeqWrites:   io.SeqWrites,
-		VirtualTime: io.VirtualIO,
-		WallTime:    wall,
+		Reads:         io.Reads,
+		Writes:        io.Writes,
+		SeqReads:      io.SeqReads,
+		SeqWrites:     io.SeqWrites,
+		VirtualTime:   io.VirtualIO,
+		WallTime:      wall,
+		PoolHits:      poolIO.Hits,
+		PoolMisses:    poolIO.Misses,
+		PoolEvictions: poolIO.Evictions,
 	}
-	return res, nil
+	return res, root, nil
 }
 
 // JoinDoc loads the two tag sets of doc and joins them: the containment

@@ -24,6 +24,17 @@ type Stats struct {
 	Flushes   int64 // dirty pages written back
 }
 
+// Sub returns the difference s - t, for measuring a bracketed operation
+// (the per-join cache-effectiveness deltas of containment.IOStats).
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - t.Hits,
+		Misses:    s.Misses - t.Misses,
+		Evictions: s.Evictions - t.Evictions,
+		Flushes:   s.Flushes - t.Flushes,
+	}
+}
+
 // Frame is a pinned page in the pool. Data aliases the pool's frame memory
 // and is valid until the matching Unpin; callers that modified Data must
 // unpin with dirty = true.

@@ -77,6 +77,8 @@ func (c *treeCursor) close() {
 // which BuildStartIndex guarantees).
 func ADBPlus(ctx *Context, aIdx, dIdx *btree.Tree, sink Sink) error {
 	sink = ctx.Wrap(sink)
+	sp := ctx.Trace.Start("merge-scan")
+	defer ctx.Trace.End(sp)
 	stats := ctx.stats()
 	ac, err := newTreeCursor(aIdx)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 
 	"github.com/pbitree/pbitree/internal/buffer"
 	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/internal/trace"
 	"github.com/pbitree/pbitree/pbicode"
 )
 
@@ -42,6 +43,10 @@ type Context struct {
 	VPJRootCut bool
 	// Stats accumulates execution counters when non-nil.
 	Stats *Stats
+	// Trace records per-phase spans when non-nil (EXPLAIN ANALYZE and
+	// serving telemetry). Nil disables recording: the algorithms' phase
+	// boundaries cost one nil check and allocate nothing.
+	Trace *trace.Recorder
 
 	tmpSeq int
 }
@@ -203,6 +208,8 @@ func quantileHeight(hist map[int]int64, frac float64) int {
 // recursive algorithms.
 func NestedLoop(ctx *Context, a, d *relation.Relation, sink Sink) error {
 	sink = ctx.Wrap(sink)
+	sp := ctx.Trace.Start("nested-loop")
+	defer ctx.Trace.End(sp)
 	chunkCap := ctx.memRecs(ctx.b() - 2)
 	if chunkCap < 1 {
 		chunkCap = 1

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"github.com/pbitree/pbitree/internal/relation"
 	"github.com/pbitree/pbitree/pbicode"
 )
@@ -105,6 +107,8 @@ func equiJoin(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sin
 
 // hashJoinBuildA builds the table on the ancestor side and streams D.
 func hashJoinBuildA(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sink) error {
+	sp := ctx.Trace.StartDetail("hash-join", "build=A")
+	defer ctx.Trace.End(sp)
 	table := newHashTable(a.NumRecords())
 	as := a.Scan()
 	defer as.Close()
@@ -138,6 +142,8 @@ func hashJoinBuildA(ctx *Context, a, d *relation.Relation, h int, prep aPrep, si
 // hashJoinBuildD builds the table on the descendant side (keyed by the
 // derived F code) and streams A.
 func hashJoinBuildD(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sink) error {
+	sp := ctx.Trace.StartDetail("hash-join", "build=D")
+	defer ctx.Trace.End(sp)
 	table := newHashTable(d.NumRecords())
 	ds := d.Scan()
 	defer ds.Close()
@@ -187,6 +193,7 @@ func graceJoin(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Si
 		ctx.stats().MaxRecursion = depth + 1
 	}
 
+	psp := ctx.Trace.StartDetail("grace-partition", fmt.Sprintf("k=%d depth=%d", k, depth))
 	aParts, err := hashPartition(ctx, a, k, "ha", func(r relation.Rec) (relation.Rec, uint64, bool) {
 		if prep != nil {
 			r = prep(r)
@@ -194,12 +201,14 @@ func graceJoin(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Si
 		return r, uint64(r.Code), true
 	}, salt)
 	if err != nil {
+		ctx.Trace.End(psp)
 		return err
 	}
 	dParts, err := hashPartition(ctx, d, k, "hd", func(r relation.Rec) (relation.Rec, uint64, bool) {
 		key, ok := dKey(r, h)
 		return r, uint64(key), ok
 	}, salt)
+	ctx.Trace.End(psp)
 	if err != nil {
 		freeAll(aParts)
 		return err
@@ -290,6 +299,8 @@ func freeAll(parts []*relation.Relation) {
 // blockEquiJoin is the terminal fallback: hash chunks of A in memory and
 // rescan D per chunk.
 func blockEquiJoin(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sink) error {
+	sp := ctx.Trace.Start("block-join")
+	defer ctx.Trace.End(sp)
 	chunkCap := ctx.memRecs(ctx.b() - 2)
 	if chunkCap < 1 {
 		chunkCap = 1

@@ -46,7 +46,12 @@ func MHCJ(ctx *Context, a, d *relation.Relation, sink Sink) error {
 }
 
 func mhcj(ctx *Context, a, d *relation.Relation, sink Sink) error {
+	psp := ctx.Trace.Start("partition")
 	parts, heights, err := partitionByHeight(ctx, a)
+	if psp != nil {
+		psp.Detail = fmt.Sprintf("heights=%d", len(heights))
+	}
+	ctx.Trace.End(psp)
 	if err != nil {
 		return err
 	}
@@ -58,7 +63,10 @@ func mhcj(ctx *Context, a, d *relation.Relation, sink Sink) error {
 		}
 	}()
 	for _, h := range heights {
-		if err := equiJoin(ctx, parts[h], d, h, nil, sink, 0); err != nil {
+		sp := ctx.Trace.StartDetail("equijoin", fmt.Sprintf("h=%d", h))
+		err := equiJoin(ctx, parts[h], d, h, nil, sink, 0)
+		ctx.Trace.End(sp)
+		if err != nil {
 			return err
 		}
 		if err := parts[h].Free(); err != nil {
@@ -196,7 +204,9 @@ func mhcjRollup(ctx *Context, a, d *relation.Relation, targetH int, sink Sink) e
 	knownMax := ctx.MaxAncestorHeight
 	if targetH <= 0 || knownMax == 0 {
 		if knownMax == 0 {
+			hsp := ctx.Trace.Start("height-scan")
 			hist, err := HeightHistogram(a)
+			ctx.Trace.End(hsp)
 			if err != nil {
 				return err
 			}
@@ -223,12 +233,16 @@ func mhcjRollup(ctx *Context, a, d *relation.Relation, targetH int, sink Sink) e
 	if targetH >= knownMax {
 		// Simple strategy: everything rolls to one height; a single
 		// equijoin with on-the-fly rollup.
-		return equiJoin(ctx, a, d, targetH, rollPrep(targetH), vs, 0)
+		sp := ctx.Trace.StartDetail("equijoin", fmt.Sprintf("rollup h=%d", targetH))
+		err := equiJoin(ctx, a, d, targetH, rollPrep(targetH), vs, 0)
+		ctx.Trace.End(sp)
+		return err
 	}
 	// General case: heights above targetH survive the rollup. Split the
 	// scan: records at or below targetH roll into one equijoin input;
 	// the (few) higher records go to a side file joined in a single
 	// multi-height pass over D.
+	ssp := ctx.Trace.StartDetail("rollup-split", fmt.Sprintf("h=%d", targetH))
 	rolled := relation.New(ctx.Pool, ctx.tmp("rollup"))
 	high := relation.New(ctx.Pool, ctx.tmp("rollup.high"))
 	rApp, hApp := rolled.NewAppender(), high.NewAppender()
@@ -261,10 +275,14 @@ func mhcjRollup(ctx *Context, a, d *relation.Relation, targetH int, sink Sink) e
 	if err := hApp.Close(); err != nil {
 		return err
 	}
+	ctx.Trace.End(ssp)
 	defer rolled.Free() //nolint:errcheck // cleanup
 	defer high.Free()   //nolint:errcheck // cleanup
 	if rolled.NumRecords() > 0 {
-		if err := equiJoin(ctx, rolled, d, targetH, nil, vs, 0); err != nil {
+		sp := ctx.Trace.StartDetail("equijoin", fmt.Sprintf("rollup h=%d", targetH))
+		err := equiJoin(ctx, rolled, d, targetH, nil, vs, 0)
+		ctx.Trace.End(sp)
+		if err != nil {
 			return err
 		}
 	}
@@ -272,7 +290,10 @@ func mhcjRollup(ctx *Context, a, d *relation.Relation, targetH int, sink Sink) e
 		return nil
 	}
 	if high.NumRecords() <= int64(ctx.memRecs(ctx.b()-2)) {
-		return multiHeightProbeJoin(ctx, high, d, sink)
+		sp := ctx.Trace.Start("multi-probe")
+		err := multiHeightProbeJoin(ctx, high, d, sink)
+		ctx.Trace.End(sp)
+		return err
 	}
 	// A heavy above-target tail (the target was a quantile, so this means
 	// an extreme distribution): per-height equijoins as in plain MHCJ.

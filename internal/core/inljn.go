@@ -33,6 +33,8 @@ func (b btreeSource) Err() error  { return b.s.Err() }
 // on region Start (value = code). It returns the tree; the sorted
 // intermediate is freed.
 func BuildStartIndex(ctx *Context, rel *relation.Relation, name string) (*btree.Tree, error) {
+	sp := ctx.Trace.StartDetail("index-build", name)
+	defer ctx.Trace.End(sp)
 	sorted, err := SortByDoc(ctx, rel, name)
 	if err != nil {
 		return nil, err
@@ -47,6 +49,8 @@ func BuildStartIndex(ctx *Context, rel *relation.Relation, name string) (*btree.
 // input is scanned once (cost charged); construction state is in memory,
 // like a bulk load (see DESIGN.md's substitution notes).
 func BuildIntervalIndex(ctx *Context, rel *relation.Relation) (*itree.Tree, error) {
+	sp := ctx.Trace.StartDetail("index-build", "itree")
+	defer ctx.Trace.End(sp)
 	recs, err := rel.ReadAll()
 	if err != nil {
 		return nil, err
@@ -87,6 +91,8 @@ func inlCost(outer, inner *relation.Relation) int64 {
 // each ancestor, the descendants are the entries with Start in
 // [a.Start, a.End] and lower height.
 func INLJNProbeDescendants(ctx *Context, a *relation.Relation, dIdx *btree.Tree, sink Sink) error {
+	sp := ctx.Trace.StartDetail("probe", "index=D")
+	defer ctx.Trace.End(sp)
 	stats := ctx.stats()
 	s := a.Scan()
 	defer s.Close()
@@ -112,6 +118,8 @@ func INLJNProbeDescendants(ctx *Context, a *relation.Relation, dIdx *btree.Tree,
 // each descendant stabs with its Start; results above its height are its
 // ancestors.
 func INLJNProbeAncestors(ctx *Context, aIdx *itree.Tree, d *relation.Relation, sink Sink) error {
+	sp := ctx.Trace.StartDetail("probe", "index=A")
+	defer ctx.Trace.End(sp)
 	stats := ctx.stats()
 	s := d.Scan()
 	defer s.Close()

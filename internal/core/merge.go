@@ -19,9 +19,13 @@ func docLess(x, y relation.Rec) bool {
 }
 
 // SortByDoc sorts rel into document order with the context's memory
-// budget. Baselines use it to sort inputs on the fly.
+// budget. Baselines use it to sort inputs on the fly. Run generation and
+// merge passes are recorded as phases when tracing is on.
 func SortByDoc(ctx *Context, rel *relation.Relation, name string) (*relation.Relation, error) {
-	return extsort.Sort(ctx.Pool, rel, extsort.ByStartEndDesc, ctx.b(), ctx.tmp(name))
+	sp := ctx.Trace.StartDetail("sort", name)
+	out, err := extsort.SortTrace(ctx.Pool, rel, extsort.ByStartEndDesc, ctx.b(), ctx.tmp(name), ctx.Trace)
+	ctx.Trace.End(sp)
+	return out, err
 }
 
 // stack is the ancestor stack shared by the merge joins: a chain of nested
@@ -56,6 +60,8 @@ func (st stack) emitMatches(d relation.Rec, sink Sink) error {
 // inputs: optimal one-pass merge, output ordered by descendant.
 func StackTree(ctx *Context, a, d *relation.Relation, sink Sink) error {
 	sink = ctx.Wrap(sink)
+	sp := ctx.Trace.Start("merge-scan")
+	defer ctx.Trace.End(sp)
 	as, ds := a.Scan(), d.Scan()
 	defer as.Close()
 	defer ds.Close()
@@ -107,6 +113,8 @@ func StackTreeOnTheFly(ctx *Context, a, d *relation.Relation, sink Sink) error {
 // record reads).
 func MPMGJN(ctx *Context, a, d *relation.Relation, sink Sink) error {
 	sink = ctx.Wrap(sink)
+	sp := ctx.Trace.Start("merge-scan")
+	defer ctx.Trace.End(sp)
 	stats := ctx.stats()
 	as := a.Scan()
 	defer as.Close()
@@ -169,6 +177,8 @@ func MPMGJNOnTheFly(ctx *Context, a, d *relation.Relation, sink Sink) error {
 // result size.
 func StackTreeAnc(ctx *Context, a, d *relation.Relation, sink Sink) error {
 	sink = ctx.Wrap(sink)
+	sp := ctx.Trace.Start("merge-scan")
+	defer ctx.Trace.End(sp)
 	type entry struct {
 		rec     relation.Rec
 		self    []Pair // (rec, d) results, in d order

@@ -46,6 +46,8 @@ func vpj(ctx *Context, a, d *relation.Relation, sink Sink, minLevel, depth int) 
 	if minPages <= int64(b-2) {
 		return memoryContainmentJoin(ctx, a, d, sink)
 	}
+	lsp := ctx.Trace.StartDetail("vpj-level", fmt.Sprintf("depth=%d", depth))
+	defer ctx.Trace.End(lsp)
 	// Choose the cut level: k0 partitions of roughly the buffer size each
 	// (Algorithm 5 line 1). The cut counts levels below the *common
 	// ancestor of the data*, not below the root: documents embed
@@ -110,11 +112,14 @@ func vpj(ctx *Context, a, d *relation.Relation, sink Sink, minLevel, depth int) 
 		ctx.stats().MaxRecursion = depth + 1
 	}
 
+	psp := ctx.Trace.StartDetail("vpartition", fmt.Sprintf("l=%d k=%d depth=%d", l, k, depth))
 	aParts, err := vPartition(ctx, a, l, offset, k, true)
 	if err != nil {
+		ctx.Trace.End(psp)
 		return err
 	}
 	dParts, err := vPartition(ctx, d, l, offset, k, false)
+	ctx.Trace.End(psp)
 	if err != nil {
 		freeAll(aParts)
 		return err
@@ -267,6 +272,8 @@ func memoryContainmentJoin(ctx *Context, a, d *relation.Relation, sink Sink) err
 // descendants of a are exactly the loaded records with Start in
 // [a.Start, a.End] and height below a's (closed-region semantics).
 func memProbeJoin(ctx *Context, a, d *relation.Relation, sink Sink) error {
+	sp := ctx.Trace.Start("mem-join")
+	defer ctx.Trace.End(sp)
 	recs, err := d.ReadAll()
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@ import (
 
 	"github.com/pbitree/pbitree/internal/buffer"
 	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/internal/trace"
 )
 
 // Key is a two-word lexicographic sort key.
@@ -50,10 +51,21 @@ func ByCode(r relation.Rec) Key { return Key{uint64(r.Code), 0} }
 // pages of working memory (memPages >= 3: one input, one output, one
 // spare for merging). The input relation is left untouched.
 func Sort(pool *buffer.Pool, in *relation.Relation, key KeyFunc, memPages int, name string) (*relation.Relation, error) {
+	return SortTrace(pool, in, key, memPages, name, nil)
+}
+
+// SortTrace is Sort with phase recording: run generation and each merge
+// pass become spans of tr (which may be nil — then this is exactly Sort).
+func SortTrace(pool *buffer.Pool, in *relation.Relation, key KeyFunc, memPages int, name string, tr *trace.Recorder) (*relation.Relation, error) {
 	if memPages < 3 {
 		return nil, fmt.Errorf("extsort: need at least 3 memory pages, have %d", memPages)
 	}
+	sp := tr.Start("sort-runs")
 	runs, err := makeRuns(pool, in, key, memPages, name)
+	if sp != nil {
+		sp.Detail = fmt.Sprintf("runs=%d", len(runs))
+	}
+	tr.End(sp)
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +76,7 @@ func Sort(pool *buffer.Pool, in *relation.Relation, key KeyFunc, memPages int, n
 	pass := 0
 	for len(runs) > 1 {
 		pass++
+		sp := tr.StartDetail("sort-merge", fmt.Sprintf("pass=%d runs=%d fanin=%d", pass, len(runs), fanIn))
 		var next []*relation.Relation
 		for lo := 0; lo < len(runs); lo += fanIn {
 			hi := lo + fanIn
@@ -72,16 +85,19 @@ func Sort(pool *buffer.Pool, in *relation.Relation, key KeyFunc, memPages int, n
 			}
 			merged, err := mergeRuns(pool, runs[lo:hi], key, fmt.Sprintf("%s.p%d.%d", name, pass, lo))
 			if err != nil {
+				tr.End(sp)
 				return nil, err
 			}
 			for _, r := range runs[lo:hi] {
 				if err := r.Free(); err != nil {
+					tr.End(sp)
 					return nil, err
 				}
 			}
 			next = append(next, merged)
 		}
 		runs = next
+		tr.End(sp)
 	}
 	return runs[0], nil
 }

@@ -1,0 +1,158 @@
+package qserv
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+
+	"github.com/pbitree/pbitree/containment"
+)
+
+// This file implements GET /debug/trace: run one query uncached with
+// EXPLAIN ANALYZE and return the span tree(s) as JSON — the serving-side
+// window into the same per-phase breakdown pbijoin -analyze prints.
+//
+//	/debug/trace?anc=TAG&desc=TAG[&algo=NAME]   one containment join
+//	/debug/trace?query=//a//b//c                a path query (one tree per step)
+//
+// The request always executes (the result cache is bypassed): a trace of a
+// cache hit would be empty, and the endpoint exists to observe execution.
+
+// traceSpanSet is one traced join within a /debug/trace response.
+type traceSpanSet struct {
+	Anc         string                `json:"anc,omitempty"`
+	Desc        string                `json:"desc,omitempty"`
+	Algorithm   string                `json:"algorithm"`
+	Count       int64                 `json:"count"`
+	PageIO      int64                 `json:"page_io"`
+	PredictedIO int64                 `json:"predicted_io"`
+	VirtualUS   int64                 `json:"virtual_us"`
+	WallUS      int64                 `json:"wall_us"`
+	Spans       *containment.SpanNode `json:"spans"`
+}
+
+// traceResponse is the /debug/trace payload.
+type traceResponse struct {
+	TraceID string         `json:"trace_id"`
+	Query   string         `json:"query"`
+	Joins   []traceSpanSet `json:"joins"`
+}
+
+// handleDebugTrace serves GET /debug/trace.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	anc, desc, expr := q.Get("anc"), q.Get("desc"), q.Get("query")
+	switch {
+	case expr != "":
+		s.traceQuery(w, expr)
+	case anc != "" && desc != "":
+		s.traceJoin(w, anc, desc, q.Get("algo"))
+	default:
+		s.writeError(w, http.StatusBadRequest, "pass anc+desc (a join) or query (a path expression)")
+	}
+}
+
+// spanSet converts one analysis into its response form.
+func spanSet(anc, desc string, an *containment.Analysis) traceSpanSet {
+	res := an.Result
+	return traceSpanSet{
+		Anc: anc, Desc: desc,
+		Algorithm:   res.Algorithm,
+		Count:       res.Count,
+		PageIO:      res.IO.Total(),
+		PredictedIO: res.PredictedIO,
+		VirtualUS:   res.IO.VirtualTime.Microseconds(),
+		WallUS:      res.IO.WallTime.Microseconds(),
+		Spans:       an.SpanTree(),
+	}
+}
+
+// traceJoin analyzes one containment join and returns its span tree.
+func (s *Server) traceJoin(w http.ResponseWriter, anc, desc, algoName string) {
+	alg, ok := containment.ParseAlgorithm(algoName)
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, "unknown algorithm %q (accepted: %s)",
+			algoName, strings.Join(containment.AlgorithmNames(), ", "))
+		return
+	}
+	wk, release, ok := s.acquire()
+	if !ok {
+		s.overloaded(w)
+		return
+	}
+	defer release()
+	a, ok := wk.relation(anc)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", anc)
+		return
+	}
+	d, ok := wk.relation(desc)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", desc)
+		return
+	}
+	an, err := wk.eng.Analyze(a, d, containment.JoinOptions{Algorithm: alg})
+	if rerr := wk.eng.ReleaseTemp(); rerr != nil && err == nil {
+		err = rerr
+	}
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "join failed: %v", err)
+		return
+	}
+	s.met.recordJoin(an.Result)
+	s.met.recordPhases(an.Result.Algorithm, an.Phases)
+	writeJSON(w, mustJSON(traceResponse{
+		TraceID: w.Header().Get("X-Trace-Id"),
+		Query:   "//" + anc + "//" + desc,
+		Joins:   []traceSpanSet{spanSet(anc, desc, an)},
+	}))
+}
+
+// traceQuery analyzes a descendant-axis path query, one span tree per join
+// step.
+func (s *Server) traceQuery(w http.ResponseWriter, expr string) {
+	steps, err := containment.ParsePath(expr)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	canon, tags, err := canonicalPath(steps)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wk, release, ok := s.acquire()
+	if !ok {
+		s.overloaded(w)
+		return
+	}
+	defer release()
+	_, stepInfo, analyses, err := wk.evalPath(tags)
+	if rerr := wk.eng.ReleaseTemp(); rerr != nil && err == nil {
+		err = rerr
+	}
+	if err != nil {
+		var unknown *unknownRelationError
+		if errors.As(err, &unknown) {
+			s.writeError(w, http.StatusNotFound, "%v", err)
+		} else {
+			s.writeError(w, http.StatusInternalServerError, "path query failed: %v", err)
+		}
+		return
+	}
+	resp := traceResponse{TraceID: w.Header().Get("X-Trace-Id"), Query: canon}
+	for i, an := range analyses {
+		s.met.recordJoin(an.Result)
+		s.met.recordPhases(an.Result.Algorithm, an.Phases)
+		set := spanSet("", "", an)
+		if i < len(stepInfo) {
+			set.Anc, set.Desc = stepInfo[i].Anc, stepInfo[i].Desc
+		}
+		resp.Joins = append(resp.Joins, set)
+	}
+	writeJSON(w, mustJSON(resp))
+}

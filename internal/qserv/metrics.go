@@ -14,6 +14,14 @@ import (
 // the estimate representative of current load rather than all of history.
 const latWindow = 8192
 
+// latBuckets are the cumulative histogram bounds (seconds) /metrics
+// exports for request latency: log-spaced from 100µs to 10s, covering
+// cache hits through multi-pass joins on the virtual disk.
+var latBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
 // metrics aggregates everything /stats reports: request counters, a
 // sliding latency window, and per-algorithm physical-cost totals summed
 // from join results.
@@ -31,7 +39,32 @@ type metrics struct {
 	n    int // samples in ring (≤ latWindow)
 	next int // ring write position
 
-	algs map[string]*algTotals
+	// hist counts latencies per latBuckets bound (non-cumulative; the
+	// Prometheus writer accumulates), histSum / histCount the running sum
+	// and count over all of history.
+	hist      []int64 // len(latBuckets)+1; last slot = +Inf overflow
+	histSum   time.Duration
+	histCount int64
+
+	algs   map[string]*algTotals
+	phases map[phaseKey]*phaseTotals
+}
+
+// phaseKey identifies one per-phase metric series. Both components come
+// from small stable vocabularies (algorithm names, trace phase names), so
+// label cardinality stays bounded.
+type phaseKey struct {
+	Alg   string
+	Phase string
+}
+
+// phaseTotals accumulates self-attributed phase costs across joins.
+type phaseTotals struct {
+	Count       int64
+	Reads       int64
+	Writes      int64
+	VirtualTime time.Duration
+	Pairs       int64
 }
 
 // algTotals accumulates the physical cost of every join one algorithm ran.
@@ -55,7 +88,12 @@ type algSnapshot struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), algs: map[string]*algTotals{}}
+	return &metrics{
+		start:  time.Now(),
+		hist:   make([]int64, len(latBuckets)+1),
+		algs:   map[string]*algTotals{},
+		phases: map[phaseKey]*phaseTotals{},
+	}
 }
 
 // observe records one completed request's latency.
@@ -66,6 +104,37 @@ func (m *metrics) observe(d time.Duration) {
 	m.next = (m.next + 1) % latWindow
 	if m.n < latWindow {
 		m.n++
+	}
+	sec := d.Seconds()
+	slot := len(latBuckets) // +Inf
+	for i, bound := range latBuckets {
+		if sec <= bound {
+			slot = i
+			break
+		}
+	}
+	m.hist[slot]++
+	m.histSum += d
+	m.histCount++
+	m.mu.Unlock()
+}
+
+// recordPhases folds one analyzed join's self-attributed phase costs into
+// the per-(algorithm, phase) totals.
+func (m *metrics) recordPhases(alg string, phases []containment.PhaseIO) {
+	m.mu.Lock()
+	for _, p := range phases {
+		k := phaseKey{Alg: alg, Phase: p.Name}
+		t := m.phases[k]
+		if t == nil {
+			t = &phaseTotals{}
+			m.phases[k] = t
+		}
+		t.Count++
+		t.Reads += p.Reads
+		t.Writes += p.Writes
+		t.VirtualTime += p.VirtualIO
+		t.Pairs += p.Pairs
 	}
 	m.mu.Unlock()
 }

@@ -49,8 +49,10 @@ type pathStep struct {
 }
 
 // evalPath runs the join chain for tags on one worker. It returns the
-// final match set in document order plus per-step join reports.
-func (wk *worker) evalPath(tags []string) ([]pbicode.Code, []pathStep, []*containment.Result, error) {
+// final match set in document order plus per-step join reports. Each step
+// runs under Engine.Analyze, so callers get the per-phase breakdown for
+// telemetry alongside the ordinary result.
+func (wk *worker) evalPath(tags []string) ([]pbicode.Code, []pathStep, []*containment.Analysis, error) {
 	first, ok := wk.relation(tags[0])
 	if !ok {
 		return nil, nil, nil, &unknownRelationError{tags[0]}
@@ -61,7 +63,7 @@ func (wk *worker) evalPath(tags []string) ([]pbicode.Code, []pathStep, []*contai
 	}
 
 	var steps []pathStep
-	var results []*containment.Result
+	var analyses []*containment.Analysis
 	// anc is the stored first relation for step 1, then a temporary
 	// relation loaded from the previous match set.
 	anc := first
@@ -72,7 +74,7 @@ func (wk *worker) evalPath(tags []string) ([]pbicode.Code, []pathStep, []*contai
 			return nil, nil, nil, &unknownRelationError{tags[i]}
 		}
 		matched := make(map[pbicode.Code]bool)
-		res, err := wk.eng.Join(anc, desc, containment.JoinOptions{
+		an, err := wk.eng.Analyze(anc, desc, containment.JoinOptions{
 			Emit: func(p containment.Pair) error {
 				matched[p.D] = true
 				return nil
@@ -86,7 +88,8 @@ func (wk *worker) evalPath(tags []string) ([]pbicode.Code, []pathStep, []*contai
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		results = append(results, res)
+		res := an.Result
+		analyses = append(analyses, an)
 		steps = append(steps, pathStep{
 			Anc: tags[i-1], Desc: tags[i],
 			Algorithm: res.Algorithm, Matches: int64(len(matched)),
@@ -97,7 +100,7 @@ func (wk *worker) evalPath(tags []string) ([]pbicode.Code, []pathStep, []*contai
 		}
 		if i == len(tags)-1 {
 			sortDocOrder(cur)
-			return cur, steps, results, nil
+			return cur, steps, analyses, nil
 		}
 		anc, err = wk.eng.Load("q.path.anc", cur)
 		if err != nil {

@@ -1,0 +1,145 @@
+package qserv
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// This file renders the server's metrics in the Prometheus text exposition
+// format (version 0.0.4) by hand — the format is a few line shapes, and
+// writing it directly keeps the repository dependency-free. Label values
+// come exclusively from small fixed vocabularies (algorithm names, trace
+// phase names), never from request input, so series cardinality is bounded
+// by construction.
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+// family emits the HELP/TYPE preamble of one metric family.
+func family(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// writeMetrics renders every family. Families are always present (HELP and
+// TYPE lines) even before any sample exists, so scrapers and smoke checks
+// see a stable schema.
+func (s *Server) writeMetrics(w io.Writer) {
+	m := s.met
+
+	family(w, "pbiserve_uptime_seconds", "Seconds since the server started.", "gauge")
+	fmt.Fprintf(w, "pbiserve_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	family(w, "pbiserve_requests_total", "Completed query requests (cached or executed).", "counter")
+	fmt.Fprintf(w, "pbiserve_requests_total %d\n", m.requests.Load())
+	family(w, "pbiserve_errors_total", "Requests answered with a non-2xx status.", "counter")
+	fmt.Fprintf(w, "pbiserve_errors_total %d\n", m.errors.Load())
+	family(w, "pbiserve_rejected_total", "Requests shed with 503 because the admission queue was full.", "counter")
+	fmt.Fprintf(w, "pbiserve_rejected_total %d\n", m.rejected.Load())
+
+	family(w, "pbiserve_workers", "Engine pool size.", "gauge")
+	fmt.Fprintf(w, "pbiserve_workers %d\n", s.cfg.Workers)
+	family(w, "pbiserve_busy_workers", "Workers currently executing a query.", "gauge")
+	fmt.Fprintf(w, "pbiserve_busy_workers %d\n", m.busy.Load())
+	family(w, "pbiserve_queued_requests", "Admitted requests waiting for a worker.", "gauge")
+	fmt.Fprintf(w, "pbiserve_queued_requests %d\n", m.queued.Load())
+
+	var cs cacheStats
+	if s.cache != nil {
+		cs = s.cache.snapshot()
+	}
+	family(w, "pbiserve_cache_hits_total", "Result cache hits.", "counter")
+	fmt.Fprintf(w, "pbiserve_cache_hits_total %d\n", cs.Hits)
+	family(w, "pbiserve_cache_misses_total", "Result cache misses.", "counter")
+	fmt.Fprintf(w, "pbiserve_cache_misses_total %d\n", cs.Misses)
+	family(w, "pbiserve_cache_evicted_total", "Result cache LRU evictions.", "counter")
+	fmt.Fprintf(w, "pbiserve_cache_evicted_total %d\n", cs.Evicted)
+	family(w, "pbiserve_cache_entries", "Result cache resident entries.", "gauge")
+	fmt.Fprintf(w, "pbiserve_cache_entries %d\n", cs.Entries)
+
+	m.mu.Lock()
+	hist := make([]int64, len(m.hist))
+	copy(hist, m.hist)
+	histSum, histCount := m.histSum, m.histCount
+	algNames := make([]string, 0, len(m.algs))
+	for name := range m.algs {
+		algNames = append(algNames, name)
+	}
+	sort.Strings(algNames)
+	algs := make(map[string]algTotals, len(m.algs))
+	for name, t := range m.algs {
+		algs[name] = *t
+	}
+	phaseKeys := make([]phaseKey, 0, len(m.phases))
+	for k := range m.phases {
+		phaseKeys = append(phaseKeys, k)
+	}
+	sort.Slice(phaseKeys, func(i, j int) bool {
+		if phaseKeys[i].Alg != phaseKeys[j].Alg {
+			return phaseKeys[i].Alg < phaseKeys[j].Alg
+		}
+		return phaseKeys[i].Phase < phaseKeys[j].Phase
+	})
+	phases := make(map[phaseKey]phaseTotals, len(m.phases))
+	for k, t := range m.phases {
+		phases[k] = *t
+	}
+	m.mu.Unlock()
+
+	family(w, "pbiserve_request_latency_seconds", "Query request latency.", "histogram")
+	var cum int64
+	for i, bound := range latBuckets {
+		cum += hist[i]
+		fmt.Fprintf(w, "pbiserve_request_latency_seconds_bucket{le=%q} %d\n", formatBound(bound), cum)
+	}
+	cum += hist[len(latBuckets)]
+	fmt.Fprintf(w, "pbiserve_request_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "pbiserve_request_latency_seconds_sum %g\n", histSum.Seconds())
+	fmt.Fprintf(w, "pbiserve_request_latency_seconds_count %d\n", histCount)
+
+	family(w, "pbiserve_join_requests_total", "Joins executed, by resolved algorithm.", "counter")
+	for _, name := range algNames {
+		fmt.Fprintf(w, "pbiserve_join_requests_total{algorithm=%q} %d\n", name, algs[name].Requests)
+	}
+	family(w, "pbiserve_join_pairs_total", "Result pairs produced, by algorithm.", "counter")
+	for _, name := range algNames {
+		fmt.Fprintf(w, "pbiserve_join_pairs_total{algorithm=%q} %d\n", name, algs[name].Pairs)
+	}
+	family(w, "pbiserve_join_page_io_total", "Page reads+writes charged, by algorithm.", "counter")
+	for _, name := range algNames {
+		fmt.Fprintf(w, "pbiserve_join_page_io_total{algorithm=%q} %d\n", name, algs[name].PageIO)
+	}
+	family(w, "pbiserve_join_virtual_seconds_total", "Virtual disk time charged, by algorithm.", "counter")
+	for _, name := range algNames {
+		fmt.Fprintf(w, "pbiserve_join_virtual_seconds_total{algorithm=%q} %g\n", name, algs[name].VirtualTime.Seconds())
+	}
+
+	family(w, "pbiserve_join_phase_page_io_total", "Self-attributed page I/O per algorithm phase.", "counter")
+	for _, k := range phaseKeys {
+		t := phases[k]
+		fmt.Fprintf(w, "pbiserve_join_phase_page_io_total{algorithm=%q,phase=%q} %d\n", k.Alg, k.Phase, t.Reads+t.Writes)
+	}
+	family(w, "pbiserve_join_phase_virtual_seconds_total", "Self-attributed virtual disk time per algorithm phase.", "counter")
+	for _, k := range phaseKeys {
+		fmt.Fprintf(w, "pbiserve_join_phase_virtual_seconds_total{algorithm=%q,phase=%q} %g\n", k.Alg, k.Phase, phases[k].VirtualTime.Seconds())
+	}
+	family(w, "pbiserve_join_phase_pairs_total", "Pairs emitted per algorithm phase.", "counter")
+	for _, k := range phaseKeys {
+		fmt.Fprintf(w, "pbiserve_join_phase_pairs_total{algorithm=%q,phase=%q} %d\n", k.Alg, k.Phase, phases[k].Pairs)
+	}
+	family(w, "pbiserve_join_phase_count_total", "Phase executions per algorithm phase.", "counter")
+	for _, k := range phaseKeys {
+		fmt.Fprintf(w, "pbiserve_join_phase_count_total{algorithm=%q,phase=%q} %d\n", k.Alg, k.Phase, phases[k].Count)
+	}
+}
+
+// formatBound renders a histogram bound the canonical Prometheus way
+// (shortest float representation).
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

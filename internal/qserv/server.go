@@ -29,10 +29,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pbitree/pbitree/containment"
@@ -60,6 +64,14 @@ type Config struct {
 	// MaxCodes caps how many result codes /query echoes per response.
 	// 0 means 100.
 	MaxCodes int
+	// AccessLog, when non-nil, receives one JSON line per finished request
+	// (timestamp, trace ID, method, path, status, duration, cache
+	// disposition). Writes are serialized by the server.
+	AccessLog io.Writer
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: profiling endpoints expose internals and should only
+	// be reachable when deliberately enabled.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -124,7 +136,12 @@ type Server struct {
 	cache   *resultCache // nil when disabled
 	met     *metrics
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped with trace-ID / access-log middleware
 	rels    []RelationInfo
+
+	traceBase uint32        // per-process trace-ID prefix (start time)
+	traceSeq  atomic.Uint64 // per-request trace-ID suffix
+	logMu     sync.Mutex    // serializes AccessLog writes
 }
 
 // New opens cfg.Workers read-only engines over cfg.DBPath and returns a
@@ -171,12 +188,103 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/relations", s.handleRelations)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.traceBase = uint32(time.Now().UnixNano())
+	s.handler = s.instrument(s.mux)
 	return s, nil
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the endpoint mux behind the
+// trace-ID and access-log middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// nextTraceID returns a process-unique request identifier: a per-process
+// prefix (start-time entropy) plus a monotonic sequence number.
+func (s *Server) nextTraceID() string {
+	return fmt.Sprintf("%08x-%08x", s.traceBase, s.traceSeq.Add(1))
+}
+
+// statusWriter captures the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// accessRecord is one structured request-log line.
+type accessRecord struct {
+	TS         string `json:"ts"`
+	TraceID    string `json:"trace_id"`
+	Method     string `json:"method"`
+	Path       string `json:"path"`
+	Query      string `json:"query,omitempty"`
+	Status     int    `json:"status"`
+	DurationUS int64  `json:"duration_us"`
+	Bytes      int    `json:"bytes"`
+	Cache      string `json:"cache,omitempty"`
+}
+
+// instrument wraps the mux: every request gets a trace ID (echoed in the
+// X-Trace-Id response header) and, when Config.AccessLog is set, one JSON
+// log line on completion.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := s.nextTraceID()
+		w.Header().Set("X-Trace-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if s.cfg.AccessLog == nil {
+			return
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		line, err := json.Marshal(accessRecord{
+			TS:         start.UTC().Format(time.RFC3339Nano),
+			TraceID:    id,
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			Query:      r.URL.RawQuery,
+			Status:     status,
+			DurationUS: time.Since(start).Microseconds(),
+			Bytes:      sw.bytes,
+			Cache:      sw.Header().Get("X-Cache"),
+		})
+		if err != nil {
+			return
+		}
+		s.logMu.Lock()
+		s.cfg.AccessLog.Write(append(line, '\n')) //nolint:errcheck // logging is best-effort
+		s.logMu.Unlock()
+	})
+}
 
 // Relations returns the stored relations' catalog metadata.
 func (s *Server) Relations() []RelationInfo { return s.rels }
@@ -302,7 +410,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", desc)
 		return
 	}
-	res, err := wk.eng.Join(a, d, containment.JoinOptions{Algorithm: alg})
+	an, err := wk.eng.Analyze(a, d, containment.JoinOptions{Algorithm: alg})
 	if rerr := wk.eng.ReleaseTemp(); rerr != nil && err == nil {
 		err = rerr
 	}
@@ -310,7 +418,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, "join failed: %v", err)
 		return
 	}
+	res := an.Result
 	s.met.recordJoin(res)
+	s.met.recordPhases(res.Algorithm, an.Phases)
 	payload := mustJSON(joinResponse{
 		Anc: anc, Desc: desc,
 		Algorithm: res.Algorithm, Count: res.Count, FalseHits: res.FalseHits,
@@ -370,7 +480,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	codes, stepInfo, results, err := wk.evalPath(tags)
+	codes, stepInfo, analyses, err := wk.evalPath(tags)
 	if rerr := wk.eng.ReleaseTemp(); rerr != nil && err == nil {
 		err = rerr
 	}
@@ -384,8 +494,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := queryResponse{Path: canon, Count: len(codes), Steps: stepInfo}
-	for _, res := range results {
+	for _, an := range analyses {
+		res := an.Result
 		s.met.recordJoin(res)
+		s.met.recordPhases(res.Algorithm, an.Phases)
 		resp.PageIO += res.IO.Total()
 		resp.VirtualUS += res.IO.VirtualTime.Microseconds()
 		resp.WallUS += res.IO.WallTime.Microseconds()

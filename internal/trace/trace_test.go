@@ -1,0 +1,109 @@
+package trace
+
+import "testing"
+
+// fakeCounters drives a recorder with a hand-controlled counter source.
+type fakeCounters struct{ c Counters }
+
+func (f *fakeCounters) snap() Counters { return f.c }
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	sp := r.Start("phase")
+	if sp != nil {
+		t.Fatalf("nil recorder Start = %v, want nil", sp)
+	}
+	r.End(sp)  // must not panic
+	r.End(nil) // must not panic
+	r.StartDetail("x", "y")
+	if got := r.Finish(); got != nil {
+		t.Fatalf("nil recorder Finish = %v, want nil", got)
+	}
+}
+
+func TestSpanNestingAndSelfAttribution(t *testing.T) {
+	f := &fakeCounters{}
+	r := New("join", f.snap)
+
+	f.c.Reads = 2 // root's own work before any phase
+	outer := r.Start("outer")
+	f.c.Reads = 5
+	inner := r.Start("inner")
+	f.c.Reads = 9
+	f.c.Pairs = 4
+	r.End(inner)
+	f.c.Reads = 10
+	r.End(outer)
+	f.c.Reads = 12
+	root := r.Finish()
+
+	if root.Total.Reads != 12 {
+		t.Fatalf("root total reads = %d, want 12", root.Total.Reads)
+	}
+	if len(root.Children) != 1 || len(root.Children[0].Children) != 1 {
+		t.Fatalf("unexpected tree shape: %+v", root)
+	}
+	o, i := root.Children[0], root.Children[0].Children[0]
+	if o.Total.Reads != 8 { // 10 - 2
+		t.Fatalf("outer total reads = %d, want 8", o.Total.Reads)
+	}
+	if i.Total.Reads != 4 || i.Total.Pairs != 4 { // 9 - 5
+		t.Fatalf("inner total = %+v, want 4 reads 4 pairs", i.Total)
+	}
+	if got := o.Self().Reads; got != 4 { // 8 - inner's 4
+		t.Fatalf("outer self reads = %d, want 4", got)
+	}
+	if got := root.Self().Reads; got != 4 { // 12 - outer's 8
+		t.Fatalf("root self reads = %d, want 4", got)
+	}
+
+	// Σ Self over the tree == root Total: cost attributed exactly once.
+	var sum Counters
+	root.Walk(func(sp *Span, depth int) { sum = sum.Add(sp.Self()) })
+	if sum != root.Total {
+		t.Fatalf("sum of self counters %+v != root total %+v", sum, root.Total)
+	}
+}
+
+func TestEndClosesStrandedInnerSpans(t *testing.T) {
+	f := &fakeCounters{}
+	r := New("join", f.snap)
+	outer := r.Start("outer")
+	r.Start("stranded") // error path: never explicitly ended
+	f.c.Writes = 3
+	r.End(outer) // must pop and close the stranded span too
+	root := r.Finish()
+	o := root.Children[0]
+	if len(o.Children) != 1 {
+		t.Fatalf("stranded span not recorded under outer: %+v", o)
+	}
+	if o.Total.Writes != 3 || o.Children[0].Total.Writes != 3 {
+		t.Fatalf("stranded close lost counters: outer=%+v inner=%+v", o.Total, o.Children[0].Total)
+	}
+	// After the strand is closed, further spans attach to the root again.
+	r2 := New("join", f.snap)
+	a := r2.Start("a")
+	r2.Start("b")
+	r2.End(a)
+	c := r2.Start("c")
+	r2.End(c)
+	root2 := r2.Finish()
+	if len(root2.Children) != 2 || root2.Children[1].Name != "c" {
+		t.Fatalf("span after strand close misattached: %+v", root2.Children)
+	}
+}
+
+func TestCountersSubAddPages(t *testing.T) {
+	a := Counters{Reads: 10, Writes: 4, SeqReads: 2, PoolHits: 7, Pairs: 3}
+	b := Counters{Reads: 6, Writes: 1, SeqReads: 1, PoolHits: 2, Pairs: 1}
+	d := a.Sub(b)
+	if d.Reads != 4 || d.Writes != 3 || d.SeqReads != 1 || d.PoolHits != 5 || d.Pairs != 2 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if got := d.Add(b); got != a {
+		t.Fatalf("Add(Sub) = %+v, want %+v", got, a)
+	}
+	if d.Pages() != 7 {
+		t.Fatalf("Pages = %d, want 7", d.Pages())
+	}
+}

@@ -44,6 +44,35 @@ stats=$(curl -fs "http://$addr/stats")
 echo "$stats" | grep -q '"errors":0' || { echo "serve-smoke: server recorded errors: $stats" >&2; exit 1; }
 echo "$stats" | grep -q '"hits":0' && { echo "serve-smoke: no cache hits on a repeated workload: $stats" >&2; exit 1; }
 
+echo "serve-smoke: checking /metrics exposition"
+# Retry the scrape a few times: a transiently truncated body should not
+# fail the build, a genuinely missing family still does.
+families="pbiserve_requests_total pbiserve_cache_hits_total
+          pbiserve_request_latency_seconds_bucket
+          pbiserve_join_requests_total pbiserve_join_phase_page_io_total"
+for attempt in 1 2 3; do
+    metrics=$(curl -fs "http://$addr/metrics")
+    missing=""
+    for fam in $families; do
+        echo "$metrics" | grep -q "^$fam" || missing="$missing $fam"
+    done
+    [ -z "$missing" ] && break
+    [ "$attempt" = 3 ] && {
+        echo "serve-smoke: /metrics missing families:$missing" >&2
+        echo "$metrics" >&2; exit 1; }
+    sleep 0.5
+done
+# Every sample line must be "name{labels} value" — two fields, numeric value.
+echo "$metrics" | awk '!/^#/ && NF != 2 { print "bad line: " $0; bad = 1 } END { exit bad }' || {
+    echo "serve-smoke: /metrics has unparsable sample lines" >&2; exit 1; }
+echo "$metrics" | awk '!/^#/ { if ($2 !~ /^[-+]?[0-9.]+([eE][-+]?[0-9]+)?$/) { print "bad value: " $0; bad = 1 } } END { exit bad }' || {
+    echo "serve-smoke: /metrics has non-numeric sample values" >&2; exit 1; }
+
+echo "serve-smoke: checking /debug/trace"
+trace=$(curl -fs "http://$addr/debug/trace?anc=item&desc=text")
+echo "$trace" | grep -q '"trace_id"' || { echo "serve-smoke: /debug/trace missing trace_id: $trace" >&2; exit 1; }
+echo "$trace" | grep -q '"spans"' || { echo "serve-smoke: /debug/trace missing spans: $trace" >&2; exit 1; }
+
 kill -0 "$srv" 2>/dev/null || { echo "serve-smoke: pbiserve crashed during the run" >&2; exit 1; }
 kill -INT "$srv"
 wait "$srv"
