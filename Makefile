@@ -12,7 +12,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# Tier-1 gate: vet runs first so static faults fail fast, then the full
+# test suite.
+test: vet
 	$(GO) test ./...
 
 race:

@@ -15,11 +15,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/pbitree/pbitree/containment"
 	"github.com/pbitree/pbitree/pbicode"
@@ -32,6 +35,7 @@ func main() {
 		pageSize = flag.Int("pagesize", 4096, "page size in bytes")
 		compare  = flag.Bool("compare", false, "run all applicable algorithms and compare")
 		analyze  = flag.Bool("analyze", false, "EXPLAIN ANALYZE: print the per-phase cost breakdown")
+		timeout  = flag.Duration("timeout", 0, "abort each join after this long (0 = no deadline)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -79,22 +83,41 @@ func main() {
 	fmt.Printf("|A|=%d (%d pages)  |D|=%d (%d pages)  b=%d\n",
 		a.Len(), a.Pages(), d.Len(), d.Pages(), *buffer)
 
+	// Ctrl-C cancels the running join cooperatively; a partial stats line
+	// still prints. A second Ctrl-C kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	run := func(name string, opts containment.JoinOptions) {
 		if err := eng.DropCache(); err != nil {
 			fail(err)
 		}
 		eng.ResetIOStats()
+		jctx, cancel := ctx, context.CancelFunc(func() {})
+		if *timeout > 0 {
+			jctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		defer cancel()
 		if *analyze {
-			an, err := eng.Analyze(a, d, opts)
+			an, err := eng.AnalyzeContext(jctx, a, d, opts)
 			if err != nil {
+				if an != nil && canceled(err) {
+					fmt.Print(an.Table())
+				}
 				fmt.Printf("%-12s error: %v\n", name, err)
 				return
 			}
 			fmt.Print(an.Table())
 			return
 		}
-		res, err := eng.Join(a, d, opts)
+		res, err := eng.JoinContext(jctx, a, d, opts)
 		if err != nil {
+			if res != nil && canceled(err) {
+				fmt.Printf("%-12s CANCELED (%s) after pairs=%-10d pageIO=%-8d elapsed=%v\n",
+					res.Algorithm, containment.Classify(err), res.Count, res.IO.Total(),
+					(res.IO.VirtualTime + res.IO.WallTime).Round(time.Millisecond))
+				return
+			}
 			fmt.Printf("%-12s error: %v\n", name, err)
 			return
 		}
@@ -135,6 +158,16 @@ func readCodes(path string) ([]pbicode.Code, error) {
 		out = append(out, pbicode.Code(v))
 	}
 	return out, sc.Err()
+}
+
+// canceled reports whether err is a cancellation (Ctrl-C) or deadline
+// (-timeout) abort, the cases where partial counters are worth printing.
+func canceled(err error) bool {
+	switch containment.Classify(err) {
+	case containment.FailCanceled, containment.FailDeadline:
+		return true
+	}
+	return false
 }
 
 func fail(err error) {

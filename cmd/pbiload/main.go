@@ -319,8 +319,13 @@ func report(results []result, elapsed time.Duration) int {
 		len(results), elapsed.Round(time.Millisecond),
 		float64(len(results))/elapsed.Seconds(),
 		len(lats), hits, non200, transportErrs)
-	for status, count := range byStatus {
-		fmt.Printf("pbiload:   status %d: %d\n", status, count)
+	statuses := make([]int, 0, len(byStatus))
+	for status := range byStatus {
+		statuses = append(statuses, status)
+	}
+	sort.Ints(statuses)
+	for _, status := range statuses {
+		fmt.Printf("pbiload:   status %d (%s): %d\n", status, statusClass(status), byStatus[status])
 	}
 	// Server-side cache disposition, counted from the X-Cache header every
 	// /join and /query response carries.
@@ -334,6 +339,26 @@ func report(results []result, elapsed time.Duration) int {
 			pct(lats, 0.50), pct(lats, 0.95), pct(lats, 0.99), lats[len(lats)-1])
 	}
 	return transportErrs + non200
+}
+
+// statusClass names the server's failure vocabulary so the breakdown
+// separates shed load (backpressure, retryable) from deadline expiry
+// (queries too slow for their budget) and internal failures (bugs).
+func statusClass(status int) string {
+	switch status {
+	case 499:
+		return "client canceled"
+	case http.StatusServiceUnavailable:
+		return "shed: queue full"
+	case http.StatusGatewayTimeout:
+		return "deadline exceeded"
+	case http.StatusInternalServerError:
+		return "internal error"
+	case http.StatusNotFound:
+		return "unknown relation"
+	default:
+		return http.StatusText(status)
+	}
 }
 
 // pct returns the p-quantile of a sorted sample (nearest rank).

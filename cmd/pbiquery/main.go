@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"github.com/pbitree/pbitree/containment"
 	"github.com/pbitree/pbitree/pbicode"
@@ -35,6 +38,7 @@ func main() {
 		limit   = flag.Int("limit", 10, "result pairs to print (0 = count only)")
 		buffer  = flag.Int("buffer", 500, "buffer pool pages")
 		analyze = flag.Bool("analyze", false, "EXPLAIN ANALYZE: print the per-phase cost breakdown (with -anc/-desc)")
+		timeout = flag.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
 	)
 	flag.Parse()
 	if (*path == "" && (*anc == "" || *desc == "")) || flag.NArg() != 1 {
@@ -64,6 +68,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Ctrl-C cancels the running query cooperatively (with a partial stats
+	// report); -timeout bounds it with a deadline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *path != "" {
 		eng, err := containment.NewEngine(containment.Config{BufferPages: *buffer, TreeHeight: doc.Height})
 		if err != nil {
@@ -71,9 +85,13 @@ func main() {
 			os.Exit(1)
 		}
 		defer eng.Close()
-		codes, err := eng.Query(doc, *path)
+		codes, err := eng.QueryContext(ctx, doc, *path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pbiquery: %v\n", err)
+			if canceled(err) {
+				fmt.Fprintf(os.Stderr, "pbiquery: query aborted (%s)\n", containment.Classify(err))
+			} else {
+				fmt.Fprintf(os.Stderr, "pbiquery: %v\n", err)
+			}
 			os.Exit(1)
 		}
 		for i, c := range codes {
@@ -122,8 +140,13 @@ func main() {
 	}
 
 	if *analyze {
-		an, err := eng.Analyze(a, d, containment.JoinOptions{Algorithm: alg})
+		an, err := eng.AnalyzeContext(ctx, a, d, containment.JoinOptions{Algorithm: alg})
 		if err != nil {
+			if an != nil && canceled(err) {
+				// Partial EXPLAIN ANALYZE: the span tree's root is annotated
+				// with the abort cause.
+				fmt.Printf("//%s//%s (aborted):\n%s", *anc, *desc, an.Table())
+			}
 			fmt.Fprintf(os.Stderr, "pbiquery: %v\n", err)
 			os.Exit(1)
 		}
@@ -132,7 +155,7 @@ func main() {
 	}
 
 	printed := 0
-	res, err := eng.Join(a, d, containment.JoinOptions{
+	res, err := eng.JoinContext(ctx, a, d, containment.JoinOptions{
 		Algorithm: alg,
 		Emit: func(p containment.Pair) error {
 			if printed < *limit {
@@ -144,6 +167,11 @@ func main() {
 		},
 	})
 	if err != nil {
+		if res != nil && canceled(err) {
+			fmt.Printf("//%s//%s: CANCELED (%s)  pairs so far=%d  algorithm=%s  pageIO=%d  wall=%v\n",
+				*anc, *desc, containment.Classify(err), res.Count, res.Algorithm,
+				res.IO.Total(), res.IO.WallTime.Round(time.Millisecond))
+		}
 		fmt.Fprintf(os.Stderr, "pbiquery: %v\n", err)
 		os.Exit(1)
 	}
@@ -156,6 +184,16 @@ func main() {
 	if res.FalseHits > 0 {
 		fmt.Printf("  rollup false hits filtered: %d\n", res.FalseHits)
 	}
+}
+
+// canceled reports whether err is a cancellation (Ctrl-C) or deadline
+// (-timeout) abort, the cases where partial output is worth printing.
+func canceled(err error) bool {
+	switch containment.Classify(err) {
+	case containment.FailCanceled, containment.FailDeadline:
+		return true
+	}
+	return false
 }
 
 func describe(doc *xmltree.Document, c pbicode.Code) string {

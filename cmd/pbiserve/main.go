@@ -7,7 +7,7 @@
 //
 //	pbiserve -db site.db [-addr :8080] [-workers 8] [-queue 64]
 //	         [-cache 1024] [-buffer 256] [-diskcost 2003|none]
-//	         [-accesslog FILE|-] [-pprof]
+//	         [-timeout 0] [-accesslog FILE|-] [-pprof]
 //
 // Endpoints:
 //
@@ -51,6 +51,7 @@ func main() {
 		cache     = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
 		buffer    = flag.Int("buffer", 256, "buffer pool pages per worker")
 		diskcost  = flag.String("diskcost", "2003", "virtual disk cost model: 2003|none")
+		timeout   = flag.Duration("timeout", 0, "per-query execution deadline, also the ?timeout= clamp (0 = none)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		accesslog = flag.String("accesslog", "", "write JSON request logs to this file (- = stdout)")
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -97,6 +98,7 @@ func main() {
 		DiskCost:     cost,
 		AccessLog:    logw,
 		EnablePprof:  *pprofFlag,
+		QueryTimeout: *timeout,
 	})
 	if err != nil {
 		fail(err)

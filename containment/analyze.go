@@ -1,6 +1,7 @@
 package containment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -184,9 +185,25 @@ func hitRate(hits, misses int64) string {
 // snapshot per phase boundary; page I/O and the virtual clock are
 // unaffected, so Result matches what Join would report.
 func (e *Engine) Analyze(a, d *Relation, opts JoinOptions) (*Analysis, error) {
-	res, root, err := e.join(a, d, opts, true)
+	res, root, err := e.join(context.Background(), a, d, opts, true)
 	if err != nil {
 		return nil, err
+	}
+	return newAnalysis(res, root), nil
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation (see
+// JoinContext). On error the returned Analysis is still non-nil when the
+// join got as far as running: its Result holds partial counters and its
+// span tree's root is annotated "canceled", "canceled (deadline)" or
+// "error" — a partial EXPLAIN ANALYZE of the aborted execution.
+func (e *Engine) AnalyzeContext(ctx context.Context, a, d *Relation, opts JoinOptions) (*Analysis, error) {
+	res, root, err := e.join(ctx, a, d, opts, true)
+	if err != nil {
+		if res == nil {
+			return nil, err
+		}
+		return newAnalysis(res, root), err
 	}
 	return newAnalysis(res, root), nil
 }

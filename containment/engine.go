@@ -1,6 +1,7 @@
 package containment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -339,7 +340,21 @@ func (s *optSink) Emit(a, d relation.Rec) error {
 
 // Join evaluates a ◁ d.
 func (e *Engine) Join(a, d *Relation, opts JoinOptions) (*Result, error) {
-	res, _, err := e.join(a, d, opts, false)
+	res, _, err := e.join(context.Background(), a, d, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// JoinContext is Join with cooperative cancellation: the execution polls
+// ctx at page-I/O granularity (and every 1024 emitted pairs) and aborts
+// with an error matching ErrCanceled or ErrDeadlineExceeded — classify
+// with Classify. Unlike Join, a non-nil partial Result accompanies the
+// error: counters and I/O stats reflect the work done up to the abort.
+// Temporary join state is released before returning on every error path.
+func (e *Engine) JoinContext(ctx context.Context, a, d *Relation, opts JoinOptions) (*Result, error) {
+	res, _, err := e.join(ctx, a, d, opts, false)
 	return res, err
 }
 
@@ -366,7 +381,12 @@ func (e *Engine) snapCounters(stats *core.Stats) func() trace.Counters {
 // join is the shared body of Join and Analyze. When traced is set it runs
 // the execution under a trace.Recorder whose root span brackets exactly the
 // window measured into Result.IO, and returns the finished span tree.
-func (e *Engine) join(a, d *Relation, opts JoinOptions, traced bool) (*Result, *trace.Span, error) {
+//
+// goCtx carries the caller's cancellation; context.Background() means
+// uncancelable. On error the returned Result and Span are still non-nil,
+// reflecting the partial execution (counters, I/O, a root span annotated
+// "canceled"/"error"), and the engine's temporary join state is released.
+func (e *Engine) join(goCtx context.Context, a, d *Relation, opts JoinOptions, traced bool) (*Result, *trace.Span, error) {
 	if opts.BufferPages > e.pool.Size() {
 		return nil, nil, fmt.Errorf("containment: BufferPages %d exceeds pool size %d", opts.BufferPages, e.pool.Size())
 	}
@@ -378,6 +398,9 @@ func (e *Engine) join(a, d *Relation, opts JoinOptions, traced bool) (*Result, *
 		MaxAncestorHeight: a.maxHeight,
 		VPJRootCut:        opts.VPJRootCut,
 		Stats:             stats,
+	}
+	if goCtx != nil && goCtx != context.Background() {
+		ctx.Ctx = goCtx
 	}
 	spec := effectiveSpec(&opts, a, d)
 	res := &Result{}
@@ -404,6 +427,10 @@ func (e *Engine) join(a, d *Relation, opts JoinOptions, traced bool) (*Result, *
 	poolBefore := e.pool.Stats()
 	before := e.disk.Stats()
 	start := time.Now()
+	// Arm the buffer pool directly (not only inside core.Run) so the
+	// forced-rollup and persistent-index dispatch paths below are equally
+	// cancelable.
+	restore := ctx.ArmPool()
 	var err error
 	switch {
 	case opts.Algorithm == MHCJRollup && opts.RollupTarget > 0:
@@ -418,9 +445,7 @@ func (e *Engine) join(a, d *Relation, opts JoinOptions, traced bool) (*Result, *
 			alg, err = core.Run(ctx, alg, spec, a.rel, d.rel, sink)
 		}
 	}
-	if err != nil {
-		return nil, nil, err
-	}
+	restore()
 	wall := time.Since(start)
 	io := e.disk.Stats().Sub(before)
 	poolIO := e.pool.Stats().Sub(poolBefore)
@@ -445,6 +470,18 @@ func (e *Engine) join(a, d *Relation, opts JoinOptions, traced bool) (*Result, *
 		PoolHits:      poolIO.Hits,
 		PoolMisses:    poolIO.Misses,
 		PoolEvictions: poolIO.Evictions,
+	}
+	if err != nil {
+		if root != nil {
+			root.Detail = failureDetail(err)
+		}
+		// Abandon this join's temporary state. Well-behaved algorithms
+		// free their temps on the way out; on read-only engines this also
+		// reclaims the overlay, so a canceled request cannot leak private
+		// memory into a long-lived serving engine. Best-effort: the join
+		// error is the one worth reporting.
+		e.ReleaseTemp() //nolint:errcheck // best-effort cleanup on error
+		return res, root, err
 	}
 	return res, root, nil
 }

@@ -1,6 +1,7 @@
 package containment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -92,6 +93,14 @@ func ParsePath(expr string) ([]Step, error) {
 // containment join; each child step the same join with the parent-child
 // filter; predicates restrict the step's candidate set before joining.
 func (e *Engine) Query(doc *xmltree.Document, expr string) ([]pbicode.Code, error) {
+	return e.QueryContext(context.Background(), doc, expr)
+}
+
+// QueryContext is Query with cooperative cancellation: each step's join
+// runs under ctx (see JoinContext), and ctx is also checked between
+// steps, so a multi-join path aborts promptly. Classify the error to
+// distinguish cancellation from faults.
+func (e *Engine) QueryContext(ctx context.Context, doc *xmltree.Document, expr string) ([]pbicode.Code, error) {
 	steps, err := ParsePath(expr)
 	if err != nil {
 		return nil, err
@@ -127,12 +136,16 @@ func (e *Engine) Query(doc *xmltree.Document, expr string) ([]pbicode.Code, erro
 		if len(cur) == 0 {
 			return nil, nil
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a, err := e.Load("q.anc", cur)
 		if err != nil {
 			return nil, err
 		}
 		d, err := e.Load("q.desc", candidates(st))
 		if err != nil {
+			e.Free(a) //nolint:errcheck // cleanup after earlier error
 			return nil, err
 		}
 		opts := JoinOptions{}
@@ -144,7 +157,12 @@ func (e *Engine) Query(doc *xmltree.Document, expr string) ([]pbicode.Code, erro
 			matched[p.D] = true
 			return nil
 		}
-		if _, err := e.Join(a, d, opts); err != nil {
+		if _, err := e.JoinContext(ctx, a, d, opts); err != nil {
+			// The aborted join already released temp state (on read-only
+			// engines that includes these freshly loaded inputs); freeing
+			// them again is a harmless no-op.
+			e.Free(a) //nolint:errcheck // cleanup after earlier error
+			e.Free(d) //nolint:errcheck // cleanup after earlier error
 			return nil, err
 		}
 		if err := e.Free(a); err != nil {

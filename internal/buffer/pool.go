@@ -61,6 +61,12 @@ type Pool struct {
 	table map[storage.PageID]int
 	hand  int
 	stats Stats
+	// interrupt, when non-nil, is polled before every page request (Fetch
+	// and NewPage, hits included) and aborts the operation with its error.
+	// Join executions arm it with their cancellation check, giving every
+	// algorithm page-granularity cooperative cancellation without touching
+	// the algorithms themselves; unarmed executions pay one nil check.
+	interrupt func() error
 }
 
 // New returns a pool of b frames over disk. b must be at least 1.
@@ -92,12 +98,35 @@ func (p *Pool) Disk() storage.Disk { return p.disk }
 // Stats returns the pool counters.
 func (p *Pool) Stats() Stats { return p.stats }
 
+// SetInterrupt installs f as the pool's interrupt check and returns the
+// previous one (nil if none), so nested executions can save and restore it.
+// While installed, f runs before every Fetch and NewPage; a non-nil return
+// aborts that request with the error. Cleanup paths (Unpin, Evict, Discard,
+// FlushAll) are deliberately exempt so an interrupted join can always
+// release its pages and temp relations.
+func (p *Pool) SetInterrupt(f func() error) func() error {
+	prev := p.interrupt
+	p.interrupt = f
+	return prev
+}
+
+// Resident returns the number of pages currently mapped in the pool,
+// pinned or not. Leak tests size the pool larger than the working set and
+// assert Resident returns to its pre-join baseline after a (possibly
+// interrupted) join has freed its temporaries.
+func (p *Pool) Resident() int { return len(p.table) }
+
 // ResetStats zeroes the pool counters.
 func (p *Pool) ResetStats() { p.stats = Stats{} }
 
 // Fetch pins the page id and returns its frame, reading it from disk if it
 // is not resident.
 func (p *Pool) Fetch(id storage.PageID) (Frame, error) {
+	if p.interrupt != nil {
+		if err := p.interrupt(); err != nil {
+			return Frame{}, err
+		}
+	}
 	if i, ok := p.table[id]; ok {
 		p.stats.Hits++
 		p.slots[i].pins++
@@ -120,6 +149,11 @@ func (p *Pool) Fetch(id storage.PageID) (Frame, error) {
 // NewPage allocates a fresh zeroed page on disk, pins it and returns its
 // frame. The page is marked dirty so it reaches disk even if untouched.
 func (p *Pool) NewPage() (Frame, error) {
+	if p.interrupt != nil {
+		if err := p.interrupt(); err != nil {
+			return Frame{}, err
+		}
+	}
 	i, err := p.victim()
 	if err != nil {
 		return Frame{}, err

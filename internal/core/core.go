@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/pbitree/pbitree/internal/buffer"
@@ -47,6 +48,12 @@ type Context struct {
 	// serving telemetry). Nil disables recording: the algorithms' phase
 	// boundaries cost one nil check and allocate nothing.
 	Trace *trace.Recorder
+	// Ctx, when non-nil, makes the execution cancelable: cancellation is
+	// polled at page-I/O granularity through the buffer pool (ArmPool) and
+	// every 1024 emitted pairs, and surfaces as ErrCanceled or
+	// ErrDeadlineExceeded. Nil means uncancelable, at the cost of one nil
+	// check per page request — the same bargain trace.Recorder strikes.
+	Ctx context.Context
 
 	tmpSeq int
 }
@@ -139,19 +146,29 @@ func (s *RelationSink) Emit(a, d relation.Rec) error {
 	return s.Out.Append(relation.Rec{Code: d.Code, Aux: uint64(a.Code)})
 }
 
-// countingSink wraps a sink, bumping ctx stats.
+// countingSink wraps a sink, bumping ctx stats and polling cancellation
+// every 1024 pairs so CPU-bound emission loops (in-memory joins, cross
+// products) stay responsive even between page requests.
 type countingSink struct {
 	sink  Sink
 	stats *Stats
+	ctx   *Context
 }
 
 func (s countingSink) Emit(a, d relation.Rec) error {
 	s.stats.Pairs++
+	if s.stats.Pairs&1023 == 0 {
+		if err := s.ctx.Canceled(); err != nil {
+			return err
+		}
+	}
 	return s.sink.Emit(a, d)
 }
 
 // wrap attaches pair counting to a user sink.
-func (c *Context) Wrap(sink Sink) Sink { return countingSink{sink: sink, stats: c.stats()} }
+func (c *Context) Wrap(sink Sink) Sink {
+	return countingSink{sink: sink, stats: c.stats(), ctx: c}
+}
 
 // HeightHistogram scans rel and returns counts of records per PBiTree
 // height. It costs one relation scan.

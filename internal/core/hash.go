@@ -260,6 +260,13 @@ func hashPartition(ctx *Context, rel *relation.Relation, k int, kind string, pre
 		}
 		return first
 	}
+	// fail cleans up on any error: the caller never sees the partitions, so
+	// they must be freed here or they leak.
+	fail := func(err error) ([]*relation.Relation, error) {
+		closeApps() //nolint:errcheck // first error wins
+		freeAll(parts)
+		return nil, err
+	}
 	s := rel.Scan()
 	defer s.Close()
 	for s.Next() {
@@ -273,15 +280,14 @@ func hashPartition(ctx *Context, rel *relation.Relation, k int, kind string, pre
 			ctx.stats().Partitions++
 		}
 		if err := apps[i].Append(r); err != nil {
-			closeApps() //nolint:errcheck // first error wins
-			return nil, err
+			return fail(err)
 		}
 	}
 	if err := s.Err(); err != nil {
-		closeApps() //nolint:errcheck // first error wins
-		return nil, err
+		return fail(err)
 	}
 	if err := closeApps(); err != nil {
+		freeAll(parts)
 		return nil, err
 	}
 	return parts, nil

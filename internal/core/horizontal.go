@@ -87,6 +87,13 @@ func mhcj(ctx *Context, a, d *relation.Relation, sink Sink) error {
 func partitionByHeight(ctx *Context, rel *relation.Relation) (map[int]*relation.Relation, []int, error) {
 	parts := make(map[int]*relation.Relation)
 	done := make(map[int]bool)
+	// On error, partitions created so far would otherwise leak: the caller
+	// only sees (and frees) a successfully returned map.
+	freeParts := func() {
+		for _, p := range parts {
+			p.Free() //nolint:errcheck // cleanup after earlier error
+		}
+	}
 	for {
 		apps := make(map[int]*relation.Appender)
 		closeApps := func() error {
@@ -120,15 +127,18 @@ func partitionByHeight(ctx *Context, rel *relation.Relation) (map[int]*relation.
 			if err := ap.Append(r); err != nil {
 				s.Close()
 				closeApps() //nolint:errcheck // first error wins
+				freeParts()
 				return nil, nil, err
 			}
 		}
 		s.Close()
 		if err := s.Err(); err != nil {
 			closeApps() //nolint:errcheck // first error wins
+			freeParts()
 			return nil, nil, err
 		}
 		if err := closeApps(); err != nil {
+			freeParts()
 			return nil, nil, err
 		}
 		for h := range apps {
@@ -245,6 +255,10 @@ func mhcjRollup(ctx *Context, a, d *relation.Relation, targetH int, sink Sink) e
 	ssp := ctx.Trace.StartDetail("rollup-split", fmt.Sprintf("h=%d", targetH))
 	rolled := relation.New(ctx.Pool, ctx.tmp("rollup"))
 	high := relation.New(ctx.Pool, ctx.tmp("rollup.high"))
+	// Freed on every exit, including split-scan errors below; the error
+	// paths close both appenders first so Free can discard the tail pages.
+	defer rolled.Free() //nolint:errcheck // cleanup
+	defer high.Free()   //nolint:errcheck // cleanup
 	rApp, hApp := rolled.NewAppender(), high.NewAppender()
 	prep := rollPrep(targetH)
 	s := a.Scan()
@@ -269,15 +283,14 @@ func mhcjRollup(ctx *Context, a, d *relation.Relation, targetH int, sink Sink) e
 		hApp.Close() //nolint:errcheck // first error wins
 		return err
 	}
-	if err := rApp.Close(); err != nil {
-		return err
+	errR, errH := rApp.Close(), hApp.Close()
+	if errR != nil {
+		return errR
 	}
-	if err := hApp.Close(); err != nil {
-		return err
+	if errH != nil {
+		return errH
 	}
 	ctx.Trace.End(ssp)
-	defer rolled.Free() //nolint:errcheck // cleanup
-	defer high.Free()   //nolint:errcheck // cleanup
 	if rolled.NumRecords() > 0 {
 		sp := ctx.Trace.StartDetail("equijoin", fmt.Sprintf("rollup h=%d", targetH))
 		err := equiJoin(ctx, rolled, d, targetH, nil, vs, 0)

@@ -32,14 +32,17 @@ func ToRegionRelation(ctx *Context, rel *relation.Relation, name string) (*relat
 			Aux:  r.Code.End(),
 		}); err != nil {
 			app.Close() //nolint:errcheck // first error wins
+			out.Free()  //nolint:errcheck // cleanup after earlier error
 			return nil, err
 		}
 	}
 	if err := s.Err(); err != nil {
 		app.Close() //nolint:errcheck // first error wins
+		out.Free()  //nolint:errcheck // cleanup after earlier error
 		return nil, err
 	}
 	if err := app.Close(); err != nil {
+		out.Free() //nolint:errcheck // cleanup after earlier error
 		return nil, err
 	}
 	return out, nil

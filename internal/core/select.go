@@ -103,6 +103,10 @@ func Choose(ctx *Context, spec InputSpec, a, d *relation.Relation) Algorithm {
 // Run executes the chosen algorithm (resolving AlgAuto through Choose) and
 // returns the algorithm that actually ran.
 func Run(ctx *Context, alg Algorithm, spec InputSpec, a, d *relation.Relation, sink Sink) (Algorithm, error) {
+	// Arm the buffer pool with the context's cancellation check for the
+	// duration of the execution; every algorithm below becomes cancelable
+	// at page granularity without further plumbing.
+	defer ctx.ArmPool()()
 	if alg == AlgAuto {
 		alg = Choose(ctx, spec, a, d)
 	}

@@ -183,6 +183,13 @@ func vPartition(ctx *Context, rel *relation.Relation, l int, offset uint64, k in
 		}
 		return first
 	}
+	// fail cleans up on any error: the caller never sees the partitions, so
+	// they must be freed here or they leak.
+	fail := func(err error) ([]*relation.Relation, error) {
+		closeApps() //nolint:errcheck // first error wins
+		freeAll(parts)
+		return nil, err
+	}
 	appendTo := func(i int, r relation.Rec) error {
 		if apps[i] == nil {
 			apps[i] = parts[i].NewAppender()
@@ -196,8 +203,7 @@ func vPartition(ctx *Context, rel *relation.Relation, l int, offset uint64, k in
 	for s.Next() {
 		r := s.Rec()
 		if r.Code.Height() >= h {
-			closeApps() //nolint:errcheck // first error wins
-			return nil, fmt.Errorf("core: code %v does not fit a PBiTree of height %d (ctx.TreeHeight too small)", r.Code, h)
+			return fail(fmt.Errorf("core: code %v does not fit a PBiTree of height %d (ctx.TreeHeight too small)", r.Code, h))
 		}
 		if r.Code.Height() <= cutHeight {
 			// At or below the cut: the level-l ancestor names the
@@ -206,12 +212,10 @@ func vPartition(ctx *Context, rel *relation.Relation, l int, offset uint64, k in
 			anc := pbicode.F(r.Code, cutHeight)
 			alpha := uint64(anc) >> uint(cutHeight+1)
 			if alpha < offset || alpha >= offset+uint64(k) {
-				closeApps() //nolint:errcheck // first error wins
-				return nil, fmt.Errorf("core: code %v outside the partitioning span (corrupt relation span?)", r.Code)
+				return fail(fmt.Errorf("core: code %v outside the partitioning span (corrupt relation span?)", r.Code))
 			}
 			if err := appendTo(int(alpha-offset), r); err != nil {
-				closeApps() //nolint:errcheck // first error wins
-				return nil, err
+				return fail(err)
 			}
 			continue
 		}
@@ -225,30 +229,27 @@ func vPartition(ctx *Context, rel *relation.Relation, l int, offset uint64, k in
 			ghi = hiMax
 		}
 		if ghi < glo {
-			closeApps() //nolint:errcheck // first error wins
-			return nil, fmt.Errorf("core: code %v outside the partitioning span (corrupt relation span?)", r.Code)
+			return fail(fmt.Errorf("core: code %v outside the partitioning span (corrupt relation span?)", r.Code))
 		}
 		lo, hi := glo-offset, ghi-offset
 		if !replicate {
 			if err := appendTo(int(lo), r); err != nil {
-				closeApps() //nolint:errcheck // first error wins
-				return nil, err
+				return fail(err)
 			}
 			continue
 		}
 		for i := lo; i <= hi; i++ {
 			if err := appendTo(int(i), r); err != nil {
-				closeApps() //nolint:errcheck // first error wins
-				return nil, err
+				return fail(err)
 			}
 		}
 		ctx.stats().Replicated += int64(hi - lo)
 	}
 	if err := s.Err(); err != nil {
-		closeApps() //nolint:errcheck // first error wins
-		return nil, err
+		return fail(err)
 	}
 	if err := closeApps(); err != nil {
+		freeAll(parts)
 		return nil, err
 	}
 	return parts, nil

@@ -78,6 +78,14 @@ func SortTrace(pool *buffer.Pool, in *relation.Relation, key KeyFunc, memPages i
 		pass++
 		sp := tr.StartDetail("sort-merge", fmt.Sprintf("pass=%d runs=%d fanin=%d", pass, len(runs), fanIn))
 		var next []*relation.Relation
+		// On error, every surviving run of this pass — merged or not —
+		// must be freed here: the caller never sees them.
+		fail := func(err error) (*relation.Relation, error) {
+			tr.End(sp)
+			freeRuns(next)
+			freeRuns(runs)
+			return nil, err
+		}
 		for lo := 0; lo < len(runs); lo += fanIn {
 			hi := lo + fanIn
 			if hi > len(runs) {
@@ -85,14 +93,14 @@ func SortTrace(pool *buffer.Pool, in *relation.Relation, key KeyFunc, memPages i
 			}
 			merged, err := mergeRuns(pool, runs[lo:hi], key, fmt.Sprintf("%s.p%d.%d", name, pass, lo))
 			if err != nil {
-				tr.End(sp)
-				return nil, err
+				return fail(err)
 			}
-			for _, r := range runs[lo:hi] {
-				if err := r.Free(); err != nil {
-					tr.End(sp)
-					return nil, err
+			for j := lo; j < hi; j++ {
+				if err := runs[j].Free(); err != nil {
+					next = append(next, merged)
+					return fail(err)
 				}
+				runs[j] = nil
 			}
 			next = append(next, merged)
 		}
@@ -100,6 +108,15 @@ func SortTrace(pool *buffer.Pool, in *relation.Relation, key KeyFunc, memPages i
 		tr.End(sp)
 	}
 	return runs[0], nil
+}
+
+// freeRuns releases run relations, ignoring errors (cleanup path).
+func freeRuns(runs []*relation.Relation) {
+	for _, r := range runs {
+		if r != nil {
+			r.Free() //nolint:errcheck // best-effort cleanup
+		}
+	}
 }
 
 // makeRuns produces sorted runs of up to memPages pages each.
@@ -115,6 +132,7 @@ func makeRuns(pool *buffer.Pool, in *relation.Relation, key KeyFunc, memPages in
 		sort.Slice(buf, func(i, j int) bool { return key(buf[i]).Less(key(buf[j])) })
 		run := relation.New(pool, fmt.Sprintf("%s.run%d", name, len(runs)))
 		if err := run.Append(buf...); err != nil {
+			run.Free() //nolint:errcheck // cleanup after append error
 			return err
 		}
 		runs = append(runs, run)
@@ -127,14 +145,17 @@ func makeRuns(pool *buffer.Pool, in *relation.Relation, key KeyFunc, memPages in
 		buf = append(buf, s.Rec())
 		if len(buf) == chunk {
 			if err := flush(); err != nil {
+				freeRuns(runs)
 				return nil, err
 			}
 		}
 	}
 	if err := s.Err(); err != nil {
+		freeRuns(runs)
 		return nil, err
 	}
 	if err := flush(); err != nil {
+		freeRuns(runs)
 		return nil, err
 	}
 	return runs, nil
@@ -167,6 +188,12 @@ func mergeRuns(pool *buffer.Pool, runs []*relation.Relation, key KeyFunc, name s
 			}
 		}
 	}()
+	// fail abandons the partially-written output: the caller never sees it.
+	fail := func(err error) (*relation.Relation, error) {
+		app.Close() //nolint:errcheck // first error wins
+		out.Free()  //nolint:errcheck // cleanup after earlier error
+		return nil, err
+	}
 	h := make(mergeHeap, 0, len(runs))
 	for i, r := range runs {
 		s := r.Scan()
@@ -174,29 +201,27 @@ func mergeRuns(pool *buffer.Pool, runs []*relation.Relation, key KeyFunc, name s
 		if s.Next() {
 			h = append(h, mergeItem{rec: s.Rec(), key: key(s.Rec()), src: i})
 		} else if err := s.Err(); err != nil {
-			app.Close()
-			return nil, err
+			return fail(err)
 		}
 	}
 	heap.Init(&h)
 	for h.Len() > 0 {
 		it := h[0]
 		if err := app.Append(it.rec); err != nil {
-			app.Close()
-			return nil, err
+			return fail(err)
 		}
 		s := scanners[it.src]
 		if s.Next() {
 			h[0] = mergeItem{rec: s.Rec(), key: key(s.Rec()), src: it.src}
 			heap.Fix(&h, 0)
 		} else if err := s.Err(); err != nil {
-			app.Close()
-			return nil, err
+			return fail(err)
 		} else {
 			heap.Pop(&h)
 		}
 	}
 	if err := app.Close(); err != nil {
+		out.Free() //nolint:errcheck // cleanup after earlier error
 		return nil, err
 	}
 	return out, nil

@@ -1,7 +1,6 @@
 package qserv
 
 import (
-	"errors"
 	"net/http"
 	"strings"
 
@@ -48,9 +47,9 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	anc, desc, expr := q.Get("anc"), q.Get("desc"), q.Get("query")
 	switch {
 	case expr != "":
-		s.traceQuery(w, expr)
+		s.traceQuery(w, r, expr)
 	case anc != "" && desc != "":
-		s.traceJoin(w, anc, desc, q.Get("algo"))
+		s.traceJoin(w, r, anc, desc, q.Get("algo"))
 	default:
 		s.writeError(w, http.StatusBadRequest, "pass anc+desc (a join) or query (a path expression)")
 	}
@@ -72,19 +71,30 @@ func spanSet(anc, desc string, an *containment.Analysis) traceSpanSet {
 }
 
 // traceJoin analyzes one containment join and returns its span tree.
-func (s *Server) traceJoin(w http.ResponseWriter, anc, desc, algoName string) {
+func (s *Server) traceJoin(w http.ResponseWriter, r *http.Request, anc, desc, algoName string) {
 	alg, ok := containment.ParseAlgorithm(algoName)
 	if !ok {
 		s.writeError(w, http.StatusBadRequest, "unknown algorithm %q (accepted: %s)",
 			algoName, strings.Join(containment.AlgorithmNames(), ", "))
 		return
 	}
-	wk, release, ok := s.acquire()
-	if !ok {
-		s.overloaded(w)
+	qctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	defer release()
+	defer cancel()
+	wk, release, err := s.acquire(qctx)
+	if err != nil {
+		if err == errSaturated {
+			s.overloaded(w)
+		} else {
+			s.writeFailure(w, "trace", err)
+		}
+		return
+	}
+	recycle := false
+	defer func() { release(recycle) }()
 	a, ok := wk.relation(anc)
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", anc)
@@ -95,12 +105,17 @@ func (s *Server) traceJoin(w http.ResponseWriter, anc, desc, algoName string) {
 		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", desc)
 		return
 	}
-	an, err := wk.eng.Analyze(a, d, containment.JoinOptions{Algorithm: alg})
-	if rerr := wk.eng.ReleaseTemp(); rerr != nil && err == nil {
-		err = rerr
-	}
+	var an *containment.Analysis
+	err = s.guard(func() error {
+		var jerr error
+		an, jerr = wk.eng.AnalyzeContext(qctx, a, d, containment.JoinOptions{Algorithm: alg})
+		if rerr := wk.eng.ReleaseTemp(); rerr != nil && jerr == nil {
+			jerr = rerr
+		}
+		return jerr
+	})
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "join failed: %v", err)
+		recycle = s.finishJoinError(w, "trace", err)
 		return
 	}
 	s.met.recordJoin(an.Result)
@@ -114,7 +129,7 @@ func (s *Server) traceJoin(w http.ResponseWriter, anc, desc, algoName string) {
 
 // traceQuery analyzes a descendant-axis path query, one span tree per join
 // step.
-func (s *Server) traceQuery(w http.ResponseWriter, expr string) {
+func (s *Server) traceQuery(w http.ResponseWriter, r *http.Request, expr string) {
 	steps, err := containment.ParsePath(expr)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
@@ -125,23 +140,35 @@ func (s *Server) traceQuery(w http.ResponseWriter, expr string) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	wk, release, ok := s.acquire()
-	if !ok {
-		s.overloaded(w)
+	qctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	defer release()
-	_, stepInfo, analyses, err := wk.evalPath(tags)
-	if rerr := wk.eng.ReleaseTemp(); rerr != nil && err == nil {
-		err = rerr
-	}
+	defer cancel()
+	wk, release, err := s.acquire(qctx)
 	if err != nil {
-		var unknown *unknownRelationError
-		if errors.As(err, &unknown) {
-			s.writeError(w, http.StatusNotFound, "%v", err)
+		if err == errSaturated {
+			s.overloaded(w)
 		} else {
-			s.writeError(w, http.StatusInternalServerError, "path query failed: %v", err)
+			s.writeFailure(w, "trace", err)
 		}
+		return
+	}
+	recycle := false
+	defer func() { release(recycle) }()
+	var stepInfo []pathStep
+	var analyses []*containment.Analysis
+	err = s.guard(func() error {
+		var jerr error
+		_, stepInfo, analyses, jerr = wk.evalPath(qctx, tags)
+		if rerr := wk.eng.ReleaseTemp(); rerr != nil && jerr == nil {
+			jerr = rerr
+		}
+		return jerr
+	})
+	if err != nil {
+		recycle = s.finishJoinError(w, "trace", err)
 		return
 	}
 	resp := traceResponse{TraceID: w.Header().Get("X-Trace-Id"), Query: canon}

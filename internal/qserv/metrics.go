@@ -34,6 +34,11 @@ type metrics struct {
 	queued   atomic.Int64 // admitted requests waiting for a worker
 	busy     atomic.Int64 // workers currently executing
 
+	canceled       atomic.Int64 // requests aborted by client disconnect (499)
+	timeouts       atomic.Int64 // requests aborted by deadline (504)
+	panics         atomic.Int64 // panics recovered during query execution
+	engineRecycles atomic.Int64 // poisoned engines discarded and replaced
+
 	mu   sync.Mutex
 	ring [latWindow]time.Duration
 	n    int // samples in ring (≤ latWindow)

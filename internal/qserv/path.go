@@ -1,6 +1,7 @@
 package qserv
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -50,9 +51,11 @@ type pathStep struct {
 
 // evalPath runs the join chain for tags on one worker. It returns the
 // final match set in document order plus per-step join reports. Each step
-// runs under Engine.Analyze, so callers get the per-phase breakdown for
-// telemetry alongside the ordinary result.
-func (wk *worker) evalPath(tags []string) ([]pbicode.Code, []pathStep, []*containment.Analysis, error) {
+// runs under Engine.AnalyzeContext, so callers get the per-phase breakdown
+// for telemetry alongside the ordinary result, and the chain aborts as
+// soon as ctx is canceled (the failed step's temps are released by the
+// caller's ReleaseTemp).
+func (wk *worker) evalPath(ctx context.Context, tags []string) ([]pbicode.Code, []pathStep, []*containment.Analysis, error) {
 	first, ok := wk.relation(tags[0])
 	if !ok {
 		return nil, nil, nil, &unknownRelationError{tags[0]}
@@ -73,8 +76,11 @@ func (wk *worker) evalPath(tags []string) ([]pbicode.Code, []pathStep, []*contai
 		if !ok {
 			return nil, nil, nil, &unknownRelationError{tags[i]}
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
 		matched := make(map[pbicode.Code]bool)
-		an, err := wk.eng.Analyze(anc, desc, containment.JoinOptions{
+		an, err := wk.eng.AnalyzeContext(ctx, anc, desc, containment.JoinOptions{
 			Emit: func(p containment.Pair) error {
 				matched[p.D] = true
 				return nil

@@ -41,6 +41,14 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "pbiserve_errors_total %d\n", m.errors.Load())
 	family(w, "pbiserve_rejected_total", "Requests shed with 503 because the admission queue was full.", "counter")
 	fmt.Fprintf(w, "pbiserve_rejected_total %d\n", m.rejected.Load())
+	family(w, "pbiserve_canceled_total", "Requests abandoned by the client before completion (499).", "counter")
+	fmt.Fprintf(w, "pbiserve_canceled_total %d\n", m.canceled.Load())
+	family(w, "pbiserve_timeouts_total", "Requests aborted by deadline expiry (504).", "counter")
+	fmt.Fprintf(w, "pbiserve_timeouts_total %d\n", m.timeouts.Load())
+	family(w, "pbiserve_panics_total", "Panics recovered during request handling.", "counter")
+	fmt.Fprintf(w, "pbiserve_panics_total %d\n", m.panics.Load())
+	family(w, "pbiserve_engine_recycles_total", "Poisoned worker engines discarded and replaced.", "counter")
+	fmt.Fprintf(w, "pbiserve_engine_recycles_total %d\n", m.engineRecycles.Load())
 
 	family(w, "pbiserve_workers", "Engine pool size.", "gauge")
 	fmt.Fprintf(w, "pbiserve_workers %d\n", s.cfg.Workers)

@@ -26,6 +26,7 @@
 package qserv
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/pbicode"
 )
 
 // Config configures a Server.
@@ -72,6 +75,11 @@ type Config struct {
 	// Off by default: profiling endpoints expose internals and should only
 	// be reachable when deliberately enabled.
 	EnablePprof bool
+	// QueryTimeout bounds each query's execution; past it the join aborts
+	// cooperatively and the request is answered 504. It is also the upper
+	// clamp for the per-request ?timeout= parameter. 0 means no server
+	// deadline (?timeout= is then accepted unclamped).
+	QueryTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +150,14 @@ type Server struct {
 	traceBase uint32        // per-process trace-ID prefix (start time)
 	traceSeq  atomic.Uint64 // per-request trace-ID suffix
 	logMu     sync.Mutex    // serializes AccessLog writes
+
+	poolMu sync.Mutex // guards all/closed against quarantine replacement
+	closed bool       // set by Close; stops replacement goroutines
+
+	// testHook, when non-nil, runs inside the execution guard right before
+	// the engine work of every guarded request. Tests inject panics here to
+	// exercise the quarantine path.
+	testHook func()
 }
 
 // New opens cfg.Workers read-only engines over cfg.DBPath and returns a
@@ -251,14 +267,27 @@ type accessRecord struct {
 
 // instrument wraps the mux: every request gets a trace ID (echoed in the
 // X-Trace-Id response header) and, when Config.AccessLog is set, one JSON
-// log line on completion.
+// log line on completion. It is also the last-resort panic barrier: query
+// handlers recover engine panics themselves (see guard) so the borrowed
+// engine can be quarantined, but a panic anywhere else still becomes a 500
+// here instead of net/http tearing the connection down without a response.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := s.nextTraceID()
 		w.Header().Set("X-Trace-Id", id)
 		sw := &statusWriter{ResponseWriter: w}
-		next.ServeHTTP(sw, r)
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					s.met.panics.Add(1)
+					if sw.status == 0 {
+						s.writeError(sw, http.StatusInternalServerError, "internal error: %v", v)
+					}
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		}()
 		if s.cfg.AccessLog == nil {
 			return
 		}
@@ -291,37 +320,127 @@ func (s *Server) Relations() []RelationInfo { return s.rels }
 
 // Close releases every worker engine. It must only be called once no
 // request is in flight — after http.Server.Shutdown has drained the
-// handler (engines are single-threaded; see containment.Engine).
+// handler (engines are single-threaded; see containment.Engine). Pending
+// quarantine replacements are stopped.
 func (s *Server) Close() error {
+	s.poolMu.Lock()
+	s.closed = true
+	workers := s.all
+	s.all = nil
+	s.poolMu.Unlock()
 	var first error
-	for _, wk := range s.all {
+	for _, wk := range workers {
 		if err := wk.eng.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	s.all = nil
 	return first
 }
 
-// acquire admits a request and borrows a worker, or reports saturation.
-// The returned release must be called exactly once.
-func (s *Server) acquire() (*worker, func(), bool) {
+// errSaturated reports an admission refusal (the 503 path).
+var errSaturated = errors.New("qserv: saturated")
+
+// acquire admits a request and borrows a worker. It fails with
+// errSaturated when the admission queue is full, or with ctx.Err() when
+// the request's context dies while waiting for a worker — in both cases
+// the queue slot is given back. The returned release must be called
+// exactly once; release(true) quarantines the worker instead of
+// returning it (see quarantine).
+func (s *Server) acquire(ctx context.Context) (*worker, func(recycle bool), error) {
 	select {
 	case s.admit <- struct{}{}:
 	default:
 		s.met.rejected.Add(1)
-		return nil, nil, false
+		return nil, nil, errSaturated
 	}
 	s.met.queued.Add(1)
-	wk := <-s.workers
-	s.met.queued.Add(-1)
-	s.met.busy.Add(1)
-	release := func() {
-		s.met.busy.Add(-1)
-		s.workers <- wk
+	select {
+	case wk := <-s.workers:
+		s.met.queued.Add(-1)
+		s.met.busy.Add(1)
+		release := func(recycle bool) {
+			s.met.busy.Add(-1)
+			if recycle {
+				s.quarantine(wk)
+			} else {
+				s.workers <- wk
+			}
+			<-s.admit
+		}
+		return wk, release, nil
+	case <-ctx.Done():
+		// Client gone or deadline passed while queued: free the slot so
+		// the abandoned request stops occupying queue capacity.
+		s.met.queued.Add(-1)
 		<-s.admit
+		return nil, nil, ctx.Err()
 	}
-	return wk, release, true
+}
+
+// quarantine discards a worker whose engine may be poisoned (a panic
+// escaped an algorithm mid-join, leaving unknowable internal state) and
+// schedules a replacement. Pool engines are cheap read-only COW overlays
+// over the shared database file, so recycling one costs an Open, not a
+// rebuild. The pool runs one worker short until the replacement lands.
+func (s *Server) quarantine(old *worker) {
+	s.met.engineRecycles.Add(1)
+	s.poolMu.Lock()
+	for i, wk := range s.all {
+		if wk == old {
+			s.all = append(s.all[:i], s.all[i+1:]...)
+			break
+		}
+	}
+	closed := s.closed
+	s.poolMu.Unlock()
+	func() {
+		// A poisoned engine may panic again while flushing; contain it.
+		defer func() { recover() }() //nolint:errcheck // best-effort close
+		old.eng.Close()              //nolint:errcheck // discarding anyway
+	}()
+	if !closed {
+		go s.replaceWorker()
+	}
+}
+
+// replaceWorker opens a fresh read-only engine and returns it to the
+// pool, retrying with backoff (the database file itself is intact — a
+// transient open failure should not permanently shrink the pool).
+func (s *Server) replaceWorker() {
+	backoff := 50 * time.Millisecond
+	for {
+		s.poolMu.Lock()
+		if s.closed {
+			s.poolMu.Unlock()
+			return
+		}
+		s.poolMu.Unlock()
+		eng, rels, err := containment.Open(containment.Config{
+			Path:        s.cfg.DBPath,
+			ReadOnly:    true,
+			BufferPages: s.cfg.BufferPages,
+			DiskCost:    s.cfg.DiskCost,
+		})
+		if err == nil {
+			wk := &worker{eng: eng, rels: rels}
+			s.poolMu.Lock()
+			if s.closed {
+				s.poolMu.Unlock()
+				eng.Close() //nolint:errcheck // shutting down
+				return
+			}
+			s.all = append(s.all, wk)
+			s.poolMu.Unlock()
+			// Never blocks: the pool never exceeds cfg.Workers workers and
+			// the channel holds that many.
+			s.workers <- wk
+			return
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
 }
 
 // errorResponse is the JSON error envelope.
@@ -353,6 +472,92 @@ func (s *Server) overloaded(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", "1")
 	s.writeError(w, http.StatusServiceUnavailable,
 		"server saturated: %d executing, %d queued", s.cfg.Workers, s.cfg.QueueDepth)
+}
+
+// statusClientClosedRequest is the non-standard 499 status (nginx
+// convention) for requests abandoned by the client before completion.
+const statusClientClosedRequest = 499
+
+// requestContext derives the execution context of one request: the
+// client's connection context (so disconnects cancel the running join),
+// bounded by Config.QueryTimeout and/or an explicit ?timeout= parameter.
+// An explicit timeout is clamped to the server's QueryTimeout when one is
+// configured. The returned cancel must always be called.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := s.cfg.QueryTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, nil, fmt.Errorf("invalid timeout %q (want a positive Go duration, e.g. 500ms)", v)
+		}
+		if timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		return ctx, cancel, nil
+	}
+	return r.Context(), func() {}, nil
+}
+
+// writeFailure answers a failed execution, classifying the error into the
+// status vocabulary: 499 for client-canceled requests, 504 for deadline
+// expiry, 500 for everything else. The matching counters are bumped.
+func (s *Server) writeFailure(w http.ResponseWriter, what string, err error) {
+	switch containment.Classify(err) {
+	case containment.FailDeadline:
+		s.met.timeouts.Add(1)
+		s.writeError(w, http.StatusGatewayTimeout, "%s timed out: %v", what, err)
+	case containment.FailCanceled:
+		s.met.canceled.Add(1)
+		s.writeError(w, statusClientClosedRequest, "%s canceled by client", what)
+	default:
+		s.writeError(w, http.StatusInternalServerError, "%s failed: %v", what, err)
+	}
+}
+
+// panicError is a recovered handler panic carried as an error.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.val) }
+
+// guard runs fn, converting a panic into a *panicError so the caller can
+// answer 500 and quarantine the borrowed engine instead of letting the
+// panic unwind (net/http would kill the connection without a response,
+// and the engine's internal state would be unknowable yet reused).
+func (s *Server) guard(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.met.panics.Add(1)
+			err = &panicError{val: v, stack: debug.Stack()}
+		}
+	}()
+	if s.testHook != nil {
+		s.testHook()
+	}
+	return fn()
+}
+
+// finishJoinError maps a guarded join execution's error onto a response.
+// It reports whether the borrowed engine must be recycled (a panic was
+// recovered). notFound handles *unknownRelationError specially (404).
+func (s *Server) finishJoinError(w http.ResponseWriter, what string, err error) (recycle bool) {
+	var pe *panicError
+	if errors.As(err, &pe) {
+		s.writeError(w, http.StatusInternalServerError, "%s: internal error: %v", what, pe.val)
+		return true
+	}
+	var unknown *unknownRelationError
+	if errors.As(err, &unknown) {
+		s.writeError(w, http.StatusNotFound, "%v", err)
+		return false
+	}
+	s.writeFailure(w, what, err)
+	return false
 }
 
 // joinResponse is the /join payload.
@@ -388,18 +593,36 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			algoName, strings.Join(containment.AlgorithmNames(), ", "))
 		return
 	}
+	qctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	// A context that is already dead (?timeout= too small to matter, or
+	// the client has hung up) fails deterministically — before the cache
+	// can turn the request into a hit.
+	if err := qctx.Err(); err != nil {
+		s.writeFailure(w, "join", err)
+		return
+	}
 	key := fmt.Sprintf("join\x00%s\x00%s\x00%d", anc, desc, alg)
 	if payload, ok := s.lookup(key); ok {
 		s.writePayload(w, payload, true, start)
 		return
 	}
 
-	wk, release, ok := s.acquire()
-	if !ok {
-		s.overloaded(w)
+	wk, release, aerr := s.acquire(qctx)
+	if aerr != nil {
+		if errors.Is(aerr, errSaturated) {
+			s.overloaded(w)
+		} else {
+			s.writeFailure(w, "join", aerr)
+		}
 		return
 	}
-	defer release()
+	recycle := false
+	defer func() { release(recycle) }()
 	a, ok := wk.relation(anc)
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", anc)
@@ -410,12 +633,17 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", desc)
 		return
 	}
-	an, err := wk.eng.Analyze(a, d, containment.JoinOptions{Algorithm: alg})
-	if rerr := wk.eng.ReleaseTemp(); rerr != nil && err == nil {
-		err = rerr
-	}
+	var an *containment.Analysis
+	err = s.guard(func() error {
+		var jerr error
+		an, jerr = wk.eng.AnalyzeContext(qctx, a, d, containment.JoinOptions{Algorithm: alg})
+		if rerr := wk.eng.ReleaseTemp(); rerr != nil && jerr == nil {
+			jerr = rerr
+		}
+		return jerr
+	})
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "join failed: %v", err)
+		recycle = s.finishJoinError(w, "join", err)
 		return
 	}
 	res := an.Result
@@ -468,29 +696,48 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	qctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	if err := qctx.Err(); err != nil {
+		s.writeFailure(w, "path query", err)
+		return
+	}
 	key := "path\x00" + canon
 	if payload, ok := s.lookup(key); ok {
 		s.writePayload(w, payload, true, start)
 		return
 	}
 
-	wk, release, ok := s.acquire()
-	if !ok {
-		s.overloaded(w)
+	wk, release, aerr := s.acquire(qctx)
+	if aerr != nil {
+		if errors.Is(aerr, errSaturated) {
+			s.overloaded(w)
+		} else {
+			s.writeFailure(w, "path query", aerr)
+		}
 		return
 	}
-	defer release()
-	codes, stepInfo, analyses, err := wk.evalPath(tags)
-	if rerr := wk.eng.ReleaseTemp(); rerr != nil && err == nil {
-		err = rerr
-	}
-	if err != nil {
-		var unknown *unknownRelationError
-		if errors.As(err, &unknown) {
-			s.writeError(w, http.StatusNotFound, "%v", err)
-		} else {
-			s.writeError(w, http.StatusInternalServerError, "path query failed: %v", err)
+	recycle := false
+	defer func() { release(recycle) }()
+	var (
+		codes    []pbicode.Code
+		stepInfo []pathStep
+		analyses []*containment.Analysis
+	)
+	err = s.guard(func() error {
+		var qerr error
+		codes, stepInfo, analyses, qerr = wk.evalPath(qctx, tags)
+		if rerr := wk.eng.ReleaseTemp(); rerr != nil && qerr == nil {
+			qerr = rerr
 		}
+		return qerr
+	})
+	if err != nil {
+		recycle = s.finishJoinError(w, "path query", err)
 		return
 	}
 	resp := queryResponse{Path: canon, Count: len(codes), Steps: stepInfo}
@@ -537,25 +784,33 @@ type queueStats struct {
 
 // statsResponse is the /stats payload.
 type statsResponse struct {
-	UptimeS    float64                `json:"uptime_s"`
-	Database   string                 `json:"database"`
-	Requests   int64                  `json:"requests"`
-	Errors     int64                  `json:"errors"`
-	Rejected   int64                  `json:"rejected"`
-	Queue      queueStats             `json:"queue"`
-	Cache      *cacheStats            `json:"cache,omitempty"`
-	Latency    latencyStats           `json:"latency"`
-	Algorithms map[string]algSnapshot `json:"algorithms"`
+	UptimeS        float64                `json:"uptime_s"`
+	Database       string                 `json:"database"`
+	Requests       int64                  `json:"requests"`
+	Errors         int64                  `json:"errors"`
+	Rejected       int64                  `json:"rejected"`
+	Canceled       int64                  `json:"canceled"`
+	Timeouts       int64                  `json:"timeouts"`
+	Panics         int64                  `json:"panics"`
+	EngineRecycles int64                  `json:"engine_recycles"`
+	Queue          queueStats             `json:"queue"`
+	Cache          *cacheStats            `json:"cache,omitempty"`
+	Latency        latencyStats           `json:"latency"`
+	Algorithms     map[string]algSnapshot `json:"algorithms"`
 }
 
 // handleStats serves GET /stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
-		UptimeS:  time.Since(s.met.start).Seconds(),
-		Database: s.cfg.DBPath,
-		Requests: s.met.requests.Load(),
-		Errors:   s.met.errors.Load(),
-		Rejected: s.met.rejected.Load(),
+		UptimeS:        time.Since(s.met.start).Seconds(),
+		Database:       s.cfg.DBPath,
+		Requests:       s.met.requests.Load(),
+		Errors:         s.met.errors.Load(),
+		Rejected:       s.met.rejected.Load(),
+		Canceled:       s.met.canceled.Load(),
+		Timeouts:       s.met.timeouts.Load(),
+		Panics:         s.met.panics.Load(),
+		EngineRecycles: s.met.engineRecycles.Load(),
 		Queue: queueStats{
 			Workers: s.cfg.Workers, Busy: s.met.busy.Load(),
 			Depth: s.met.queued.Load(), Capacity: s.cfg.QueueDepth,

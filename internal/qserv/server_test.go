@@ -1,6 +1,7 @@
 package qserv
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -71,7 +72,7 @@ func singleEngineAnswers(t *testing.T, db string) (joinCounts map[string]int64, 
 	}
 	// //section//para//figure ground truth via the same chain logic.
 	wk := &worker{eng: eng, rels: rels}
-	codes, _, _, err := wk.evalPath([]string{"section", "para", "figure"})
+	codes, _, _, err := wk.evalPath(context.Background(), []string{"section", "para", "figure"})
 	if err != nil {
 		t.Fatal(err)
 	}

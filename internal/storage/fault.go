@@ -21,6 +21,10 @@ type FaultDisk struct {
 	FailAllocAfter int64
 	// BadPages lists page IDs whose reads and writes always fail.
 	BadPages map[PageID]bool
+	// OnRead, when non-nil, runs before every read (after the read counter
+	// is incremented) and fails the read with its error when non-nil. Tests
+	// use it to trigger cancellation or faults at exact page touches.
+	OnRead func(PageID) error
 
 	reads, writes, allocs int64
 }
@@ -31,6 +35,11 @@ func NewFaultDisk(d Disk) *FaultDisk { return &FaultDisk{Disk: d} }
 // Read implements Disk.
 func (d *FaultDisk) Read(id PageID, p []byte) error {
 	d.reads++
+	if d.OnRead != nil {
+		if err := d.OnRead(id); err != nil {
+			return err
+		}
+	}
 	if d.FailReadAfter > 0 && d.reads >= d.FailReadAfter {
 		return ErrInjected
 	}

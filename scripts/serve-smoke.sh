@@ -44,12 +44,24 @@ stats=$(curl -fs "http://$addr/stats")
 echo "$stats" | grep -q '"errors":0' || { echo "serve-smoke: server recorded errors: $stats" >&2; exit 1; }
 echo "$stats" | grep -q '"hits":0' && { echo "serve-smoke: no cache hits on a repeated workload: $stats" >&2; exit 1; }
 
+echo "serve-smoke: checking the timeout path"
+# An absurd ?timeout= must answer 504 deterministically (expired deadlines
+# are rejected before the result cache can serve a hit), and the server
+# must stay healthy afterwards. This runs after the "errors":0 check
+# because the 504 deliberately increments the error counter.
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/join?anc=item&desc=text&timeout=1ns")
+[ "$code" = "504" ] || { echo "serve-smoke: ?timeout=1ns answered $code, want 504" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/join?anc=item&desc=text")
+[ "$code" = "200" ] || { echo "serve-smoke: post-timeout request answered $code, want 200" >&2; exit 1; }
+
 echo "serve-smoke: checking /metrics exposition"
 # Retry the scrape a few times: a transiently truncated body should not
 # fail the build, a genuinely missing family still does.
 families="pbiserve_requests_total pbiserve_cache_hits_total
           pbiserve_request_latency_seconds_bucket
-          pbiserve_join_requests_total pbiserve_join_phase_page_io_total"
+          pbiserve_join_requests_total pbiserve_join_phase_page_io_total
+          pbiserve_timeouts_total pbiserve_canceled_total
+          pbiserve_panics_total pbiserve_engine_recycles_total"
 for attempt in 1 2 3; do
     metrics=$(curl -fs "http://$addr/metrics")
     missing=""
