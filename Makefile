@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench fuzz experiments experiments-full serve-smoke clean
+.PHONY: all build test vet race cover bench fuzz experiments experiments-full serve-smoke shard-smoke clean
 
 all: build vet test
 
@@ -42,6 +42,12 @@ experiments:
 # by pbiload; fails on any non-200 or a crashed server.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# Sharded-serving check: pbidb shard splits a multi-document database,
+# pbiserve -shards serves it, and every answer is compared against an
+# unsharded server over the same data.
+shard-smoke:
+	./scripts/shard-smoke.sh
 
 # The paper-scale runs behind EXPERIMENTS.md (several minutes).
 experiments-full:

@@ -8,19 +8,25 @@
 //	pbidb build -db site.db [-tags item,text] doc1.xml [doc2.xml ...]
 //	pbidb tags  -db site.db
 //	pbidb join  -db site.db -anc item -desc text [-algo auto] [-buffer 500]
+//	pbidb shard -db site.db [-shards 4] [-out site.db.shards]
 //
 // Multiple documents are encoded as one collection (a forest under a
 // synthetic root), so joins span the corpus; pairs never cross documents.
+// build records the document catalog (per-document root code and element
+// weight); shard uses it to split the database into document-disjoint
+// shard files for pbiserve -shards / parallel scatter-gather joins.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/internal/shard"
 	"github.com/pbitree/pbitree/xmltree"
 )
 
@@ -35,6 +41,8 @@ func main() {
 		tags(os.Args[2:])
 	case "join":
 		join(os.Args[2:])
+	case "shard":
+		shardCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -44,7 +52,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pbidb build -db FILE [-tags a,b] doc.xml [doc.xml ...]
   pbidb tags  -db FILE
-  pbidb join  -db FILE -anc TAG -desc TAG [-algo NAME] [-buffer N]`)
+  pbidb join  -db FILE -anc TAG -desc TAG [-algo NAME] [-buffer N]
+  pbidb shard -db FILE [-shards N] [-out DIR]`)
 	os.Exit(2)
 }
 
@@ -91,7 +100,7 @@ func build(args []string) {
 	}
 	defer eng.Close()
 	var rels []*containment.Relation
-	var stored []string
+	var stored, storedTags []string
 	for tag := range coll.Document().Tags() {
 		if strings.HasPrefix(tag, "#") {
 			continue // synthetic collection root
@@ -104,14 +113,60 @@ func build(args []string) {
 			fail(err)
 		}
 		rels = append(rels, r)
+		storedTags = append(storedTags, tag)
 		stored = append(stored, fmt.Sprintf("%s(%d)", tag, r.Len()))
 	}
-	if err := eng.Save(rels...); err != nil {
+	// Record the document catalog: each document's root code (its region
+	// envelope) and its stored-element weight, the quantity pbidb shard
+	// balance-packs by.
+	var docs []containment.DocInfo
+	for _, name := range coll.Names() {
+		root, err := coll.RootCode(name)
+		if err != nil {
+			fail(err)
+		}
+		var elems int64
+		for _, tag := range storedTags {
+			codes, err := coll.CodesIn(name, tag)
+			if err != nil {
+				fail(err)
+			}
+			elems += int64(len(codes))
+		}
+		docs = append(docs, containment.DocInfo{Name: name, Root: root, Elements: elems})
+	}
+	if err := eng.SaveDocs(docs, rels...); err != nil {
 		fail(err)
 	}
 	sort.Strings(stored)
 	fmt.Printf("pbidb: stored %d documents, %d tag relations: %s\n",
 		coll.NumDocuments(), len(rels), strings.Join(stored, " "))
+}
+
+// shardCmd splits a stored database into document-disjoint shard files
+// plus a manifest (see internal/shard.Split and doc/SHARDING.md).
+func shardCmd(args []string) {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	db := fs.String("db", "", "database file (required)")
+	n := fs.Int("shards", 4, "number of shards")
+	out := fs.String("out", "", "output directory (default DB.shards)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *db == "" || fs.NArg() != 0 {
+		usage()
+	}
+	if *out == "" {
+		*out = *db + ".shards"
+	}
+	man, err := shard.Split(*db, *n, *out)
+	if err != nil {
+		fail(err)
+	}
+	for i, ms := range man.Shards {
+		fmt.Printf("pbidb: shard %d: %-16s %3d documents %10d elements\n",
+			i, ms.Path, len(ms.Documents), ms.Elements)
+	}
+	fmt.Printf("pbidb: wrote %s (serve with: pbiserve -db %s -shards %d)\n",
+		filepath.Join(*out, shard.ManifestName), *db, *n)
 }
 
 // openDB opens the database read-only: tags and join never modify stored

@@ -7,7 +7,12 @@
 //
 //	pbiserve -db site.db [-addr :8080] [-workers 8] [-queue 64]
 //	         [-cache 1024] [-buffer 256] [-diskcost 2003|none]
-//	         [-timeout 0] [-accesslog FILE|-] [-pprof]
+//	         [-shards 0] [-timeout 0] [-accesslog FILE|-] [-pprof]
+//
+// With -shards N each worker is a scatter-gather engine over the N shard
+// files written by pbidb shard (expected at DB.shards/manifest.json, or
+// pass the manifest path as -db); /stats and /metrics then expose
+// per-shard I/O counters. See doc/SHARDING.md.
 //
 // Endpoints:
 //
@@ -51,6 +56,7 @@ func main() {
 		cache     = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
 		buffer    = flag.Int("buffer", 256, "buffer pool pages per worker")
 		diskcost  = flag.String("diskcost", "2003", "virtual disk cost model: 2003|none")
+		shards    = flag.Int("shards", 0, "serve a sharded store split by pbidb shard (0 = unsharded)")
 		timeout   = flag.Duration("timeout", 0, "per-query execution deadline, also the ?timeout= clamp (0 = none)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		accesslog = flag.String("accesslog", "", "write JSON request logs to this file (- = stdout)")
@@ -99,12 +105,16 @@ func main() {
 		AccessLog:    logw,
 		EnablePprof:  *pprofFlag,
 		QueryTimeout: *timeout,
+		Shards:       *shards,
 	})
 	if err != nil {
 		fail(err)
 	}
 	for _, r := range qs.Relations() {
 		fmt.Printf("pbiserve: relation %-24s %10d elements %8d pages\n", r.Tag, r.Elements, r.Pages)
+	}
+	if *shards > 0 {
+		fmt.Printf("pbiserve: sharded serving, %d shards per worker\n", *shards)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: qs.Handler()}

@@ -7,6 +7,12 @@
 //
 //	pbistat -anc section -desc figure [-level 6] file.xml
 //	pbistat -tags file.xml        (list tags with counts and heights)
+//	pbistat -docs [-shards N] file.xml [file.xml ...]
+//
+// -docs prints the per-document size breakdown of a corpus (element count
+// and estimated heap pages) — the weights the shard packer balances — and
+// with -shards N previews the LPT document assignment with its balance
+// ratio, without building a database.
 package main
 
 import (
@@ -17,20 +23,33 @@ import (
 	"sort"
 
 	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/internal/shard"
 	"github.com/pbitree/pbitree/pbistats"
 	"github.com/pbitree/pbitree/xmltree"
 )
 
 func main() {
 	var (
-		anc   = flag.String("anc", "", "ancestor tag")
-		desc  = flag.String("desc", "", "descendant tag")
-		level = flag.Int("level", 6, "synopsis bucket level")
-		tags  = flag.Bool("tags", false, "list tags instead of estimating")
+		anc      = flag.String("anc", "", "ancestor tag")
+		desc     = flag.String("desc", "", "descendant tag")
+		level    = flag.Int("level", 6, "synopsis bucket level")
+		tags     = flag.Bool("tags", false, "list tags instead of estimating")
+		docs     = flag.Bool("docs", false, "per-document size breakdown of a corpus")
+		shards   = flag.Int("shards", 0, "with -docs: preview the LPT packing into N shards")
+		pageSize = flag.Int("pagesize", 4096, "with -docs: page size for the page estimate")
 	)
 	flag.Parse()
+	if *docs {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: pbistat -docs [-shards N] file.xml [file.xml ...]")
+			os.Exit(2)
+		}
+		docBreakdown(flag.Args(), *shards, *pageSize)
+		return
+	}
 	if flag.NArg() != 1 || (!*tags && (*anc == "" || *desc == "")) {
-		fmt.Fprintln(os.Stderr, "usage: pbistat -anc TAG -desc TAG [-level N] file.xml | pbistat -tags file.xml")
+		fmt.Fprintln(os.Stderr, "usage: pbistat -anc TAG -desc TAG [-level N] file.xml | pbistat -tags file.xml | pbistat -docs file.xml ...")
 		os.Exit(2)
 	}
 	var in io.Reader = os.Stdin
@@ -96,6 +115,92 @@ func main() {
 	if truth > 0 {
 		fmt.Printf("  relative error:  %+.1f%%\n", (est-float64(truth))/float64(truth)*100)
 	}
+}
+
+// docBreakdown encodes the files as one collection and prints each
+// document's element count and estimated heap pages — the weights pbidb
+// shard balance-packs by. With n > 0 it additionally runs the same LPT
+// packer and reports the resulting per-shard loads and balance ratio, so
+// a skewed corpus can be inspected before splitting.
+func docBreakdown(paths []string, n, pageSize int) {
+	coll := xmltree.NewCollection()
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		err = coll.AddDocument(path, f, xmltree.Options{})
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+	perPage := relation.PerPage(pageSize)
+	names := coll.Names()
+	// The synthetic root's children are the document roots in insertion
+	// order — the same order Names reports.
+	roots := coll.Document().Root.Children
+	weights := make([]int64, len(names))
+	for i, root := range roots {
+		weights[i] = countElements(root)
+	}
+	shardOf := make([]int, len(names))
+	if n > 0 {
+		for g, idxs := range shard.Pack(weights, n) {
+			for _, i := range idxs {
+				shardOf[i] = g
+			}
+		}
+	}
+	estPages := func(elems int64) int64 {
+		return (elems + int64(perPage) - 1) / int64(perPage)
+	}
+	fmt.Printf("%-32s %10s %8s", "document", "elements", "~pages")
+	if n > 0 {
+		fmt.Printf(" %6s", "shard")
+	}
+	fmt.Println()
+	var total int64
+	for i, name := range names {
+		fmt.Printf("%-32s %10d %8d", name, weights[i], estPages(weights[i]))
+		if n > 0 {
+			fmt.Printf(" %6d", shardOf[i])
+		}
+		fmt.Println()
+		total += weights[i]
+	}
+	fmt.Printf("%-32s %10d %8d\n", fmt.Sprintf("total (%d documents)", len(names)), total, estPages(total))
+	if n <= 0 {
+		return
+	}
+	loads := make([]int64, n)
+	counts := make([]int, n)
+	for i := range names {
+		loads[shardOf[i]] += weights[i]
+		counts[shardOf[i]]++
+	}
+	fmt.Printf("\n%-6s %10s %10s %8s\n", "shard", "documents", "elements", "~pages")
+	var maxLoad int64
+	for g := 0; g < n; g++ {
+		fmt.Printf("%-6d %10d %10d %8d\n", g, counts[g], loads[g], estPages(loads[g]))
+		if loads[g] > maxLoad {
+			maxLoad = loads[g]
+		}
+	}
+	if total > 0 {
+		mean := float64(total) / float64(n)
+		fmt.Printf("balance: max/mean = %.2f (1.00 is perfect; the slowest shard bounds the fan-out)\n",
+			float64(maxLoad)/mean)
+	}
+}
+
+// countElements counts the elements of a subtree (the root included).
+func countElements(e *xmltree.Element) int64 {
+	var n int64 = 1
+	for _, ch := range e.Children {
+		n += countElements(ch)
+	}
+	return n
 }
 
 func fail(err error) {

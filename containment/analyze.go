@@ -97,6 +97,19 @@ func (an *Analysis) SpanTree() *SpanNode {
 	return spanNode(an.root)
 }
 
+// Root returns the recorded root span, or nil when nothing was recorded.
+// The sharded engine (internal/shard) collects per-shard roots through
+// this and reassembles them under one parent with trace.Merge.
+func (an *Analysis) Root() *trace.Span { return an.root }
+
+// NewAnalysis assembles an Analysis from a result and an externally built
+// span tree — the constructor fan-out engines use after merging per-shard
+// executions into one result and one parent span. Phases are flattened
+// from root exactly as Engine.Analyze would.
+func NewAnalysis(res *Result, root *trace.Span) *Analysis {
+	return newAnalysis(res, root)
+}
+
 func spanNode(sp *trace.Span) *SpanNode {
 	if sp == nil {
 		return nil

@@ -66,6 +66,9 @@ type Engine struct {
 	disk storage.Disk
 	pool *buffer.Pool
 	cfg  Config
+	// docs is the per-document catalog (SaveDocs / Open); nil when the
+	// database predates document tracking or none was supplied.
+	docs []DocInfo
 }
 
 // Relation is a stored element set owned by an Engine.
@@ -262,6 +265,23 @@ type IOStats struct {
 
 // Total returns total page I/Os.
 func (s IOStats) Total() int64 { return s.Reads + s.Writes }
+
+// Add accumulates o into s — the one merge helper every aggregation path
+// uses (the sharded engine's per-shard result merge, qserv's per-request
+// totals) instead of hand-written field sums. Every field adds, including
+// WallTime; callers merging executions that overlapped in time (parallel
+// shards) should overwrite WallTime with the measured envelope afterwards.
+func (s *IOStats) Add(o IOStats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.SeqReads += o.SeqReads
+	s.SeqWrites += o.SeqWrites
+	s.VirtualTime += o.VirtualTime
+	s.WallTime += o.WallTime
+	s.PoolHits += o.PoolHits
+	s.PoolMisses += o.PoolMisses
+	s.PoolEvictions += o.PoolEvictions
+}
 
 // Result reports one join execution.
 type Result struct {

@@ -26,6 +26,29 @@ type catalogFile struct {
 	PageSize   int            `json:"page_size"`
 	TreeHeight int            `json:"tree_height"`
 	Relations  []catalogEntry `json:"relations"`
+	// Documents records the collection's per-document boundaries (root
+	// code, stored-element count). The field is additive: catalogs written
+	// before document tracking simply have none, and joins never consult
+	// it — only the shard splitter (internal/shard.Split) and inspection
+	// tooling do.
+	Documents []catalogDoc `json:"documents,omitempty"`
+}
+
+type catalogDoc struct {
+	Name     string `json:"name"`
+	Root     uint64 `json:"root"`
+	Elements int64  `json:"elements"`
+}
+
+// DocInfo describes one document of a stored collection: its name, the
+// PBiTree code of its root element, and how many stored elements fall
+// inside it. Document subtrees occupy disjoint code regions (see
+// xmltree.Collection), which is what makes horizontal, document-level
+// sharding exact: a containment pair never spans two documents.
+type DocInfo struct {
+	Name     string
+	Root     pbicode.Code
+	Elements int64
 }
 
 type catalogEntry struct {
@@ -46,6 +69,14 @@ func catalogPath(path string) string { return path + ".catalog" }
 // Only writable file-backed engines can be saved. Relations must have
 // distinct names.
 func (e *Engine) Save(relations ...*Relation) error {
+	return e.SaveDocs(nil, relations...)
+}
+
+// SaveDocs is Save with a per-document catalog: docs records the
+// collection's document boundaries so the database can later be split
+// into document-disjoint shards (pbidb shard / internal/shard.Split)
+// without re-parsing any XML. Passing nil docs is identical to Save.
+func (e *Engine) SaveDocs(docs []DocInfo, relations ...*Relation) error {
 	if e.ReadOnly() {
 		return fmt.Errorf("containment: engine is read-only; cannot save")
 	}
@@ -64,6 +95,12 @@ func (e *Engine) Save(relations ...*Relation) error {
 		PageSize:   e.cfg.PageSize,
 		TreeHeight: e.cfg.TreeHeight,
 	}
+	for _, d := range docs {
+		cat.Documents = append(cat.Documents, catalogDoc{
+			Name: d.Name, Root: uint64(d.Root), Elements: d.Elements,
+		})
+	}
+	e.docs = append([]DocInfo(nil), docs...)
 	seen := map[string]bool{}
 	for _, r := range relations {
 		if seen[r.rel.Name()] {
@@ -149,6 +186,11 @@ func Open(cfg Config) (*Engine, map[string]*Relation, error) {
 		disk = fd
 	}
 	e := &Engine{disk: disk, pool: buffer.New(disk, cfg.BufferPages), cfg: cfg}
+	for _, d := range cat.Documents {
+		e.docs = append(e.docs, DocInfo{
+			Name: d.Name, Root: pbicode.Code(d.Root), Elements: d.Elements,
+		})
+	}
 	rels := make(map[string]*Relation, len(cat.Relations))
 	for _, entry := range cat.Relations {
 		pages := make([]storage.PageID, len(entry.Pages))
@@ -168,6 +210,14 @@ func Open(cfg Config) (*Engine, map[string]*Relation, error) {
 		}
 	}
 	return e, rels, nil
+}
+
+// Documents returns the per-document catalog stored with the database —
+// the boundaries SaveDocs recorded, or what Open read back — in document
+// order. Nil when the database predates document tracking (or was saved
+// with plain Save); such databases cannot be split by pbidb shard.
+func (e *Engine) Documents() []DocInfo {
+	return append([]DocInfo(nil), e.docs...)
 }
 
 // ReadOnly reports whether the engine was opened with Config.ReadOnly.

@@ -87,7 +87,7 @@ func TestCancellationDrainsPool(t *testing.T) {
 		t.Fatalf("queued gauge = %d after drain, want 0", queued)
 	}
 	for _, wk := range s.all {
-		if n := wk.eng.TempPages(); n != 0 {
+		if n := wk.tempPages(); n != 0 {
 			t.Fatalf("worker holds %d temp pages after drain", n)
 		}
 	}

@@ -95,21 +95,11 @@ func (s *Server) traceJoin(w http.ResponseWriter, r *http.Request, anc, desc, al
 	}
 	recycle := false
 	defer func() { release(recycle) }()
-	a, ok := wk.relation(anc)
-	if !ok {
-		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", anc)
-		return
-	}
-	d, ok := wk.relation(desc)
-	if !ok {
-		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", desc)
-		return
-	}
 	var an *containment.Analysis
 	err = s.guard(func() error {
 		var jerr error
-		an, jerr = wk.eng.AnalyzeContext(qctx, a, d, containment.JoinOptions{Algorithm: alg})
-		if rerr := wk.eng.ReleaseTemp(); rerr != nil && jerr == nil {
+		an, jerr = wk.analyze(qctx, anc, desc, containment.JoinOptions{Algorithm: alg})
+		if rerr := wk.releaseTemp(); rerr != nil && jerr == nil {
 			jerr = rerr
 		}
 		return jerr
@@ -162,7 +152,7 @@ func (s *Server) traceQuery(w http.ResponseWriter, r *http.Request, expr string)
 	err = s.guard(func() error {
 		var jerr error
 		_, stepInfo, analyses, jerr = wk.evalPath(qctx, tags)
-		if rerr := wk.eng.ReleaseTemp(); rerr != nil && jerr == nil {
+		if rerr := wk.releaseTemp(); rerr != nil && jerr == nil {
 			jerr = rerr
 		}
 		return jerr

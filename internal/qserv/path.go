@@ -49,13 +49,14 @@ type pathStep struct {
 	Matches   int64  `json:"matches"`
 }
 
-// evalPath runs the join chain for tags on one worker. It returns the
-// final match set in document order plus per-step join reports. Each step
-// runs under Engine.AnalyzeContext, so callers get the per-phase breakdown
-// for telemetry alongside the ordinary result, and the chain aborts as
-// soon as ctx is canceled (the failed step's temps are released by the
-// caller's ReleaseTemp).
-func (wk *worker) evalPath(ctx context.Context, tags []string) ([]pbicode.Code, []pathStep, []*containment.Analysis, error) {
+// evalPath runs the join chain for tags on one solo worker. It returns
+// the final match set in document order plus per-step join reports. Each
+// step runs under Engine.AnalyzeContext, so callers get the per-phase
+// breakdown for telemetry alongside the ordinary result, and the chain
+// aborts as soon as ctx is canceled (the failed step's temps are released
+// by the caller's releaseTemp). Sharded serving runs the same chain per
+// shard instead (shard.Engine.PathContext via shardWorker.evalPath).
+func (wk *soloWorker) evalPath(ctx context.Context, tags []string) ([]pbicode.Code, []pathStep, []*containment.Analysis, error) {
 	first, ok := wk.relation(tags[0])
 	if !ok {
 		return nil, nil, nil, &unknownRelationError{tags[0]}

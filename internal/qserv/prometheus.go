@@ -144,6 +144,33 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, k := range phaseKeys {
 		fmt.Fprintf(w, "pbiserve_join_phase_count_total{algorithm=%q,phase=%q} %d\n", k.Alg, k.Phase, phases[k].Count)
 	}
+
+	// Shard families: one series per shard of the split (label cardinality
+	// = Config.Shards, fixed at startup). Samples appear only when serving
+	// sharded; the family headers are always present for schema stability.
+	shards := s.shardSnapshot()
+	family(w, "pbiserve_shards", "Shards per worker (0 = unsharded serving).", "gauge")
+	fmt.Fprintf(w, "pbiserve_shards %d\n", s.cfg.Shards)
+	family(w, "pbiserve_shard_page_reads_total", "Page reads charged per shard, summed over the pool.", "counter")
+	for _, st := range shards {
+		fmt.Fprintf(w, "pbiserve_shard_page_reads_total{shard=\"%d\"} %d\n", st.Shard, st.Reads)
+	}
+	family(w, "pbiserve_shard_page_writes_total", "Page writes charged per shard, summed over the pool.", "counter")
+	for _, st := range shards {
+		fmt.Fprintf(w, "pbiserve_shard_page_writes_total{shard=\"%d\"} %d\n", st.Shard, st.Writes)
+	}
+	family(w, "pbiserve_shard_pool_hits_total", "Buffer-pool hits per shard, summed over the pool.", "counter")
+	for _, st := range shards {
+		fmt.Fprintf(w, "pbiserve_shard_pool_hits_total{shard=\"%d\"} %d\n", st.Shard, st.PoolHits)
+	}
+	family(w, "pbiserve_shard_pool_misses_total", "Buffer-pool misses per shard, summed over the pool.", "counter")
+	for _, st := range shards {
+		fmt.Fprintf(w, "pbiserve_shard_pool_misses_total{shard=\"%d\"} %d\n", st.Shard, st.PoolMisses)
+	}
+	family(w, "pbiserve_shard_virtual_seconds_total", "Virtual disk time charged per shard, summed over the pool.", "counter")
+	for _, st := range shards {
+		fmt.Fprintf(w, "pbiserve_shard_virtual_seconds_total{shard=\"%d\"} %g\n", st.Shard, float64(st.VirtualUS)/1e6)
+	}
 }
 
 // formatBound renders a histogram bound the canonical Prometheus way

@@ -33,15 +33,16 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/internal/shard"
 	"github.com/pbitree/pbitree/pbicode"
 )
 
@@ -80,6 +81,15 @@ type Config struct {
 	// clamp for the per-request ?timeout= parameter. 0 means no server
 	// deadline (?timeout= is then accepted unclamped).
 	QueryTimeout time.Duration
+	// Shards serves a sharded store (pbidb shard / internal/shard.Split)
+	// instead of a single database: each worker becomes a scatter-gather
+	// shard.Engine over the split's N page files, and every query fans out
+	// across the shards. DBPath then names either the shard manifest
+	// itself (a .json path) or the original database, whose manifest is
+	// found at DBPath+".shards/manifest.json" — the default pbidb shard
+	// output location. The manifest's shard count must equal Shards.
+	// BufferPages is per shard engine in this mode. 0 serves unsharded.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -107,25 +117,6 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// worker is one engine plus its view of the stored relations. Exactly one
-// request uses a worker at a time.
-type worker struct {
-	eng  *containment.Engine
-	rels map[string]*containment.Relation
-}
-
-// relation resolves a tag name, accepting both the raw catalog name and
-// the pbidb "tag:" convention.
-func (wk *worker) relation(name string) (*containment.Relation, bool) {
-	if r, ok := wk.rels[name]; ok {
-		return r, true
-	}
-	if r, ok := wk.rels["tag:"+name]; ok {
-		return r, true
-	}
-	return nil, false
-}
-
 // RelationInfo describes one stored relation (the /relations payload).
 type RelationInfo struct {
 	Name     string `json:"name"`
@@ -137,15 +128,16 @@ type RelationInfo struct {
 
 // Server is a concurrent containment-join query server over one database.
 type Server struct {
-	cfg     Config
-	all     []*worker
-	workers chan *worker
-	admit   chan struct{}
-	cache   *resultCache // nil when disabled
-	met     *metrics
-	mux     *http.ServeMux
-	handler http.Handler // mux wrapped with trace-ID / access-log middleware
-	rels    []RelationInfo
+	cfg      Config
+	manifest string // resolved shard manifest path (Shards > 0)
+	all      []worker
+	workers  chan worker
+	admit    chan struct{}
+	cache    *resultCache // nil when disabled
+	met      *metrics
+	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped with trace-ID / access-log middleware
+	rels     []RelationInfo
 
 	traceBase uint32        // per-process trace-ID prefix (start time)
 	traceSeq  atomic.Uint64 // per-request trace-ID suffix
@@ -169,35 +161,26 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:     cfg,
-		workers: make(chan *worker, cfg.Workers),
+		workers: make(chan worker, cfg.Workers),
 		admit:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		met:     newMetrics(),
+	}
+	if cfg.Shards > 0 {
+		s.manifest = shardManifestPath(cfg.DBPath)
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheEntries)
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		eng, rels, err := containment.Open(containment.Config{
-			Path:        cfg.DBPath,
-			ReadOnly:    true,
-			BufferPages: cfg.BufferPages,
-			DiskCost:    cfg.DiskCost,
-		})
+		wk, err := s.openWorker()
 		if err != nil {
 			s.Close() //nolint:errcheck // the open error wins
 			return nil, fmt.Errorf("qserv: open worker %d: %w", i, err)
 		}
-		wk := &worker{eng: eng, rels: rels}
 		s.all = append(s.all, wk)
 		s.workers <- wk
 	}
-	for name, r := range s.all[0].rels {
-		s.rels = append(s.rels, RelationInfo{
-			Name: name, Tag: strings.TrimPrefix(name, "tag:"),
-			Elements: r.Len(), Pages: r.Pages(), Sorted: r.Sorted(),
-		})
-	}
-	sort.Slice(s.rels, func(i, j int) bool { return s.rels[i].Name < s.rels[j].Name })
+	s.rels = s.all[0].relationInfos()
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/join", s.handleJoin)
@@ -217,6 +200,50 @@ func New(cfg Config) (*Server, error) {
 	s.traceBase = uint32(time.Now().UnixNano())
 	s.handler = s.instrument(s.mux)
 	return s, nil
+}
+
+// shardManifestPath resolves Config.DBPath onto a shard manifest: a
+// .json path is the manifest itself; anything else is a database path
+// whose split is expected in the pbidb shard default output directory
+// next to it.
+func shardManifestPath(dbPath string) string {
+	if strings.HasSuffix(dbPath, ".json") {
+		return dbPath
+	}
+	return filepath.Join(dbPath+".shards", shard.ManifestName)
+}
+
+// openWorker opens one pool worker: a read-only engine over the database
+// file (solo serving), or a scatter-gather shard.Engine over the split's
+// shard files when Config.Shards is set. Both are cheap COW overlays, so
+// quarantine replacement stays an Open, not a rebuild.
+func (s *Server) openWorker() (worker, error) {
+	if s.cfg.Shards > 0 {
+		se, err := shard.Open(s.manifest, shard.Config{
+			ReadOnly:    true,
+			BufferPages: s.cfg.BufferPages,
+			DiskCost:    s.cfg.DiskCost,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if got := se.NumShards(); got != s.cfg.Shards {
+			se.Close() //nolint:errcheck // the mismatch error wins
+			return nil, fmt.Errorf("manifest %s has %d shards, Config.Shards is %d",
+				s.manifest, got, s.cfg.Shards)
+		}
+		return &shardWorker{se: se}, nil
+	}
+	eng, rels, err := containment.Open(containment.Config{
+		Path:        s.cfg.DBPath,
+		ReadOnly:    true,
+		BufferPages: s.cfg.BufferPages,
+		DiskCost:    s.cfg.DiskCost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &soloWorker{eng: eng, rels: rels}, nil
 }
 
 // Handler returns the server's HTTP handler: the endpoint mux behind the
@@ -330,7 +357,7 @@ func (s *Server) Close() error {
 	s.poolMu.Unlock()
 	var first error
 	for _, wk := range workers {
-		if err := wk.eng.Close(); err != nil && first == nil {
+		if err := wk.close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -346,7 +373,7 @@ var errSaturated = errors.New("qserv: saturated")
 // the queue slot is given back. The returned release must be called
 // exactly once; release(true) quarantines the worker instead of
 // returning it (see quarantine).
-func (s *Server) acquire(ctx context.Context) (*worker, func(recycle bool), error) {
+func (s *Server) acquire(ctx context.Context) (worker, func(recycle bool), error) {
 	select {
 	case s.admit <- struct{}{}:
 	default:
@@ -382,7 +409,7 @@ func (s *Server) acquire(ctx context.Context) (*worker, func(recycle bool), erro
 // schedules a replacement. Pool engines are cheap read-only COW overlays
 // over the shared database file, so recycling one costs an Open, not a
 // rebuild. The pool runs one worker short until the replacement lands.
-func (s *Server) quarantine(old *worker) {
+func (s *Server) quarantine(old worker) {
 	s.met.engineRecycles.Add(1)
 	s.poolMu.Lock()
 	for i, wk := range s.all {
@@ -396,7 +423,7 @@ func (s *Server) quarantine(old *worker) {
 	func() {
 		// A poisoned engine may panic again while flushing; contain it.
 		defer func() { recover() }() //nolint:errcheck // best-effort close
-		old.eng.Close()              //nolint:errcheck // discarding anyway
+		old.close()                  //nolint:errcheck // discarding anyway
 	}()
 	if !closed {
 		go s.replaceWorker()
@@ -415,18 +442,12 @@ func (s *Server) replaceWorker() {
 			return
 		}
 		s.poolMu.Unlock()
-		eng, rels, err := containment.Open(containment.Config{
-			Path:        s.cfg.DBPath,
-			ReadOnly:    true,
-			BufferPages: s.cfg.BufferPages,
-			DiskCost:    s.cfg.DiskCost,
-		})
+		wk, err := s.openWorker()
 		if err == nil {
-			wk := &worker{eng: eng, rels: rels}
 			s.poolMu.Lock()
 			if s.closed {
 				s.poolMu.Unlock()
-				eng.Close() //nolint:errcheck // shutting down
+				wk.close() //nolint:errcheck // shutting down
 				return
 			}
 			s.all = append(s.all, wk)
@@ -623,21 +644,11 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	recycle := false
 	defer func() { release(recycle) }()
-	a, ok := wk.relation(anc)
-	if !ok {
-		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", anc)
-		return
-	}
-	d, ok := wk.relation(desc)
-	if !ok {
-		s.writeError(w, http.StatusNotFound, "no stored relation for tag %q", desc)
-		return
-	}
 	var an *containment.Analysis
 	err = s.guard(func() error {
 		var jerr error
-		an, jerr = wk.eng.AnalyzeContext(qctx, a, d, containment.JoinOptions{Algorithm: alg})
-		if rerr := wk.eng.ReleaseTemp(); rerr != nil && jerr == nil {
+		an, jerr = wk.analyze(qctx, anc, desc, containment.JoinOptions{Algorithm: alg})
+		if rerr := wk.releaseTemp(); rerr != nil && jerr == nil {
 			jerr = rerr
 		}
 		return jerr
@@ -731,7 +742,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	err = s.guard(func() error {
 		var qerr error
 		codes, stepInfo, analyses, qerr = wk.evalPath(qctx, tags)
-		if rerr := wk.eng.ReleaseTemp(); rerr != nil && qerr == nil {
+		if rerr := wk.releaseTemp(); rerr != nil && qerr == nil {
 			qerr = rerr
 		}
 		return qerr
@@ -741,14 +752,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := queryResponse{Path: canon, Count: len(codes), Steps: stepInfo}
+	var io containment.IOStats
 	for _, an := range analyses {
 		res := an.Result
 		s.met.recordJoin(res)
 		s.met.recordPhases(res.Algorithm, an.Phases)
-		resp.PageIO += res.IO.Total()
-		resp.VirtualUS += res.IO.VirtualTime.Microseconds()
-		resp.WallUS += res.IO.WallTime.Microseconds()
+		io.Add(res.IO)
 	}
+	resp.PageIO = io.Total()
+	resp.VirtualUS = io.VirtualTime.Microseconds()
+	resp.WallUS = io.WallTime.Microseconds()
 	n := len(codes)
 	if n > s.cfg.MaxCodes {
 		n, resp.Truncated = s.cfg.MaxCodes, true
@@ -782,6 +795,48 @@ type queueStats struct {
 	Capacity int   `json:"capacity"`
 }
 
+// shardStat is one shard's cumulative join I/O summed across the whole
+// worker pool (the /stats shards block, present only when sharded).
+type shardStat struct {
+	Shard      int   `json:"shard"`
+	Reads      int64 `json:"reads"`
+	Writes     int64 `json:"writes"`
+	PoolHits   int64 `json:"pool_hits"`
+	PoolMisses int64 `json:"pool_misses"`
+	VirtualUS  int64 `json:"virtual_us"`
+}
+
+// shardSnapshot sums per-shard I/O across every pool worker. Safe while
+// workers are mid-join: shardTotals is each worker's scrape-safe method.
+func (s *Server) shardSnapshot() []shardStat {
+	if s.cfg.Shards <= 0 {
+		return nil
+	}
+	totals := make([]containment.IOStats, s.cfg.Shards)
+	s.poolMu.Lock()
+	workers := s.all
+	s.poolMu.Unlock()
+	for _, wk := range workers {
+		for i, io := range wk.shardTotals() {
+			if i < len(totals) {
+				totals[i].Add(io)
+			}
+		}
+	}
+	out := make([]shardStat, len(totals))
+	for i, io := range totals {
+		out[i] = shardStat{
+			Shard:      i,
+			Reads:      io.Reads,
+			Writes:     io.Writes,
+			PoolHits:   io.PoolHits,
+			PoolMisses: io.PoolMisses,
+			VirtualUS:  io.VirtualTime.Microseconds(),
+		}
+	}
+	return out
+}
+
 // statsResponse is the /stats payload.
 type statsResponse struct {
 	UptimeS        float64                `json:"uptime_s"`
@@ -797,6 +852,7 @@ type statsResponse struct {
 	Cache          *cacheStats            `json:"cache,omitempty"`
 	Latency        latencyStats           `json:"latency"`
 	Algorithms     map[string]algSnapshot `json:"algorithms"`
+	Shards         []shardStat            `json:"shards,omitempty"`
 }
 
 // handleStats serves GET /stats.
@@ -817,6 +873,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Latency:    s.met.latencySnapshot(),
 		Algorithms: s.met.algSnapshots(),
+		Shards:     s.shardSnapshot(),
 	}
 	if s.cache != nil {
 		cs := s.cache.snapshot()

@@ -71,7 +71,7 @@ func singleEngineAnswers(t *testing.T, db string) (joinCounts map[string]int64, 
 		joinCounts[q[0]+"/"+q[1]] = res.Count
 	}
 	// //section//para//figure ground truth via the same chain logic.
-	wk := &worker{eng: eng, rels: rels}
+	wk := &soloWorker{eng: eng, rels: rels}
 	codes, _, _, err := wk.evalPath(context.Background(), []string{"section", "para", "figure"})
 	if err != nil {
 		t.Fatal(err)

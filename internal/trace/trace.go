@@ -123,6 +123,25 @@ func (s *Span) Walk(fn func(sp *Span, depth int)) {
 	walk(s, 0)
 }
 
+// Merge assembles a parent span over independently recorded children —
+// the shape of a scatter-gather execution, where each shard records its
+// own tree and the coordinator wants one tree whose root brackets the
+// whole fan-out. The parent's Total is the sum of the children's (so the
+// self-attribution invariant holds: the coordinator itself did no page
+// I/O), and its Wall is the caller-measured envelope, NOT the sum — the
+// children ran concurrently, so their wall times overlap.
+func Merge(name, detail string, wall time.Duration, children ...*Span) *Span {
+	root := &Span{Name: name, Detail: detail, Wall: wall}
+	for _, c := range children {
+		if c == nil {
+			continue
+		}
+		root.Children = append(root.Children, c)
+		root.Total = root.Total.Add(c.Total)
+	}
+	return root
+}
+
 // Recorder accumulates a span tree for one join execution. It is
 // single-threaded, like the engine it instruments. The zero of the type is
 // not used; a nil *Recorder is the disabled state and every method on it

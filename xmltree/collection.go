@@ -107,6 +107,17 @@ func (c *Collection) CodesIn(name, tag string) ([]pbicode.Code, error) {
 	return out, nil
 }
 
+// RootCode returns the code of the named document's root element — the
+// envelope of the document's region in the collection encoding (what a
+// document catalog records; see containment.DocInfo).
+func (c *Collection) RootCode(name string) (pbicode.Code, error) {
+	root, err := c.docRoot(name)
+	if err != nil {
+		return 0, err
+	}
+	return root.Code, nil
+}
+
 // DocumentOf returns the name of the document containing the element with
 // the given code.
 func (c *Collection) DocumentOf(code pbicode.Code) (string, error) {
