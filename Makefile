@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench fuzz experiments experiments-full serve-smoke shard-smoke clean
+.PHONY: all build test vet race cover bench fuzz experiments experiments-full serve-smoke shard-smoke parallel-smoke clean
 
 all: build vet test
 
@@ -48,6 +48,11 @@ serve-smoke:
 # unsharded server over the same data.
 shard-smoke:
 	./scripts/shard-smoke.sh
+
+# End-to-end intra-engine parallelism check: serial, -parallel and
+# -shards+-parallel servers must serve identical answers (doc/PARALLEL.md).
+parallel-smoke:
+	./scripts/parallel-smoke.sh
 
 # The paper-scale runs behind EXPERIMENTS.md (several minutes).
 experiments-full:

@@ -43,6 +43,7 @@ func main() {
 		compare  = flag.Bool("compare", false, "run all applicable algorithms and compare")
 		analyze  = flag.Bool("analyze", false, "EXPLAIN ANALYZE: print the per-phase cost breakdown")
 		shards   = flag.Int("shards", 0, "scatter-gather the join across N region-disjoint in-memory shards (0 = single engine)")
+		parallel = flag.Int("parallel", 0, "intra-engine worker degree for partition fan-outs (composes with -shards; 0/1 = serial)")
 		timeout  = flag.Duration("timeout", 0, "abort each join after this long (0 = no deadline)")
 	)
 	flag.Parse()
@@ -80,9 +81,10 @@ func main() {
 	)
 	if *shards > 0 {
 		se, err := shard.New(shard.Config{
-			BufferPages: *buffer,
-			PageSize:    *pageSize,
-			DiskCost:    containment.DefaultDiskCost,
+			BufferPages:    *buffer,
+			PageSize:       *pageSize,
+			DiskCost:       containment.DefaultDiskCost,
+			EngineParallel: *parallel,
 		}, *shards)
 		if err != nil {
 			fail(err)
@@ -124,6 +126,7 @@ func main() {
 			BufferPages: *buffer,
 			PageSize:    *pageSize,
 			DiskCost:    containment.DefaultDiskCost,
+			Parallel:    *parallel,
 		})
 		if err != nil {
 			fail(err)

@@ -40,6 +40,15 @@ type Config struct {
 	// database file at once; that is the foundation of concurrent serving
 	// (see internal/qserv).
 	ReadOnly bool
+	// Parallel is the engine's default intra-query worker degree: how many
+	// goroutines a single join may fan its independent partitions out to
+	// (MHCJ per-height equijoins, VPJ per-subtree joins, external-sort run
+	// generation). 0 or 1 means serial execution, the pre-parallel code
+	// path. JoinOptions.Parallel overrides it per query. The engine's
+	// external contract is unchanged: one goroutine calls its methods, and
+	// a join may use up to Parallel workers internally while it runs. See
+	// doc/PARALLEL.md.
+	Parallel int
 }
 
 // DiskCost assigns virtual time per page access (see storage.CostModel).
@@ -55,13 +64,16 @@ var DefaultDiskCost = DiskCost{Random: 10 * time.Millisecond, Sequential: 200 * 
 // Engine evaluates containment joins against a paged storage substrate.
 //
 // An Engine — together with everything reached through it: its buffer
-// pool, its Relations, its scans — is single-threaded, like the
-// one-disk-head system the paper models. It must be owned by exactly one
-// goroutine (worker) at a time; no method is safe to call concurrently
-// with another. To serve queries in parallel, open one read-only engine
-// per worker over a shared database file (Config.ReadOnly with Open) and
-// multiplex requests across the workers; internal/qserv implements that
-// pattern behind an HTTP server.
+// pool, its Relations, its scans — is single-threaded at its surface: it
+// must be owned by exactly one goroutine (worker) at a time, and no method
+// is safe to call concurrently with another. With Config.Parallel > 1 a
+// join may fan its independent partitions out across worker goroutines
+// internally while it runs, but that parallelism never escapes the call —
+// by the time a join method returns, its workers are gone. To serve
+// queries in parallel, open one read-only engine per worker over a shared
+// database file (Config.ReadOnly with Open) and multiplex requests across
+// the workers; internal/qserv implements that pattern behind an HTTP
+// server.
 type Engine struct {
 	disk storage.Disk
 	pool *buffer.Pool
@@ -231,6 +243,11 @@ type JoinOptions struct {
 	// levels instead of LCA-relative ones (ablation A8 only; degrades on
 	// skewed document embeddings).
 	VPJRootCut bool
+	// Parallel overrides the engine's Config.Parallel worker degree for
+	// this join: 0 keeps the engine default, 1 forces serial execution,
+	// higher values fan independent partitions out across that many
+	// workers (clamped to the memory budget's 3-page-per-worker floor).
+	Parallel int
 }
 
 // ParentChild returns a join filter that keeps only pairs where the
@@ -411,6 +428,10 @@ func (e *Engine) join(goCtx context.Context, a, d *Relation, opts JoinOptions, t
 		return nil, nil, fmt.Errorf("containment: BufferPages %d exceeds pool size %d", opts.BufferPages, e.pool.Size())
 	}
 	stats := &core.Stats{}
+	par := opts.Parallel
+	if par == 0 {
+		par = e.cfg.Parallel
+	}
 	ctx := &core.Context{
 		Pool:              e.pool,
 		B:                 opts.BufferPages,
@@ -418,6 +439,7 @@ func (e *Engine) join(goCtx context.Context, a, d *Relation, opts JoinOptions, t
 		MaxAncestorHeight: a.maxHeight,
 		VPJRootCut:        opts.VPJRootCut,
 		Stats:             stats,
+		Parallel:          par,
 	}
 	if goCtx != nil && goCtx != context.Background() {
 		ctx.Ctx = goCtx

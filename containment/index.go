@@ -77,7 +77,8 @@ func (e *Engine) Sort(r *Relation) error {
 	}
 	// Keep the relation's name: the sorted copy replaces it (catalog
 	// identity must survive).
-	sorted, err := extsort.Sort(e.pool, r.rel, extsort.ByStartEndDesc, e.pool.Size(), r.rel.Name())
+	sorted, err := extsort.SortParallel(e.pool, r.rel, extsort.ByStartEndDesc, e.pool.Size(), r.rel.Name(), nil,
+		extsort.ParallelOpts{Degree: e.cfg.Parallel})
 	if err != nil {
 		return err
 	}

@@ -22,10 +22,33 @@ func docLess(x, y relation.Rec) bool {
 // budget. Baselines use it to sort inputs on the fly. Run generation and
 // merge passes are recorded as phases when tracing is on.
 func SortByDoc(ctx *Context, rel *relation.Relation, name string) (*relation.Relation, error) {
+	return sortWith(ctx, rel, extsort.ByStartEndDesc, name)
+}
+
+// sortWith is the context-aware external sort every sort-backed algorithm
+// goes through: serial extsort at degree 1, parallel run generation at
+// higher degrees, with phase spans either way.
+func sortWith(ctx *Context, rel *relation.Relation, key extsort.KeyFunc, name string) (*relation.Relation, error) {
 	sp := ctx.Trace.StartDetail("sort", name)
-	out, err := extsort.SortTrace(ctx.Pool, rel, extsort.ByStartEndDesc, ctx.b(), ctx.tmp(name), ctx.Trace)
+	var out *relation.Relation
+	var err error
+	if ctx.Parallel > 1 {
+		out, err = extsort.SortParallel(ctx.Pool, rel, key, ctx.b(), ctx.tmp(name), ctx.Trace,
+			extsort.ParallelOpts{Degree: ctx.Parallel, Interrupt: interruptOf(ctx)})
+	} else {
+		out, err = extsort.SortTrace(ctx.Pool, rel, key, ctx.b(), ctx.tmp(name), ctx.Trace)
+	}
 	ctx.Trace.End(sp)
 	return out, err
+}
+
+// interruptOf returns the cancellation poll for worker pools, nil when the
+// context is uncancelable.
+func interruptOf(ctx *Context) func() error {
+	if ctx.Ctx == nil {
+		return nil
+	}
+	return ctx.Canceled
 }
 
 // stack is the ancestor stack shared by the merge joins: a chain of nested

@@ -107,12 +107,12 @@ func StackTreeRegion(ctx *Context, a, d *relation.Relation, sink Sink) error {
 // StackTreeRegionOnTheFly sorts region-layout inputs (cost charged) and
 // runs StackTreeRegion, mirroring StackTreeOnTheFly for the adapted path.
 func StackTreeRegionOnTheFly(ctx *Context, a, d *relation.Relation, sink Sink) error {
-	sa, err := extsort.Sort(ctx.Pool, a, ByStoredRegion, ctx.b(), ctx.tmp("str.a"))
+	sa, err := sortWith(ctx, a, ByStoredRegion, "str.a")
 	if err != nil {
 		return err
 	}
 	defer sa.Free() //nolint:errcheck // cleanup
-	sd, err := extsort.Sort(ctx.Pool, d, ByStoredRegion, ctx.b(), ctx.tmp("str.d"))
+	sd, err := sortWith(ctx, d, ByStoredRegion, "str.d")
 	if err != nil {
 		return err
 	}

@@ -9,7 +9,6 @@
 package extsort
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -72,6 +71,15 @@ func SortTrace(pool *buffer.Pool, in *relation.Relation, key KeyFunc, memPages i
 	if len(runs) == 0 {
 		return relation.New(pool, name), nil
 	}
+	return mergePasses(pool, runs, key, memPages, name, tr)
+}
+
+// mergePasses runs (memPages-1)-way merge passes over the sorted runs
+// until one relation remains. It owns the runs from here on: on error,
+// every surviving run is freed. Both the serial and the parallel sort
+// share this — the merge is inherently serial (one output stream), so
+// only run generation differs between them.
+func mergePasses(pool *buffer.Pool, runs []*relation.Relation, key KeyFunc, memPages int, name string, tr *trace.Recorder) (*relation.Relation, error) {
 	fanIn := memPages - 1
 	pass := 0
 	for len(runs) > 1 {
@@ -168,13 +176,56 @@ type mergeItem struct {
 	src int
 }
 
-type mergeHeap []mergeItem
+// runHeap is a concrete binary min-heap of run heads ordered by key. The
+// merge loop only ever replaces or removes the minimum, so two sift-down
+// entry points suffice; compared to container/heap this keeps every
+// mergeItem out of interface boxes — no per-record allocation on the
+// merge path.
+type runHeap struct {
+	items []mergeItem
+}
 
-func (h mergeHeap) Len() int           { return len(h) }
-func (h mergeHeap) Less(i, j int) bool { return h[i].key.Less(h[j].key) }
-func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(mergeItem)) }
-func (h *mergeHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h *runHeap) init() {
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *runHeap) siftDown(i int) {
+	items := h.items
+	n := len(items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && items[r].key.Less(items[l].key) {
+			m = r
+		}
+		if !items[m].key.Less(items[i].key) {
+			return
+		}
+		items[i], items[m] = items[m], items[i]
+		i = m
+	}
+}
+
+// replaceTop overwrites the minimum with it and restores heap order.
+func (h *runHeap) replaceTop(it mergeItem) {
+	h.items[0] = it
+	h.siftDown(0)
+}
+
+// popTop removes the minimum.
+func (h *runHeap) popTop() {
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+}
 
 // mergeRuns merges already-sorted runs into one relation.
 func mergeRuns(pool *buffer.Pool, runs []*relation.Relation, key KeyFunc, name string) (*relation.Relation, error) {
@@ -194,30 +245,29 @@ func mergeRuns(pool *buffer.Pool, runs []*relation.Relation, key KeyFunc, name s
 		out.Free()  //nolint:errcheck // cleanup after earlier error
 		return nil, err
 	}
-	h := make(mergeHeap, 0, len(runs))
+	h := runHeap{items: make([]mergeItem, 0, len(runs))}
 	for i, r := range runs {
 		s := r.Scan()
 		scanners[i] = s
 		if s.Next() {
-			h = append(h, mergeItem{rec: s.Rec(), key: key(s.Rec()), src: i})
+			h.items = append(h.items, mergeItem{rec: s.Rec(), key: key(s.Rec()), src: i})
 		} else if err := s.Err(); err != nil {
 			return fail(err)
 		}
 	}
-	heap.Init(&h)
-	for h.Len() > 0 {
-		it := h[0]
+	h.init()
+	for len(h.items) > 0 {
+		it := h.items[0]
 		if err := app.Append(it.rec); err != nil {
 			return fail(err)
 		}
 		s := scanners[it.src]
 		if s.Next() {
-			h[0] = mergeItem{rec: s.Rec(), key: key(s.Rec()), src: it.src}
-			heap.Fix(&h, 0)
+			h.replaceTop(mergeItem{rec: s.Rec(), key: key(s.Rec()), src: it.src})
 		} else if err := s.Err(); err != nil {
 			return fail(err)
 		} else {
-			heap.Pop(&h)
+			h.popTop()
 		}
 	}
 	if err := app.Close(); err != nil {

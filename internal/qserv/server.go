@@ -62,6 +62,12 @@ type Config struct {
 	CacheEntries int
 	// BufferPages is each worker's private buffer pool size. 0 means 256.
 	BufferPages int
+	// Parallel is each engine's intra-query worker degree
+	// (containment.Config.Parallel): one query on one worker may fan its
+	// partition joins out across this many goroutines. With Shards it
+	// applies per shard engine, so a single query can occupy up to
+	// Shards x Parallel goroutines. 0 or 1 keeps queries serial.
+	Parallel int
 	// DiskCost models the virtual disk each worker charges (stats only;
 	// no real delays). The zero value disables the clock.
 	DiskCost containment.DiskCost
@@ -220,9 +226,10 @@ func shardManifestPath(dbPath string) string {
 func (s *Server) openWorker() (worker, error) {
 	if s.cfg.Shards > 0 {
 		se, err := shard.Open(s.manifest, shard.Config{
-			ReadOnly:    true,
-			BufferPages: s.cfg.BufferPages,
-			DiskCost:    s.cfg.DiskCost,
+			ReadOnly:       true,
+			BufferPages:    s.cfg.BufferPages,
+			DiskCost:       s.cfg.DiskCost,
+			EngineParallel: s.cfg.Parallel,
 		})
 		if err != nil {
 			return nil, err
@@ -239,6 +246,7 @@ func (s *Server) openWorker() (worker, error) {
 		ReadOnly:    true,
 		BufferPages: s.cfg.BufferPages,
 		DiskCost:    s.cfg.DiskCost,
+		Parallel:    s.cfg.Parallel,
 	})
 	if err != nil {
 		return nil, err

@@ -238,20 +238,55 @@ func FromCodes(pool *buffer.Pool, name string, codes []pbicode.Code) (*Relation,
 	return r, nil
 }
 
-// Scanner iterates a relation's records in storage order, holding a pin on
-// the current page only.
+// WithPool returns a read view of the relation bound to another buffer
+// pool: a shallow copy sharing the page list and statistics but performing
+// its I/O through pool. Parallel workers use it to scan a shared input
+// through their private pools; the view must not be appended to or freed
+// while the original is live (the page list is shared).
+func (r *Relation) WithPool(pool *buffer.Pool) *Relation {
+	v := *r
+	v.pool = pool
+	return &v
+}
+
+// Scanner iterates a relation's records in storage order. On entering a
+// page it decodes the whole page into a reused record buffer and unpins
+// immediately, so Next is a bounds check and a slice read — no per-record
+// pool traffic, no pin held between calls. The buffer snapshots the page
+// as of the fetch; relations are append-only and never scanned while the
+// same page is being appended to, so the snapshot is exact.
 type Scanner struct {
 	r       *Relation
 	pageIdx int
 	recIdx  int
-	frame   buffer.Frame
-	pinned  bool
+	endPage int // exclusive page bound; scanEnd sentinel = live tail
+	buf     []Rec
+	n       int // records decoded from the current page
+	loaded  bool
 	rec     Rec
 	err     error
 }
 
+// scanEnd marks a scanner bounded by the relation's live page count rather
+// than a fixed range.
+const scanEnd = -1
+
 // Scan returns a scanner positioned before the first record.
-func (r *Relation) Scan() *Scanner { return &Scanner{r: r} }
+func (r *Relation) Scan() *Scanner { return &Scanner{r: r, endPage: scanEnd} }
+
+// ScanPages returns a scanner over the half-open page range [lo, hi) of
+// the relation, in storage order. Parallel sort-run generation uses it to
+// hand each worker a disjoint chunk of the input. hi is clamped to the
+// current page count.
+func (r *Relation) ScanPages(lo, hi int) *Scanner {
+	if hi > len(r.pages) {
+		hi = len(r.pages)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return &Scanner{r: r, pageIdx: lo, endPage: hi}
+}
 
 // Pos identifies a record position within a relation, as reported by
 // Scanner.Pos. The zero Pos is the start of the relation.
@@ -265,7 +300,7 @@ type Pos struct {
 // exhausted). Positions must come from a Scanner over the same relation.
 // Merge joins that re-read descendant segments (MPMGJN) use this.
 func (r *Relation) ScanFrom(p Pos) *Scanner {
-	return &Scanner{r: r, pageIdx: p.page, recIdx: p.slot}
+	return &Scanner{r: r, pageIdx: p.page, recIdx: p.slot, endPage: scanEnd}
 }
 
 // Pos returns the position of the next record Next would return. Calling
@@ -273,33 +308,76 @@ func (r *Relation) ScanFrom(p Pos) *Scanner {
 // record, Pos is the position immediately after that record.
 func (s *Scanner) Pos() Pos { return Pos{page: s.pageIdx, slot: s.recIdx} }
 
-// Next advances to the next record, reporting false at the end or on error.
+// Next advances to the next record, reporting false at the end or on
+// error. The fast path is small enough to inline: a bounds compare and a
+// slice read against the current page's decoded records.
 func (s *Scanner) Next() bool {
+	if s.recIdx < s.n {
+		s.rec = s.buf[s.recIdx]
+		s.recIdx++
+		return true
+	}
+	return s.advance()
+}
+
+// advance loads pages until one yields a record at the scan position, the
+// end of the range is reached, or an error occurs.
+func (s *Scanner) advance() bool {
 	if s.err != nil {
 		return false
 	}
 	for {
-		if !s.pinned {
-			if s.pageIdx >= len(s.r.pages) {
-				return false
-			}
-			f, err := s.r.pool.Fetch(s.r.pages[s.pageIdx])
-			if err != nil {
-				s.err = fmt.Errorf("relation %s: scan: %w", s.r.name, err)
-				return false
-			}
-			s.frame, s.pinned = f, true
+		if s.loaded {
+			s.loaded = false
+			s.pageIdx++
+			s.recIdx = 0
 		}
-		if s.recIdx < pageCount(s.frame.Data) {
-			s.rec = getRec(s.frame.Data, s.recIdx)
+		end := s.endPage
+		if end == scanEnd {
+			end = len(s.r.pages)
+		}
+		if s.pageIdx >= end {
+			return false
+		}
+		if err := s.load(); err != nil {
+			s.err = fmt.Errorf("relation %s: scan: %w", s.r.name, err)
+			s.n = 0
+			return false
+		}
+		if s.recIdx < s.n {
+			s.rec = s.buf[s.recIdx]
 			s.recIdx++
 			return true
 		}
-		s.r.pool.Unpin(s.frame, false)
-		s.pinned = false
-		s.pageIdx++
-		s.recIdx = 0
 	}
+}
+
+// load fetches the current page, decodes every record into the reused
+// buffer, and unpins before returning.
+func (s *Scanner) load() error {
+	f, err := s.r.pool.Fetch(s.r.pages[s.pageIdx])
+	if err != nil {
+		return err
+	}
+	if s.buf == nil {
+		s.buf = make([]Rec, s.r.perPage)
+	}
+	n := pageCount(f.Data)
+	if n > s.r.perPage {
+		n = s.r.perPage
+	}
+	p := f.Data
+	buf := s.buf[:n]
+	for i := range buf {
+		off := pageHeader + i*RecSize
+		buf[i] = Rec{
+			Code: pbicode.Code(binary.LittleEndian.Uint64(p[off:])),
+			Aux:  binary.LittleEndian.Uint64(p[off+8:]),
+		}
+	}
+	s.r.pool.Unpin(f, false)
+	s.n, s.loaded = n, true
+	return nil
 }
 
 // Rec returns the current record. Valid after a true Next.
@@ -308,13 +386,12 @@ func (s *Scanner) Rec() Rec { return s.rec }
 // Err returns the first error encountered, if any.
 func (s *Scanner) Err() error { return s.err }
 
-// Close releases the scanner's pin. Safe to call at any point; required
-// when abandoning a scan before exhaustion.
+// Close releases the scanner's resources. The scanner holds no pin between
+// Next calls, so this is now a no-op kept for callers that abandon a scan
+// early (the historical contract required it).
 func (s *Scanner) Close() {
-	if s.pinned {
-		s.r.pool.Unpin(s.frame, false)
-		s.pinned = false
-	}
+	s.loaded = false
+	s.n = 0
 }
 
 // ReadAll materializes the whole relation as a slice (test and in-memory

@@ -48,6 +48,12 @@ type Config struct {
 	// Parallel bounds how many shards run concurrently per request;
 	// 0 means min(GOMAXPROCS, number of shards).
 	Parallel int
+	// EngineParallel is each shard engine's intra-query worker degree
+	// (containment.Config.Parallel): how many goroutines one shard's join
+	// may fan its partitions out to. It composes multiplicatively with
+	// Parallel — a request can occupy up to Parallel x EngineParallel
+	// goroutines. 0 or 1 keeps every shard serial.
+	EngineParallel int
 }
 
 // Relation is a sharded element set: one containment.Relation per shard
@@ -131,6 +137,7 @@ func New(cfg Config, n int) (*Engine, error) {
 			BufferPages: cfg.BufferPages,
 			DiskCost:    cfg.DiskCost,
 			TreeHeight:  cfg.TreeHeight,
+			Parallel:    cfg.EngineParallel,
 		})
 		if err != nil {
 			e.Close() //nolint:errcheck // first error wins
@@ -160,6 +167,7 @@ func Open(manifestPath string, cfg Config) (*Engine, error) {
 			TreeHeight:  cfg.TreeHeight,
 			Path:        p,
 			ReadOnly:    cfg.ReadOnly,
+			Parallel:    cfg.EngineParallel,
 		})
 		if err != nil {
 			e.Close() //nolint:errcheck // first error wins

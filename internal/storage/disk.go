@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -79,8 +80,15 @@ type CostModel struct {
 // DefaultCostModel is the calibrated 2003-era disk used by the benchmarks.
 var DefaultCostModel = CostModel{Random: 10 * time.Millisecond, Sequential: 200 * time.Microsecond}
 
-// Disk is a page store. Implementations are safe for use from a single
-// goroutine; the buffer pool provides the engine's only access path.
+// Disk is a page store. Implementations in this package are safe for
+// concurrent use: several buffer pools (each still single-threaded) may
+// share one disk, which is what lets a join fan its independent partitions
+// out across worker pools (see internal/core's parallel execution and
+// doc/PARALLEL.md). Accounting is serialized with the data access, so
+// Reads/Writes/Allocs totals are exact under concurrency; the
+// sequential-vs-random split and the virtual clock depend on the physical
+// access interleaving and are therefore scheduling-dependent once more
+// than one pool is active.
 type Disk interface {
 	// PageSize returns the fixed size of every page in bytes.
 	PageSize() int
@@ -138,6 +146,17 @@ func (a *accounting) reset() {
 	a.last = InvalidPageID - 1
 }
 
+// costModel exposes the disk's cost model to View, which replays the same
+// charging rules on a private counter set. Promoted through embedding on
+// every accounting-backed disk in this package.
+func (a *accounting) costModel() CostModel { return a.cost }
+
+// costModeler is the unexported probe NewView uses to copy a base disk's
+// cost model onto the view's private accounting.
+type costModeler interface {
+	costModel() CostModel
+}
+
 // errPageRange is returned for out-of-range page IDs.
 var errPageRange = errors.New("storage: page id out of range")
 
@@ -154,6 +173,7 @@ func checkBuf(p []byte, pageSize int) error {
 // MemDisk is an in-memory Disk, used by tests and by in-process engines
 // that only want I/O accounting.
 type MemDisk struct {
+	mu sync.Mutex
 	accounting
 	pageSize int
 	pages    [][]byte
@@ -173,15 +193,21 @@ func NewMemDisk(pageSize int, cost CostModel) *MemDisk {
 func (d *MemDisk) PageSize() int { return d.pageSize }
 
 // NumPages implements Disk.
-func (d *MemDisk) NumPages() PageID { return PageID(len(d.pages)) }
+func (d *MemDisk) NumPages() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return PageID(len(d.pages))
+}
 
 // Read implements Disk.
 func (d *MemDisk) Read(id PageID, p []byte) error {
-	if d.closed {
-		return ErrClosed
-	}
 	if err := checkBuf(p, d.pageSize); err != nil {
 		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
 	}
 	if id < 0 || int(id) >= len(d.pages) {
 		return fmt.Errorf("%w: read %d of %d", errPageRange, id, len(d.pages))
@@ -193,11 +219,13 @@ func (d *MemDisk) Read(id PageID, p []byte) error {
 
 // Write implements Disk.
 func (d *MemDisk) Write(id PageID, p []byte) error {
-	if d.closed {
-		return ErrClosed
-	}
 	if err := checkBuf(p, d.pageSize); err != nil {
 		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
 	}
 	if id < 0 || int(id) >= len(d.pages) {
 		return fmt.Errorf("%w: write %d of %d", errPageRange, id, len(d.pages))
@@ -209,6 +237,8 @@ func (d *MemDisk) Write(id PageID, p []byte) error {
 
 // Alloc implements Disk.
 func (d *MemDisk) Alloc() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
 		return InvalidPageID, ErrClosed
 	}
@@ -218,21 +248,36 @@ func (d *MemDisk) Alloc() (PageID, error) {
 }
 
 // Stats implements Disk.
-func (d *MemDisk) Stats() Stats { return d.stats }
+func (d *MemDisk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // ResetStats implements Disk.
-func (d *MemDisk) ResetStats() { d.reset() }
+func (d *MemDisk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reset()
+}
 
 // Close implements Disk.
 func (d *MemDisk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.closed = true
 	d.pages = nil
 	return nil
 }
 
 // FileDisk is a Disk backed by a single operating-system file, page i at
-// offset i*PageSize.
+// offset i*PageSize. The mutex covers the whole page operation, file I/O
+// included: the model being charged is a single-spindle disk with one
+// head, so serializing the transfers keeps the accounting coherent — the
+// parallelism this storage layer enables lives in the CPU work between
+// page requests, not in overlapping transfers.
 type FileDisk struct {
+	mu sync.Mutex
 	accounting
 	pageSize int
 	f        *os.File
@@ -283,6 +328,8 @@ func ReopenFileDisk(path string, pageSize int, cost CostModel) (*FileDisk, error
 
 // Sync flushes the backing file to stable storage.
 func (d *FileDisk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
@@ -293,15 +340,21 @@ func (d *FileDisk) Sync() error {
 func (d *FileDisk) PageSize() int { return d.pageSize }
 
 // NumPages implements Disk.
-func (d *FileDisk) NumPages() PageID { return d.numPages }
+func (d *FileDisk) NumPages() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.numPages
+}
 
 // Read implements Disk.
 func (d *FileDisk) Read(id PageID, p []byte) error {
-	if d.closed {
-		return ErrClosed
-	}
 	if err := checkBuf(p, d.pageSize); err != nil {
 		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
 	}
 	if id < 0 || id >= d.numPages {
 		return fmt.Errorf("%w: read %d of %d", errPageRange, id, d.numPages)
@@ -320,11 +373,13 @@ func (d *FileDisk) Read(id PageID, p []byte) error {
 
 // Write implements Disk.
 func (d *FileDisk) Write(id PageID, p []byte) error {
-	if d.closed {
-		return ErrClosed
-	}
 	if err := checkBuf(p, d.pageSize); err != nil {
 		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
 	}
 	if id < 0 || id >= d.numPages {
 		return fmt.Errorf("%w: write %d of %d", errPageRange, id, d.numPages)
@@ -338,6 +393,8 @@ func (d *FileDisk) Write(id PageID, p []byte) error {
 
 // Alloc implements Disk.
 func (d *FileDisk) Alloc() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
 		return InvalidPageID, ErrClosed
 	}
@@ -349,13 +406,23 @@ func (d *FileDisk) Alloc() (PageID, error) {
 }
 
 // Stats implements Disk.
-func (d *FileDisk) Stats() Stats { return d.stats }
+func (d *FileDisk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // ResetStats implements Disk.
-func (d *FileDisk) ResetStats() { d.reset() }
+func (d *FileDisk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reset()
+}
 
 // Close implements Disk.
 func (d *FileDisk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
 		return nil
 	}

@@ -1,13 +1,20 @@
 package storage
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // ErrInjected is the error produced by a FaultDisk when a fault fires.
 var ErrInjected = errors.New("storage: injected fault")
 
 // FaultDisk wraps a Disk and fails operations according to a programmable
 // schedule. It is used by tests to drive error paths through the buffer
-// pool, heap files, sort, indexes and joins.
+// pool, heap files, sort, indexes and joins. The fault schedule
+// (FailReadAfter etc., BadPages, OnRead) must be armed before the disk is
+// shared; once operations are in flight only the internal counters mutate,
+// and those are mutex-protected so a FaultDisk can sit under concurrent
+// worker pools like any other Disk.
 type FaultDisk struct {
 	Disk
 	// FailReadAfter makes the Nth subsequent read (1-based) and all later
@@ -26,6 +33,7 @@ type FaultDisk struct {
 	// use it to trigger cancellation or faults at exact page touches.
 	OnRead func(PageID) error
 
+	mu                    sync.Mutex
 	reads, writes, allocs int64
 }
 
@@ -34,13 +42,16 @@ func NewFaultDisk(d Disk) *FaultDisk { return &FaultDisk{Disk: d} }
 
 // Read implements Disk.
 func (d *FaultDisk) Read(id PageID, p []byte) error {
+	d.mu.Lock()
 	d.reads++
+	reads := d.reads
+	d.mu.Unlock()
 	if d.OnRead != nil {
 		if err := d.OnRead(id); err != nil {
 			return err
 		}
 	}
-	if d.FailReadAfter > 0 && d.reads >= d.FailReadAfter {
+	if d.FailReadAfter > 0 && reads >= d.FailReadAfter {
 		return ErrInjected
 	}
 	if d.BadPages[id] {
@@ -51,8 +62,11 @@ func (d *FaultDisk) Read(id PageID, p []byte) error {
 
 // Write implements Disk.
 func (d *FaultDisk) Write(id PageID, p []byte) error {
+	d.mu.Lock()
 	d.writes++
-	if d.FailWriteAfter > 0 && d.writes >= d.FailWriteAfter {
+	writes := d.writes
+	d.mu.Unlock()
+	if d.FailWriteAfter > 0 && writes >= d.FailWriteAfter {
 		return ErrInjected
 	}
 	if d.BadPages[id] {
@@ -63,8 +77,11 @@ func (d *FaultDisk) Write(id PageID, p []byte) error {
 
 // Alloc implements Disk.
 func (d *FaultDisk) Alloc() (PageID, error) {
+	d.mu.Lock()
 	d.allocs++
-	if d.FailAllocAfter > 0 && d.allocs >= d.FailAllocAfter {
+	allocs := d.allocs
+	d.mu.Unlock()
+	if d.FailAllocAfter > 0 && allocs >= d.FailAllocAfter {
 		return InvalidPageID, ErrInjected
 	}
 	return d.Disk.Alloc()

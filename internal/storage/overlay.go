@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // OverlayDisk is a Disk over an immutable base page file opened read-only,
@@ -33,6 +34,7 @@ import (
 // accounting and virtual clock as FileDisk, so cost shapes match a
 // read-write engine spooling real temporary files.
 type OverlayDisk struct {
+	mu sync.Mutex
 	accounting
 	pageSize  int
 	f         *os.File
@@ -76,7 +78,11 @@ func OpenOverlay(path string, pageSize int, cost CostModel) (*OverlayDisk, error
 func (d *OverlayDisk) PageSize() int { return d.pageSize }
 
 // NumPages implements Disk.
-func (d *OverlayDisk) NumPages() PageID { return d.numPages }
+func (d *OverlayDisk) NumPages() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.numPages
+}
 
 // BaseNumPages returns the number of pages in the immutable base file.
 // Pages at or beyond this ID exist only in the overlay.
@@ -84,15 +90,21 @@ func (d *OverlayDisk) BaseNumPages() PageID { return d.basePages }
 
 // OverlayPages returns the number of pages currently materialized in the
 // overlay (allocations plus copy-on-write copies) — a memory gauge.
-func (d *OverlayDisk) OverlayPages() int { return len(d.overlay) }
+func (d *OverlayDisk) OverlayPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.overlay)
+}
 
 // Read implements Disk.
 func (d *OverlayDisk) Read(id PageID, p []byte) error {
-	if d.closed {
-		return ErrClosed
-	}
 	if err := checkBuf(p, d.pageSize); err != nil {
 		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
 	}
 	if id < 0 || id >= d.numPages {
 		return fmt.Errorf("%w: read %d of %d", errPageRange, id, d.numPages)
@@ -120,11 +132,13 @@ func (d *OverlayDisk) Read(id PageID, p []byte) error {
 // Write implements Disk. The base file is untouched; the page content is
 // retained in the overlay.
 func (d *OverlayDisk) Write(id PageID, p []byte) error {
-	if d.closed {
-		return ErrClosed
-	}
 	if err := checkBuf(p, d.pageSize); err != nil {
 		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
 	}
 	if id < 0 || id >= d.numPages {
 		return fmt.Errorf("%w: write %d of %d", errPageRange, id, d.numPages)
@@ -141,6 +155,8 @@ func (d *OverlayDisk) Write(id PageID, p []byte) error {
 
 // Alloc implements Disk. The new page lives only in the overlay.
 func (d *OverlayDisk) Alloc() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
 		return InvalidPageID, ErrClosed
 	}
@@ -154,18 +170,30 @@ func (d *OverlayDisk) Alloc() (PageID, error) {
 // pages allocated beyond the base disappear and modified base pages read
 // back their on-file content again. I/O counters are unaffected.
 func (d *OverlayDisk) Release() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.overlay = map[PageID][]byte{}
 	d.numPages = d.basePages
 }
 
 // Stats implements Disk.
-func (d *OverlayDisk) Stats() Stats { return d.stats }
+func (d *OverlayDisk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // ResetStats implements Disk.
-func (d *OverlayDisk) ResetStats() { d.reset() }
+func (d *OverlayDisk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reset()
+}
 
 // Close implements Disk.
 func (d *OverlayDisk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
 		return nil
 	}

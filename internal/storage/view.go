@@ -1,0 +1,85 @@
+package storage
+
+// View is a single-threaded accounting window onto a shared Disk. Each
+// parallel worker opens its own View over the engine's disk and mounts a
+// private buffer pool on it: the base disk still serializes and counts
+// every transfer (so an engine-level Stats bracket around a fan-out stays
+// exact), while the View replays the same charging rules — counts,
+// sequential detection, virtual clock — on a private counter set that only
+// its worker touches. That private set is what per-worker trace spans and
+// per-worker I/O summaries report, deterministically, regardless of how
+// the workers' accesses interleaved on the base disk.
+//
+// Two consequences worth knowing:
+//
+//   - A page transfer is charged twice — once on the base, once on the
+//     view — so "sum of view stats" and "base stats delta" both equal the
+//     true transfer count, but they are separate counter sets; never add
+//     them together.
+//   - The view's sequential/random split reflects the worker's own access
+//     pattern, not the physical interleaving on the shared disk, which is
+//     exactly the deterministic per-worker cost the trace wants.
+//
+// A View is NOT safe for concurrent use — it is the per-worker object.
+// Close is a no-op: a view never owns the base disk.
+type View struct {
+	accounting
+	base Disk
+}
+
+// NewView returns a fresh single-threaded accounting window over base.
+// The view inherits base's cost model when base exposes one (every disk in
+// this package does, including through FaultDisk wrapping); otherwise the
+// view charges zero virtual time and still counts pages.
+func NewView(base Disk) *View {
+	return &View{accounting: newAccounting(baseCost(base)), base: base}
+}
+
+// baseCost recovers the cost model of d, unwrapping FaultDisk layers.
+func baseCost(d Disk) CostModel {
+	for {
+		switch b := d.(type) {
+		case costModeler:
+			return b.costModel()
+		case *FaultDisk:
+			d = b.Disk
+		default:
+			return CostModel{}
+		}
+	}
+}
+
+// PageSize implements Disk.
+func (v *View) PageSize() int { return v.base.PageSize() }
+
+// NumPages implements Disk.
+func (v *View) NumPages() PageID { return v.base.NumPages() }
+
+// Read implements Disk.
+func (v *View) Read(id PageID, p []byte) error {
+	v.onRead(id)
+	return v.base.Read(id, p)
+}
+
+// Write implements Disk.
+func (v *View) Write(id PageID, p []byte) error {
+	v.onWrite(id)
+	return v.base.Write(id, p)
+}
+
+// Alloc implements Disk.
+func (v *View) Alloc() (PageID, error) {
+	v.stats.Allocs++
+	return v.base.Alloc()
+}
+
+// Stats implements Disk. It reports only this view's accesses.
+func (v *View) Stats() Stats { return v.stats }
+
+// ResetStats implements Disk. It zeroes only this view's counters; the
+// base disk's accounting is untouched.
+func (v *View) ResetStats() { v.reset() }
+
+// Close implements Disk as a no-op: the base disk is shared and outlives
+// every view onto it.
+func (v *View) Close() error { return nil }

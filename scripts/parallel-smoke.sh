@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Intra-engine parallelism smoke test: serve one database serial and with
+# -parallel 4 (plus a sharded+parallel composition) and verify that every
+# served answer — counts and result codes — is identical across the three
+# shapes, over both join and path queries. Also checks pbijoin's -parallel
+# equivalence on raw code files. CI runs this via `make parallel-smoke`.
+set -euo pipefail
+
+tmp=$(mktemp -d)
+serial=""
+parallel=""
+both=""
+cleanup() {
+    [ -n "$serial" ] && kill "$serial" 2>/dev/null || true
+    [ -n "$parallel" ] && kill "$parallel" 2>/dev/null || true
+    [ -n "$both" ] && kill "$both" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "parallel-smoke: building cmd/... binaries"
+go build -o "$tmp/bin/" ./cmd/...
+
+echo "parallel-smoke: generating a multi-document corpus"
+for seed in 1 2 3; do
+    "$tmp/bin/pbigen" -kind xmark -scale 0.004 -seed "$seed" -out "$tmp/doc$seed.xml"
+done
+"$tmp/bin/pbidb" build -db "$tmp/smoke.db" "$tmp"/doc1.xml "$tmp"/doc2.xml "$tmp"/doc3.xml
+"$tmp/bin/pbidb" shard -db "$tmp/smoke.db" -shards 2
+
+wait_healthy() { # addr pid
+    local addr=$1 pid=$2
+    for _ in $(seq 1 50); do
+        curl -fs "http://$addr/healthz" >/dev/null 2>&1 && break
+        kill -0 "$pid" 2>/dev/null || { echo "parallel-smoke: pbiserve died during startup" >&2; exit 1; }
+        sleep 0.2
+    done
+    curl -fs "http://$addr/healthz" >/dev/null
+}
+
+serial_addr=127.0.0.1:18441
+parallel_addr=127.0.0.1:18442
+both_addr=127.0.0.1:18443
+"$tmp/bin/pbiserve" -db "$tmp/smoke.db" -addr "$serial_addr" -workers 2 -cache -1 &
+serial=$!
+"$tmp/bin/pbiserve" -db "$tmp/smoke.db" -addr "$parallel_addr" -workers 2 -cache -1 -parallel 4 &
+parallel=$!
+"$tmp/bin/pbiserve" -db "$tmp/smoke.db" -addr "$both_addr" -workers 2 -cache -1 -shards 2 -parallel 2 &
+both=$!
+wait_healthy "$serial_addr" "$serial"
+wait_healthy "$parallel_addr" "$parallel"
+wait_healthy "$both_addr" "$both"
+
+echo "parallel-smoke: comparing served answers (serial vs parallel vs sharded+parallel)"
+# norm strips the fields that legitimately differ between executions
+# (I/O accounting, timing, algorithm selection); counts and result codes
+# must match exactly.
+norm() { python3 -c '
+import json,sys
+r = json.load(sys.stdin)
+for k in ("page_io","seq_io","predicted_io","virtual_us","wall_us","algorithm","false_hits","steps"):
+    r.pop(k, None)
+print(json.dumps(r, sort_keys=True))'; }
+
+queries="/join?anc=item&desc=text
+/join?anc=person&desc=emailaddress
+/join?anc=item&desc=text&algo=rollup
+/join?anc=item&desc=text&algo=vpj
+/join?anc=item&desc=text&algo=stacktree
+/query?path=//item//parlist//text
+/query?path=//people//person"
+for q in $queries; do
+    a=$(curl -fs "http://$serial_addr$q" | norm)
+    b=$(curl -fs "http://$parallel_addr$q" | norm)
+    c=$(curl -fs "http://$both_addr$q" | norm)
+    [ "$a" = "$b" ] || {
+        echo "parallel-smoke: $q differs between serial and parallel:" >&2
+        echo "  serial:   $a" >&2
+        echo "  parallel: $b" >&2
+        exit 1
+    }
+    [ "$a" = "$c" ] || {
+        echo "parallel-smoke: $q differs between serial and sharded+parallel:" >&2
+        echo "  serial:          $a" >&2
+        echo "  sharded+parallel: $c" >&2
+        exit 1
+    }
+done
+
+echo "parallel-smoke: pbijoin -parallel equivalence on raw codes"
+"$tmp/bin/pbigen" -kind synth -name SLLH -scale 0.02 -seed 7 -out "$tmp/codes"
+pairs() { # extra pbijoin flags...
+    "$tmp/bin/pbijoin" -buffer 64 "$@" "$tmp/codes.a" "$tmp/codes.d" |
+        awk '/pairs=/{for(i=1;i<=NF;i++) if ($i ~ /^pairs=/) print $i}'
+}
+for algo in rollup vpj stacktree; do
+    want=$(pairs -algo "$algo")
+    for deg in 2 4; do
+        got=$(pairs -algo "$algo" -parallel "$deg")
+        [ "$want" = "$got" ] || {
+            echo "parallel-smoke: pbijoin -algo $algo -parallel $deg: $got, want $want" >&2
+            exit 1
+        }
+    done
+done
+
+kill -0 "$serial" 2>/dev/null || { echo "parallel-smoke: serial pbiserve crashed" >&2; exit 1; }
+kill -0 "$parallel" 2>/dev/null || { echo "parallel-smoke: parallel pbiserve crashed" >&2; exit 1; }
+kill -0 "$both" 2>/dev/null || { echo "parallel-smoke: sharded+parallel pbiserve crashed" >&2; exit 1; }
+kill -INT "$serial" && wait "$serial" || true
+kill -INT "$parallel" && wait "$parallel" || true
+kill -INT "$both" && wait "$both" || true
+serial=""
+parallel=""
+both=""
+echo "parallel-smoke: OK"
