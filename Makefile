@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench fuzz experiments experiments-full serve-smoke shard-smoke parallel-smoke clean
+.PHONY: all build test vet race cover bench fuzz experiments experiments-full serve-smoke shard-smoke parallel-smoke router-smoke clean
 
 all: build vet test
 
@@ -53,6 +53,12 @@ shard-smoke:
 # -shards+-parallel servers must serve identical answers (doc/PARALLEL.md).
 parallel-smoke:
 	./scripts/parallel-smoke.sh
+
+# Multi-node serving check: pbirouter over per-shard pbiserve nodes must
+# match a solo server, survive a replica kill, and 503 a dead shard
+# (doc/ROUTER.md).
+router-smoke:
+	./scripts/router-smoke.sh
 
 # The paper-scale runs behind EXPERIMENTS.md (several minutes).
 experiments-full:

@@ -19,6 +19,12 @@
 //	pbiload -url http://localhost:8080 -mix xmark -c 8 -n 2000
 //	pbiload -url http://localhost:8080 -mode open -qps 200 -duration 30s \
 //	        -queries section/figure,section/para/rollup -paths //a//b//c
+//	pbiload -targets http://n1:8080,http://n2:8080 -mix xmark -n 2000
+//
+// -targets spreads the workload round-robin across several serving
+// endpoints (replica nodes, or pbiserve vs pbirouter side by side) and
+// reports a per-target breakdown: request count, non-200 statuses by
+// failure class, and the X-Cache hit rate each target achieved.
 //
 // Exit status is nonzero if any request failed or returned non-200, so CI
 // smoke jobs can gate on it.
@@ -44,6 +50,7 @@ import (
 func main() {
 	var (
 		base     = flag.String("url", "http://localhost:8080", "pbiserve base URL")
+		targets  = flag.String("targets", "", "comma-separated base URLs to spread load across (overrides -url)")
 		mode     = flag.String("mode", "closed", "loop discipline: closed|open")
 		conc     = flag.Int("c", 8, "closed loop: concurrent workers")
 		qps      = flag.Float64("qps", 100, "open loop: target request rate")
@@ -56,29 +63,45 @@ func main() {
 	)
 	flag.Parse()
 
-	urls, err := buildMix(*base, *queries, *paths, *mix)
+	bases := splitList(*targets)
+	if len(bases) == 0 {
+		bases = []string{*base}
+	}
+	for i := range bases {
+		bases[i] = strings.TrimRight(bases[i], "/")
+	}
+
+	// The mix filters against the first target's catalog; every target of
+	// one deployment serves the same relations (replicas, or a router over
+	// the same split), so one consultation covers the fleet.
+	urls, err := buildMix(bases[0], *queries, *paths, *mix)
 	if err != nil {
 		fail(err)
 	}
 	if len(urls) == 0 {
 		fail(fmt.Errorf("empty query mix: pass -queries, -paths or -mix"))
 	}
-	fmt.Printf("pbiload: %d distinct queries, mode=%s\n", len(urls), *mode)
+	fmt.Printf("pbiload: %d distinct queries, %d targets, mode=%s\n", len(urls), len(bases), *mode)
 
 	var results []result
 	var elapsed time.Duration
 	switch *mode {
 	case "closed":
-		results, elapsed = closedLoop(urls, *conc, *n, *duration)
+		results, elapsed = closedLoop(bases, urls, *conc, *n, *duration)
 	case "open":
-		results, elapsed = openLoop(urls, *qps, *n, *duration)
+		results, elapsed = openLoop(bases, urls, *qps, *n, *duration)
 	default:
 		fail(fmt.Errorf("unknown -mode %q (closed|open)", *mode))
 	}
 
 	bad := report(results, elapsed)
+	if len(bases) > 1 {
+		reportTargets(bases, results)
+	}
 	if *stats {
-		printServerStats(*base)
+		for _, b := range bases {
+			printServerStats(b)
+		}
 	}
 	if bad > 0 {
 		os.Exit(1)
@@ -90,18 +113,20 @@ type result struct {
 	latency time.Duration
 	status  int    // 0 on transport error
 	cache   string // X-Cache response header: "hit", "miss" or ""
+	target  int    // index into the target base-URL list
 }
 
-// buildMix assembles the request URL list.
-func buildMix(base, queries, paths, mix string) ([]string, error) {
-	base = strings.TrimRight(base, "/")
+// buildMix assembles the request list as target-relative URLs; the load
+// loops prepend a base per request. statsBase is only consulted for -mix
+// relation filtering.
+func buildMix(statsBase, queries, paths, mix string) ([]string, error) {
 	var urls []string
 	for _, spec := range splitList(queries) {
 		parts := strings.Split(spec, "/")
 		if len(parts) != 2 && len(parts) != 3 {
 			return nil, fmt.Errorf("bad -queries entry %q (want anc/desc[/algo])", spec)
 		}
-		u := fmt.Sprintf("%s/join?anc=%s&desc=%s", base,
+		u := fmt.Sprintf("/join?anc=%s&desc=%s",
 			url.QueryEscape(parts[0]), url.QueryEscape(parts[1]))
 		if len(parts) == 3 {
 			u += "&algo=" + url.QueryEscape(parts[2])
@@ -109,7 +134,7 @@ func buildMix(base, queries, paths, mix string) ([]string, error) {
 		urls = append(urls, u)
 	}
 	for _, expr := range splitList(paths) {
-		urls = append(urls, base+"/query?path="+url.QueryEscape(expr))
+		urls = append(urls, "/query?path="+url.QueryEscape(expr))
 	}
 	if mix != "" {
 		var qs []workload.Query
@@ -121,7 +146,7 @@ func buildMix(base, queries, paths, mix string) ([]string, error) {
 		default:
 			return nil, fmt.Errorf("unknown -mix %q (dblp|xmark)", mix)
 		}
-		available, err := servedTags(base)
+		available, err := servedTags(statsBase)
 		if err != nil {
 			return nil, fmt.Errorf("fetch /relations for -mix filtering: %w", err)
 		}
@@ -131,7 +156,7 @@ func buildMix(base, queries, paths, mix string) ([]string, error) {
 				skipped++
 				continue
 			}
-			urls = append(urls, fmt.Sprintf("%s/join?anc=%s&desc=%s", base,
+			urls = append(urls, fmt.Sprintf("/join?anc=%s&desc=%s",
 				url.QueryEscape(q.AncTag), url.QueryEscape(q.DescTag)))
 		}
 		if skipped > 0 {
@@ -175,12 +200,15 @@ func servedTags(base string) (map[string]bool, error) {
 	return tags, nil
 }
 
-// doRequest issues one GET and classifies the outcome.
-func doRequest(client *http.Client, u string) result {
+// doRequest issues one GET and classifies the outcome. The target is
+// picked round-robin from the request sequence number, so with several
+// targets the same mix spreads evenly across all of them.
+func doRequest(client *http.Client, bases []string, u string, seq int64) result {
+	ti := int(seq) % len(bases)
 	start := time.Now()
-	resp, err := client.Get(u)
+	resp, err := client.Get(bases[ti] + u)
 	if err != nil {
-		return result{latency: time.Since(start)}
+		return result{latency: time.Since(start), target: ti}
 	}
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
 	resp.Body.Close()
@@ -188,12 +216,13 @@ func doRequest(client *http.Client, u string) result {
 		latency: time.Since(start),
 		status:  resp.StatusCode,
 		cache:   resp.Header.Get("X-Cache"),
+		target:  ti,
 	}
 }
 
 // closedLoop runs conc workers, each holding one request in flight, until
 // total requests are issued (or the duration elapses when total is 0).
-func closedLoop(urls []string, conc int, total int64, duration time.Duration) ([]result, time.Duration) {
+func closedLoop(bases, urls []string, conc int, total int64, duration time.Duration) ([]result, time.Duration) {
 	if conc < 1 {
 		conc = 1
 	}
@@ -215,7 +244,7 @@ func closedLoop(urls []string, conc int, total int64, duration time.Duration) ([
 				if total == 0 && time.Now().After(deadline) {
 					return
 				}
-				resc <- doRequest(client, urls[int(i-1)%len(urls)])
+				resc <- doRequest(client, bases, urls[int(i-1)%len(urls)], i-1)
 			}
 		}()
 	}
@@ -226,7 +255,7 @@ func closedLoop(urls []string, conc int, total int64, duration time.Duration) ([
 // openLoop fires requests on a fixed schedule regardless of completions.
 // Outstanding requests are capped (far above any sane completion rate) so
 // a dead server cannot exhaust file descriptors.
-func openLoop(urls []string, qps float64, total int64, duration time.Duration) ([]result, time.Duration) {
+func openLoop(bases, urls []string, qps float64, total int64, duration time.Duration) ([]result, time.Duration) {
 	if qps <= 0 {
 		qps = 1
 	}
@@ -255,11 +284,12 @@ func openLoop(urls []string, qps float64, total int64, duration time.Duration) (
 			}
 			issued++
 			u := urls[int(issued-1)%len(urls)]
+			seq := issued - 1
 			sem <- struct{}{}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				resc <- doRequest(client, u)
+				resc <- doRequest(client, bases, u, seq)
 				<-sem
 			}()
 		}
@@ -341,6 +371,55 @@ func report(results []result, elapsed time.Duration) int {
 	return transportErrs + non200
 }
 
+// reportTargets prints the per-target breakdown: how each endpoint
+// handled its slice of the load, which failure classes it produced, and
+// what X-Cache hit rate it achieved.
+func reportTargets(bases []string, results []result) {
+	type tstat struct {
+		requests, ok, transportErrs int
+		hits, misses                int
+		byStatus                    map[int]int
+	}
+	stats := make([]*tstat, len(bases))
+	for i := range stats {
+		stats[i] = &tstat{byStatus: map[int]int{}}
+	}
+	for _, r := range results {
+		t := stats[r.target]
+		t.requests++
+		switch {
+		case r.status == 0:
+			t.transportErrs++
+		case r.status != http.StatusOK:
+			t.byStatus[r.status]++
+		default:
+			t.ok++
+			switch r.cache {
+			case "hit":
+				t.hits++
+			case "miss":
+				t.misses++
+			}
+		}
+	}
+	for i, b := range bases {
+		t := stats[i]
+		fmt.Printf("pbiload: target %-32s %6d requests  ok=%d errors=%d", b, t.requests, t.ok, t.transportErrs)
+		if t.hits+t.misses > 0 {
+			fmt.Printf("  cache-hit=%.1f%%", 100*float64(t.hits)/float64(t.hits+t.misses))
+		}
+		fmt.Println()
+		statuses := make([]int, 0, len(t.byStatus))
+		for status := range t.byStatus {
+			statuses = append(statuses, status)
+		}
+		sort.Ints(statuses)
+		for _, status := range statuses {
+			fmt.Printf("pbiload:   %-32s status %d (%s): %d\n", b, status, statusClass(status), t.byStatus[status])
+		}
+	}
+}
+
 // statusClass names the server's failure vocabulary so the breakdown
 // separates shed load (backpressure, retryable) from deadline expiry
 // (queries too slow for their budget) and internal failures (bugs).
@@ -349,7 +428,9 @@ func statusClass(status int) string {
 	case 499:
 		return "client canceled"
 	case http.StatusServiceUnavailable:
-		return "shed: queue full"
+		return "shed: queue full / unavailable"
+	case http.StatusBadGateway:
+		return "upstream failure"
 	case http.StatusGatewayTimeout:
 		return "deadline exceeded"
 	case http.StatusInternalServerError:

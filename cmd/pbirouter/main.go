@@ -1,0 +1,168 @@
+// Command pbirouter fronts a fleet of pbiserve shard nodes with a
+// scatter-gather serving tier: every /join, /query and /relations request
+// fans out to one replica per shard group and the responses merge with
+// exactly the semantics internal/shard applies in process — see
+// internal/router and doc/ROUTER.md.
+//
+// Usage:
+//
+//	pbirouter -nodes URL[|URL...],URL[|URL...],... [-addr :8070]
+//	          [-cache 1024] [-timeout 0] [-probe 2s] [-probe-timeout 1s]
+//	          [-probe-fails 2] [-hedge 0] [-hedge-min 10ms] [-maxcodes 100]
+//	          [-drain 10s]
+//	pbirouter -topology topology.json [...]
+//
+// -nodes lists the shard groups: commas separate shards, pipes separate
+// replicas of one shard. "a|b,c" is two shards — shard 0 replicated on a
+// and b, shard 1 on c alone. -topology reads the same structure from JSON:
+//
+//	{"shards": [{"replicas": ["http://host:8081", "http://host:8082"]},
+//	            {"replicas": ["http://host:8083"]}]}
+//
+// Every node of one shard group must serve the same shard file of one
+// pbidb shard split (document-disjoint shards); the router's answers are
+// then byte-for-byte equivalent to a single engine over the whole store.
+//
+// Endpoints mirror pbiserve: /join /query /relations /stats /metrics
+// /healthz /readyz. SIGINT/SIGTERM mark /readyz not-ready, drain in-flight
+// requests, then exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/pbitree/pbitree/internal/router"
+)
+
+func main() {
+	var (
+		nodes        = flag.String("nodes", "", "shard groups: commas separate shards, pipes separate replicas")
+		topology     = flag.String("topology", "", "JSON topology file (alternative to -nodes)")
+		addr         = flag.String("addr", ":8070", "listen address")
+		cache        = flag.Int("cache", 1024, "LRU merged-result cache entries (negative disables)")
+		timeout      = flag.Duration("timeout", 0, "per-request execution deadline, also the ?timeout= clamp (0 = none)")
+		probe        = flag.Duration("probe", 2*time.Second, "node health probe interval (negative disables)")
+		probeTimeout = flag.Duration("probe-timeout", time.Second, "single probe request timeout")
+		probeFails   = flag.Int("probe-fails", 2, "consecutive probe failures before a node is demoted")
+		hedge        = flag.Duration("hedge", 0, "fixed hedging delay (0 = adaptive latency quantile, negative disables)")
+		hedgeMin     = flag.Duration("hedge-min", 10*time.Millisecond, "floor for the adaptive hedging delay")
+		maxcodes     = flag.Int("maxcodes", 100, "result codes echoed per /query response")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+	if (*nodes == "") == (*topology == "") || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: pbirouter -nodes URL[|URL...],... | -topology FILE  [-addr :8070]")
+		os.Exit(2)
+	}
+
+	var topo [][]string
+	var err error
+	if *topology != "" {
+		topo, err = readTopology(*topology)
+	} else {
+		topo = parseNodes(*nodes)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	rt, err := router.New(router.Config{
+		Topology:      topo,
+		CacheEntries:  *cache,
+		QueryTimeout:  *timeout,
+		ProbeInterval: *probe,
+		ProbeTimeout:  *probeTimeout,
+		FailAfter:     *probeFails,
+		HedgeAfter:    *hedge,
+		HedgeMin:      *hedgeMin,
+		MaxCodes:      *maxcodes,
+	})
+	if err != nil {
+		fail(err)
+	}
+	for si, group := range topo {
+		fmt.Printf("pbirouter: shard %d: %s\n", si, strings.Join(group, ", "))
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("pbirouter: routing %d shards on %s\n", rt.NumShards(), *addr)
+
+	select {
+	case err := <-errc:
+		rt.Close() //nolint:errcheck // exiting anyway
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("pbirouter: draining in-flight requests...")
+	rt.Drain() // /readyz flips 503 so load balancers stop sending traffic
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "pbirouter: shutdown: %v\n", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pbirouter: serve: %v\n", err)
+	}
+	if err := rt.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Println("pbirouter: stopped")
+}
+
+// parseNodes expands the -nodes shorthand: commas separate shard groups,
+// pipes separate replicas within one group.
+func parseNodes(spec string) [][]string {
+	var topo [][]string
+	for _, group := range strings.Split(spec, ",") {
+		var replicas []string
+		for _, u := range strings.Split(group, "|") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicas = append(replicas, u)
+			}
+		}
+		topo = append(topo, replicas)
+	}
+	return topo
+}
+
+// readTopology loads the JSON topology file.
+func readTopology(path string) ([][]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t struct {
+		Shards []struct {
+			Replicas []string `json:"replicas"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	topo := make([][]string, len(t.Shards))
+	for i, s := range t.Shards {
+		topo[i] = s.Replicas
+	}
+	return topo, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pbirouter: %v\n", err)
+	os.Exit(1)
+}

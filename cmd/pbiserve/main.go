@@ -23,7 +23,8 @@
 //	GET /metrics                             Prometheus text exposition
 //	GET /debug/trace?anc=..&desc=..|query=.. EXPLAIN ANALYZE span tree (JSON)
 //	GET /debug/pprof/                        profiling (only with -pprof)
-//	GET /healthz                             liveness
+//	GET /healthz                             liveness (process up)
+//	GET /readyz                              readiness (engines warm, not draining)
 //
 // Every response carries an X-Trace-Id header; -accesslog writes one JSON
 // line per request with the same ID (see doc/OBSERVABILITY.md).
@@ -136,6 +137,7 @@ func main() {
 	}
 
 	fmt.Println("pbiserve: draining in-flight queries...")
+	qs.Drain() // /readyz flips 503 so routers and load balancers stop sending traffic
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -125,7 +125,7 @@ func (s *Server) traceQuery(w http.ResponseWriter, r *http.Request, expr string)
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	canon, tags, err := canonicalPath(steps)
+	canon, tags, err := CanonicalPath(steps)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -147,7 +147,7 @@ func (s *Server) traceQuery(w http.ResponseWriter, r *http.Request, expr string)
 	}
 	recycle := false
 	defer func() { release(recycle) }()
-	var stepInfo []pathStep
+	var stepInfo []PathStep
 	var analyses []*containment.Analysis
 	err = s.guard(func() error {
 		var jerr error

@@ -3,10 +3,10 @@ package qserv
 import (
 	"context"
 	"fmt"
-	"sort"
 	"strings"
 
 	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/internal/shard"
 	"github.com/pbitree/pbitree/pbicode"
 )
 
@@ -22,9 +22,11 @@ import (
 // document's structure and text, which a stored database does not retain;
 // those are rejected at validation with a pointer to pbiquery.
 
-// canonicalPath validates a parsed expression for serving and returns its
-// canonical form (the cache key component) and the step tags.
-func canonicalPath(steps []containment.Step) (string, []string, error) {
+// CanonicalPath validates a parsed expression for serving and returns its
+// canonical form (the cache key component) and the step tags. Exported so
+// internal/router normalizes and validates path queries identically to
+// the nodes it fronts.
+func CanonicalPath(steps []containment.Step) (string, []string, error) {
 	tags := make([]string, len(steps))
 	var sb strings.Builder
 	for i, st := range steps {
@@ -41,8 +43,10 @@ func canonicalPath(steps []containment.Step) (string, []string, error) {
 	return sb.String(), tags, nil
 }
 
-// pathStep reports one join step of a path evaluation.
-type pathStep struct {
+// PathStep reports one join step of a path evaluation (the /query steps
+// block). Exported so internal/router can decode node responses against
+// the same wire contract it re-serves.
+type PathStep struct {
 	Anc       string `json:"anc"`
 	Desc      string `json:"desc"`
 	Algorithm string `json:"algorithm"`
@@ -56,7 +60,7 @@ type pathStep struct {
 // aborts as soon as ctx is canceled (the failed step's temps are released
 // by the caller's releaseTemp). Sharded serving runs the same chain per
 // shard instead (shard.Engine.PathContext via shardWorker.evalPath).
-func (wk *soloWorker) evalPath(ctx context.Context, tags []string) ([]pbicode.Code, []pathStep, []*containment.Analysis, error) {
+func (wk *soloWorker) evalPath(ctx context.Context, tags []string) ([]pbicode.Code, []PathStep, []*containment.Analysis, error) {
 	first, ok := wk.relation(tags[0])
 	if !ok {
 		return nil, nil, nil, &unknownRelationError{tags[0]}
@@ -66,7 +70,7 @@ func (wk *soloWorker) evalPath(ctx context.Context, tags []string) ([]pbicode.Co
 		return codes, nil, nil, err
 	}
 
-	var steps []pathStep
+	var steps []PathStep
 	var analyses []*containment.Analysis
 	// anc is the stored first relation for step 1, then a temporary
 	// relation loaded from the previous match set.
@@ -97,7 +101,7 @@ func (wk *soloWorker) evalPath(ctx context.Context, tags []string) ([]pbicode.Co
 		}
 		res := an.Result
 		analyses = append(analyses, an)
-		steps = append(steps, pathStep{
+		steps = append(steps, PathStep{
 			Anc: tags[i-1], Desc: tags[i],
 			Algorithm: res.Algorithm, Matches: int64(len(matched)),
 		})
@@ -106,7 +110,7 @@ func (wk *soloWorker) evalPath(ctx context.Context, tags []string) ([]pbicode.Co
 			cur = append(cur, c)
 		}
 		if i == len(tags)-1 {
-			sortDocOrder(cur)
+			shard.SortDocOrder(cur)
 			return cur, steps, analyses, nil
 		}
 		anc, err = wk.eng.Load("q.path.anc", cur)
@@ -116,18 +120,6 @@ func (wk *soloWorker) evalPath(ctx context.Context, tags []string) ([]pbicode.Co
 		temp = true
 	}
 	panic("unreachable")
-}
-
-// sortDocOrder orders codes as a document traversal would: by region
-// start, ancestors before their descendants.
-func sortDocOrder(codes []pbicode.Code) {
-	sort.Slice(codes, func(i, j int) bool {
-		si, sj := codes[i].Start(), codes[j].Start()
-		if si != sj {
-			return si < sj
-		}
-		return codes[i].Height() > codes[j].Height()
-	})
 }
 
 // unknownRelationError distinguishes "no such relation" (a 404) from

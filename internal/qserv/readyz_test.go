@@ -1,0 +1,133 @@
+package qserv
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestReadyzDrain covers the liveness/readiness split: /healthz stays 200
+// for the process lifetime, /readyz is 200 while the pool is warm and
+// flips 503 once Drain marks the server shutting down, plus the /query
+// ?limit= override and X-Trace-Id propagation added for router serving.
+func TestReadyzDrain(t *testing.T) {
+	db, _ := buildServerDB(t)
+	s, err := New(Config{DBPath: db, Workers: 1, CacheEntries: -1, BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{}
+
+	st, body, _ := get(t, client, ts.URL+"/readyz")
+	if st != http.StatusOK || !strings.Contains(string(body), "ready") {
+		t.Fatalf("/readyz = %d %s, want 200 ready", st, body)
+	}
+	s.Drain()
+	if st, body, _ = get(t, client, ts.URL+"/readyz"); st != http.StatusServiceUnavailable ||
+		!strings.Contains(string(body), "draining") {
+		t.Fatalf("/readyz while draining = %d %s, want 503 draining", st, body)
+	}
+	if st, _, _ = get(t, client, ts.URL+"/healthz"); st != http.StatusOK {
+		t.Errorf("/healthz while draining = %d, want 200 (liveness is not readiness)", st)
+	}
+	// Draining refuses new readiness, not in-flight work: queries still run.
+	if st, _, _ = get(t, client, ts.URL+"/join?anc=section&desc=figure"); st != http.StatusOK {
+		t.Errorf("/join while draining = %d, want 200", st)
+	}
+}
+
+// TestQueryLimitOverride covers the ?limit= parameter: per-request
+// truncation budgets, validation, and distinct cache keys per limit.
+func TestQueryLimitOverride(t *testing.T) {
+	db, _ := buildServerDB(t)
+	s, err := New(Config{DBPath: db, Workers: 1, CacheEntries: 64, BufferPages: 32, MaxCodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{}
+
+	st, body, _ := get(t, client, ts.URL+"/query?path=//section//figure&limit=3")
+	if st != http.StatusOK {
+		t.Fatalf("limit=3: status %d: %s", st, body)
+	}
+	var r1 QueryResponse
+	mustDecode(t, body, &r1)
+	if len(r1.Codes) != 3 || !r1.Truncated {
+		t.Errorf("limit=3: codes=%d truncated=%v, want 3/true", len(r1.Codes), r1.Truncated)
+	}
+	if r1.Count <= 3 {
+		t.Errorf("count must stay pre-truncation, got %d", r1.Count)
+	}
+
+	// A different limit is a different cache entry, not a stale hit.
+	st, body, cache := get(t, client, ts.URL+"/query?path=//section//figure&limit=5")
+	if st != http.StatusOK || cache != "miss" {
+		t.Fatalf("limit=5: status %d cache %s", st, cache)
+	}
+	var r2 QueryResponse
+	mustDecode(t, body, &r2)
+	if len(r2.Codes) != 5 {
+		t.Errorf("limit=5: codes=%d", len(r2.Codes))
+	}
+	// The two prefixes agree: limits truncate one ordered list.
+	for i := range r1.Codes {
+		if r1.Codes[i] != r2.Codes[i] {
+			t.Errorf("limit prefixes disagree at %d: %d vs %d", i, r1.Codes[i], r2.Codes[i])
+		}
+	}
+
+	for _, bad := range []string{"0", "-1", "x", "1000001"} {
+		if st, _, _ := get(t, client, ts.URL+"/query?path=//section//figure&limit="+bad); st != http.StatusBadRequest {
+			t.Errorf("limit=%s: status %d, want 400", bad, st)
+		}
+	}
+}
+
+// TestIncomingTraceID covers propagated-trace sanitation.
+func TestIncomingTraceID(t *testing.T) {
+	db, _ := buildServerDB(t)
+	s, err := New(Config{DBPath: db, Workers: 1, CacheEntries: -1, BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/join?anc=section&desc=figure", nil)
+	req.Header.Set("X-Trace-Id", "r0012abc-00000001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got != "r0012abc-00000001" {
+		t.Errorf("propagated ID = %q, want echo", got)
+	}
+
+	req.Header.Set("X-Trace-Id", strings.Repeat("x", 65))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); len(got) > 64 || got == strings.Repeat("x", 65) {
+		t.Errorf("oversized ID not re-minted: %q", got)
+	}
+}
+
+// mustDecode unmarshals JSON or fails the test.
+func mustDecode(t *testing.T, body []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -149,6 +150,11 @@ type Server struct {
 	traceSeq  atomic.Uint64 // per-request trace-ID suffix
 	logMu     sync.Mutex    // serializes AccessLog writes
 
+	// draining flips when Drain is called: /readyz answers 503 so probers
+	// (routers, load balancers) stop routing here, while /healthz stays 200
+	// and in-flight requests keep executing until Shutdown completes.
+	draining atomic.Bool
+
 	poolMu sync.Mutex // guards all/closed against quarantine replacement
 	closed bool       // set by Close; stops replacement goroutines
 
@@ -196,6 +202,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -264,6 +271,26 @@ func (s *Server) nextTraceID() string {
 	return fmt.Sprintf("%08x-%08x", s.traceBase, s.traceSeq.Add(1))
 }
 
+// IncomingTraceID extracts a propagated X-Trace-Id header (exported for
+// internal/router, which applies the same sanitation rule), accepting only
+// IDs that are safe to echo into headers and JSON logs (short, printable,
+// no whitespace or quotes). Anything else is treated as absent.
+func IncomingTraceID(r *http.Request) string {
+	id := r.Header.Get("X-Trace-Id")
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':' || c == '/':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
 // statusWriter captures the status code and body size a handler produced.
 type statusWriter struct {
 	http.ResponseWriter
@@ -309,7 +336,13 @@ type accessRecord struct {
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := s.nextTraceID()
+		// An upstream coordinator (internal/router) propagates its trace ID
+		// so one user request correlates across the router's and every
+		// node's access logs. Absent or unusable, mint a fresh one.
+		id := IncomingTraceID(r)
+		if id == "" {
+			id = s.nextTraceID()
+		}
 		w.Header().Set("X-Trace-Id", id)
 		sw := &statusWriter{ResponseWriter: w}
 		func() {
@@ -589,8 +622,10 @@ func (s *Server) finishJoinError(w http.ResponseWriter, what string, err error) 
 	return false
 }
 
-// joinResponse is the /join payload.
-type joinResponse struct {
+// JoinResponse is the /join payload. Exported (with QueryResponse and
+// PathStep) so internal/router decodes node responses against the same
+// wire contract this server defines, instead of a drifting mirror copy.
+type JoinResponse struct {
 	Anc         string `json:"anc"`
 	Desc        string `json:"desc"`
 	Algorithm   string `json:"algorithm"`
@@ -668,7 +703,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	res := an.Result
 	s.met.recordJoin(res)
 	s.met.recordPhases(res.Algorithm, an.Phases)
-	payload := mustJSON(joinResponse{
+	payload := mustJSON(JoinResponse{
 		Anc: anc, Desc: desc,
 		Algorithm: res.Algorithm, Count: res.Count, FalseHits: res.FalseHits,
 		PageIO: res.IO.Total(), SeqIO: res.IO.SeqReads + res.IO.SeqWrites,
@@ -680,20 +715,27 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	s.writePayload(w, payload, false, start)
 }
 
-// queryResponse is the /query payload.
-type queryResponse struct {
+// QueryResponse is the /query payload.
+type QueryResponse struct {
 	Path      string     `json:"path"`
 	Count     int        `json:"count"`
 	Codes     []uint64   `json:"codes"`
 	Truncated bool       `json:"truncated"`
-	Steps     []pathStep `json:"steps,omitempty"`
+	Steps     []PathStep `json:"steps,omitempty"`
 	PageIO    int64      `json:"page_io"`
 	VirtualUS int64      `json:"virtual_us"`
 	WallUS    int64      `json:"wall_us"`
 }
 
-// handleQuery serves GET /query?path=//a//b — descendant-axis path
-// expressions over stored relations.
+// maxCodesLimit is the absolute ceiling for the /query ?limit= override:
+// large enough for a router to reassemble exact global truncation from
+// per-shard responses, small enough to bound response size.
+const maxCodesLimit = 1_000_000
+
+// handleQuery serves GET /query?path=//a//b[&limit=N] — descendant-axis
+// path expressions over stored relations. limit overrides Config.MaxCodes
+// for this request (routers pass their own truncation budget so the
+// global first-K merge is exact).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if r.Method != http.MethodGet {
@@ -705,12 +747,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "path query parameter is required")
 		return
 	}
+	limit := s.cfg.MaxCodes
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > maxCodesLimit {
+			s.writeError(w, http.StatusBadRequest,
+				"invalid limit %q (want 1..%d)", v, maxCodesLimit)
+			return
+		}
+		limit = n
+	}
 	steps, err := containment.ParsePath(expr)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	canon, tags, err := canonicalPath(steps)
+	canon, tags, err := CanonicalPath(steps)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -725,7 +777,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeFailure(w, "path query", err)
 		return
 	}
-	key := "path\x00" + canon
+	key := fmt.Sprintf("path\x00%s\x00%d", canon, limit)
 	if payload, ok := s.lookup(key); ok {
 		s.writePayload(w, payload, true, start)
 		return
@@ -744,7 +796,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer func() { release(recycle) }()
 	var (
 		codes    []pbicode.Code
-		stepInfo []pathStep
+		stepInfo []PathStep
 		analyses []*containment.Analysis
 	)
 	err = s.guard(func() error {
@@ -759,7 +811,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		recycle = s.finishJoinError(w, "path query", err)
 		return
 	}
-	resp := queryResponse{Path: canon, Count: len(codes), Steps: stepInfo}
+	resp := QueryResponse{Path: canon, Count: len(codes), Steps: stepInfo}
 	var io containment.IOStats
 	for _, an := range analyses {
 		res := an.Result
@@ -771,8 +823,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp.VirtualUS = io.VirtualTime.Microseconds()
 	resp.WallUS = io.WallTime.Microseconds()
 	n := len(codes)
-	if n > s.cfg.MaxCodes {
-		n, resp.Truncated = s.cfg.MaxCodes, true
+	if n > limit {
+		n, resp.Truncated = limit, true
 	}
 	resp.Codes = make([]uint64, n)
 	for i := 0; i < n; i++ {
@@ -890,11 +942,43 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, mustJSON(resp))
 }
 
-// handleHealthz serves GET /healthz.
+// handleHealthz serves GET /healthz — pure liveness: the process is up
+// and handling HTTP. Deliberately trivial; routing decisions belong to
+// /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Write([]byte(`{"status":"ok"}`)) //nolint:errcheck // best effort
 }
+
+// handleReadyz serves GET /readyz — readiness: whether this server should
+// receive new queries. 503 while draining (Drain was called ahead of
+// shutdown) and while the engine pool is empty (every worker quarantined
+// and replacements still opening), 200 otherwise. Liveness (/healthz)
+// stays 200 throughout, so a prober can tell "restart me" from "route
+// around me".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"draining"}`)) //nolint:errcheck // best effort
+		return
+	}
+	s.poolMu.Lock()
+	warm := len(s.all)
+	s.poolMu.Unlock()
+	if warm == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"no engines"}`)) //nolint:errcheck // best effort
+		return
+	}
+	w.Write([]byte(`{"status":"ready"}`)) //nolint:errcheck // best effort
+}
+
+// Drain marks the server not-ready: /readyz starts answering 503 so
+// routers and load balancers stop sending new work, while already-accepted
+// requests keep executing. Call it before http.Server.Shutdown so probers
+// observe the drain window instead of abrupt connection refusals.
+func (s *Server) Drain() { s.draining.Store(true) }
 
 // lookup consults the cache when enabled.
 func (s *Server) lookup(key string) ([]byte, bool) {

@@ -249,7 +249,7 @@ func TestServerErrors(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("//figure: status %d: %s", status, body)
 	}
-	var resp queryResponse
+	var resp QueryResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatal(err)
 	}

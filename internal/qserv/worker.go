@@ -27,7 +27,7 @@ type worker interface {
 	// returns *unknownRelationError (the 404 path).
 	analyze(ctx context.Context, anc, desc string, opts containment.JoinOptions) (*containment.Analysis, error)
 	// evalPath runs a descendant-axis chain; see path.go.
-	evalPath(ctx context.Context, tags []string) ([]pbicode.Code, []pathStep, []*containment.Analysis, error)
+	evalPath(ctx context.Context, tags []string) ([]pbicode.Code, []PathStep, []*containment.Analysis, error)
 	// releaseTemp drops per-request temporary state (between requests).
 	releaseTemp() error
 	// tempPages gauges private overlay pages still held.
@@ -118,7 +118,7 @@ func (wk *shardWorker) analyze(ctx context.Context, anc, desc string, opts conta
 	return wk.se.AnalyzeContext(ctx, a, d, opts)
 }
 
-func (wk *shardWorker) evalPath(ctx context.Context, tags []string) ([]pbicode.Code, []pathStep, []*containment.Analysis, error) {
+func (wk *shardWorker) evalPath(ctx context.Context, tags []string) ([]pbicode.Code, []PathStep, []*containment.Analysis, error) {
 	// Resolve the user's tags onto stored catalog names up front so the
 	// 404 vocabulary matches solo serving.
 	stored := make([]string, len(tags))
@@ -137,9 +137,9 @@ func (wk *shardWorker) evalPath(ctx context.Context, tags []string) ([]pbicode.C
 		}
 		return nil, nil, nil, err
 	}
-	steps := make([]pathStep, len(shardSteps))
+	steps := make([]PathStep, len(shardSteps))
 	for i, st := range shardSteps {
-		steps[i] = pathStep{
+		steps[i] = PathStep{
 			Anc: tags[i], Desc: tags[i+1],
 			Algorithm: st.Algorithm, Matches: st.Matches,
 		}

@@ -1,0 +1,93 @@
+package router
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the router's LRU cache of rendered merged responses.
+// Unlike a single node's cache (whose stored relations are immutable for
+// the server's lifetime), the router's world view can change: a node
+// demotion or promotion bumps the table epoch, and because every cache key
+// embeds the epoch, entries from the previous view simply become
+// unreachable — no invalidation scan, the LRU ages them out.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type cacheEntry struct {
+	key     string
+	payload []byte
+}
+
+// newResultCache returns a cache bounded to capacity entries. Capacity
+// must be positive; callers disable caching by not constructing one.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached payload for key, counting a hit or miss.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// put stores payload under key, evicting the least recently used entry
+// when over capacity. The payload must not be mutated afterwards.
+func (c *resultCache) put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).payload = payload
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, payload: payload})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+// cacheStats is the /stats snapshot of the cache.
+type cacheStats struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	Evicted  int64   `json:"evicted"`
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+func (c *resultCache) snapshot() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := cacheStats{
+		Hits: c.hits, Misses: c.misses, Evicted: c.evicted,
+		Entries: c.ll.Len(), Capacity: c.cap,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}

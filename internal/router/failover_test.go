@@ -1,0 +1,247 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/pbitree/pbitree/internal/qserv"
+)
+
+// goodNode returns a node that answers /join immediately.
+func goodNode(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(qserv.JoinResponse{Algorithm: "mpmgjn", Count: 3}) //nolint:errcheck // test stub
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestHedging holds a slow primary past the hedging delay and requires
+// the fast replica's answer to win, the loser's request context to be
+// canceled (no goroutine leak), and the hedge counters to move. Run under
+// -race in CI.
+func TestHedging(t *testing.T) {
+	canceled := make(chan bool, 16)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			canceled <- true
+			return
+		case <-time.After(5 * time.Second):
+			canceled <- false
+		}
+		w.Write([]byte(`{}`)) //nolint:errcheck // test stub
+	}))
+	defer slow.Close()
+	fast := goodNode(t)
+
+	rt, ts := newTestRouter(t, Config{
+		Topology:     [][]string{{slow.URL, fast.URL}},
+		CacheEntries: -1,
+		HedgeAfter:   20 * time.Millisecond,
+	})
+	// Pin the round-robin cursor so the slow node is always primary:
+	// candidates() rotates by rr, which the loop below re-establishes.
+	for i := 0; i < 4; i++ {
+		rt.rr[0].Store(-1) // Add(1) → 0 → rotation starts at replica 0 (slow)
+		start := time.Now()
+		st, body, _ := get(t, ts.URL+"/join?anc=a&desc=b")
+		if st != http.StatusOK {
+			t.Fatalf("hedged request %d: status %d: %s", i, st, body)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("hedged request %d took %v: hedge did not win", i, d)
+		}
+		select {
+		case c := <-canceled:
+			if !c {
+				t.Fatal("slow primary ran to completion; loser was not canceled")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("slow primary still running: loser not canceled (leak)")
+		}
+	}
+	if rt.met.hedgeFires.Load() < 4 || rt.met.hedgeWins.Load() < 4 {
+		t.Errorf("hedge counters: fires=%d wins=%d, want >=4 each",
+			rt.met.hedgeFires.Load(), rt.met.hedgeWins.Load())
+	}
+	if h := rt.shards[0][1].hedges.Load(); h < 4 {
+		t.Errorf("fast replica hedge count = %d, want >=4", h)
+	}
+
+	// All hedge goroutines must have drained (give stragglers a moment).
+	deadline := time.Now().Add(2 * time.Second)
+	base := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+		base = runtime.NumGoroutine()
+	}
+}
+
+// dyingNode answers every request by sending a partial body and slamming
+// the connection — the mid-stream death case: status line received, body
+// truncated.
+func dyingNode(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("no hijacker")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Write([]byte("HTTP/1.1 200 OK\r\nContent-Length: 1000\r\n\r\n{\"count\": 4")) //nolint:errcheck // test stub
+		conn.Close()
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+// TestFailoverMidStream kills a node mid-response and requires zero
+// failed queries while a second replica exists: the first request fails
+// over in-band (and demotes the dying node), subsequent requests route
+// around it.
+func TestFailoverMidStream(t *testing.T) {
+	dying, hits := dyingNode(t)
+	good := goodNode(t)
+	rt, ts := newTestRouter(t, Config{
+		Topology:     [][]string{{dying.URL, good.URL}},
+		CacheEntries: -1,
+	})
+	rt.rr[0].Store(-1) // dying node is the first request's primary
+	for i := 0; i < 20; i++ {
+		st, body, _ := get(t, ts.URL+"/join?anc=a&desc=b")
+		if st != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s (failover must hide the dying replica)", i, st, body)
+		}
+	}
+	if rt.met.failovers.Load() == 0 {
+		t.Error("no failover counted")
+	}
+	if rt.shards[0][0].healthy.Load() {
+		t.Error("dying node still marked healthy after an in-band transport error")
+	}
+	if h := hits.Load(); h == 0 || h > 3 {
+		// Demotion after the first failure keeps the dying node out of the
+		// primary rotation; only last-resort retries may touch it again.
+		t.Errorf("dying node served %d requests, want 1..3", h)
+	}
+
+	// With no live replica at all the shard exhausts: 503 + Retry-After.
+	lone, _ := dyingNode(t)
+	_, ts2 := newTestRouter(t, Config{Topology: [][]string{{lone.URL}}, CacheEntries: -1})
+	resp, err := http.Get(ts2.URL + "/join?anc=a&desc=b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("no-replica shard: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestProbeLifecycle runs the real prober against a node whose readiness
+// flips: demotion after FailAfter consecutive failures, promotion on the
+// next success, epoch bumps on each transition.
+func TestProbeLifecycle(t *testing.T) {
+	var ready atomic.Bool
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" && !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{}`)) //nolint:errcheck // test stub
+	}))
+	defer node.Close()
+
+	rt, err := New(Config{
+		Topology:      [][]string{{node.URL}},
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		FailAfter:     2,
+		HedgeAfter:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	nd := rt.shards[0][0]
+	waitFor("demotion", func() bool { return !nd.healthy.Load() })
+	if rt.met.demotions.Load() == 0 || nd.probeFails.Load() < 2 {
+		t.Errorf("demotions=%d probeFails=%d", rt.met.demotions.Load(), nd.probeFails.Load())
+	}
+	epoch := rt.Epoch()
+	ready.Store(true)
+	waitFor("promotion", func() bool { return nd.healthy.Load() })
+	if rt.Epoch() == epoch {
+		t.Error("promotion did not bump the epoch")
+	}
+	if rt.met.promotions.Load() == 0 {
+		t.Error("promotion not counted")
+	}
+}
+
+// TestUnhealthyLastResort asserts a stale "down" view does not turn into
+// a false 503: with every replica demoted but the node actually serving,
+// the request still succeeds through the last-resort path.
+func TestUnhealthyLastResort(t *testing.T) {
+	good := goodNode(t)
+	rt, ts := newTestRouter(t, Config{Topology: [][]string{{good.URL}}, CacheEntries: -1})
+	rt.demoteNow(rt.shards[0][0], "stale view")
+	st, body, _ := get(t, ts.URL+"/join?anc=a&desc=b")
+	if st != http.StatusOK {
+		t.Fatalf("request through demoted-but-alive node: status %d: %s", st, body)
+	}
+}
+
+// TestTopologyValidation pins New's rejection vocabulary.
+func TestTopologyValidation(t *testing.T) {
+	cases := [][][]string{
+		nil,
+		{{}},
+		{{"not-a-url"}},
+		{{"ftp://host:1"}},
+	}
+	for _, topo := range cases {
+		if _, err := New(Config{Topology: topo, ProbeInterval: -1}); err == nil {
+			t.Errorf("New accepted topology %v", topo)
+		}
+	}
+	rt, err := New(Config{Topology: [][]string{{"http://localhost:1/"}}, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.shards[0][0].url != "http://localhost:1" {
+		t.Errorf("trailing slash not stripped: %q", rt.shards[0][0].url)
+	}
+}

@@ -1,0 +1,348 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/internal/qserv"
+	"github.com/pbitree/pbitree/internal/shard"
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// This file merges per-node responses with the exact semantics
+// shard.Engine applies in process — the randomized equivalence tests hold
+// the two implementations to the same answers. Counts, I/O and predicted
+// I/O sum across shards; algorithm names "+"-join in shard order
+// (shard.MergeAlgo); path-match codes merge into global document order
+// (shard.SortDocOrder); and the response WallTime is the fan-out envelope
+// measured here, not the per-shard sum.
+
+// statusClientClosedRequest mirrors qserv's 499 convention.
+const statusClientClosedRequest = 499
+
+// writeError renders the JSON error envelope (same shape as the nodes').
+func (rt *Router) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	rt.met.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)}) //nolint:errcheck // best-effort error body
+}
+
+// writeUpstreamFailure maps a fan-out failure onto the router's status
+// vocabulary: definitive node statuses forward verbatim, context failures
+// become 504/499 exactly as qserv.Classify would map them on a node, an
+// exhausted shard becomes 503 with Retry-After, and anything else is a
+// 502 (the router itself is fine; upstream was not).
+func (rt *Router) writeUpstreamFailure(w http.ResponseWriter, what string, err error) {
+	var se *statusError
+	if errors.As(err, &se) {
+		if se.status == http.StatusGatewayTimeout {
+			rt.met.timeouts.Add(1)
+		}
+		rt.met.errors.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(se.status)
+		w.Write(se.body) //nolint:errcheck // best-effort error body
+		return
+	}
+	switch containment.Classify(err) {
+	case containment.FailDeadline:
+		rt.met.timeouts.Add(1)
+		rt.writeError(w, http.StatusGatewayTimeout, "%s timed out: %v", what, err)
+	case containment.FailCanceled:
+		rt.met.canceled.Add(1)
+		rt.writeError(w, statusClientClosedRequest, "%s canceled by client", what)
+	default:
+		var ue *unavailableError
+		if errors.As(err, &ue) {
+			w.Header().Set("Retry-After", "1")
+			rt.writeError(w, http.StatusServiceUnavailable, "%v", ue)
+			return
+		}
+		rt.writeError(w, http.StatusBadGateway, "%s failed upstream: %v", what, err)
+	}
+}
+
+// writePayload sends a rendered JSON payload, marking cache disposition.
+func (rt *Router) writePayload(w http.ResponseWriter, payload []byte, cached bool, start time.Time) {
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(payload) //nolint:errcheck // client gone; nothing to do
+	rt.met.observe(time.Since(start))
+}
+
+// handleJoin serves GET /join?anc=TAG&desc=TAG[&algo=NAME] by fanning the
+// join out to every shard group and merging the responses.
+func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodGet {
+		rt.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	anc, desc := r.URL.Query().Get("anc"), r.URL.Query().Get("desc")
+	if anc == "" || desc == "" {
+		rt.writeError(w, http.StatusBadRequest, "anc and desc query parameters are required")
+		return
+	}
+	algoName := r.URL.Query().Get("algo")
+	alg, ok := containment.ParseAlgorithm(algoName)
+	if !ok {
+		rt.writeError(w, http.StatusBadRequest, "unknown algorithm %q (accepted: %s)",
+			algoName, strings.Join(containment.AlgorithmNames(), ", "))
+		return
+	}
+	qctx, cancel, err := rt.requestContext(r)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	if err := qctx.Err(); err != nil {
+		rt.writeUpstreamFailure(w, "join", err)
+		return
+	}
+	key := fmt.Sprintf("%d\x00join\x00%s\x00%s\x00%d", rt.epoch.Load(), anc, desc, alg)
+	if payload, ok := rt.lookup(key); ok {
+		rt.writePayload(w, payload, true, start)
+		return
+	}
+
+	vals := url.Values{"anc": {anc}, "desc": {desc}}
+	if algoName != "" {
+		vals.Set("algo", algoName)
+	}
+	replies, ferr := rt.fanout(qctx, "/join", vals, w.Header().Get("X-Trace-Id"))
+	if ferr != nil {
+		rt.writeUpstreamFailure(w, "join", ferr)
+		return
+	}
+	merged := qserv.JoinResponse{Anc: anc, Desc: desc}
+	for _, rep := range replies {
+		var jr qserv.JoinResponse
+		if err := json.Unmarshal(rep.body, &jr); err != nil {
+			rt.writeError(w, http.StatusBadGateway,
+				"join: shard %d (%s) returned an undecodable payload: %v", rep.nd.shard, rep.nd.url, err)
+			return
+		}
+		merged.Count += jr.Count
+		merged.FalseHits += jr.FalseHits
+		merged.PageIO += jr.PageIO
+		merged.SeqIO += jr.SeqIO
+		merged.PredictedIO += jr.PredictedIO
+		merged.VirtualUS += jr.VirtualUS
+		merged.Algorithm = shard.MergeAlgo(merged.Algorithm, jr.Algorithm)
+	}
+	// Shards ran concurrently: the envelope is the honest wall time, like
+	// shard.Engine's merge (VirtualUS keeps the sum — aggregate I/O work).
+	merged.WallUS = time.Since(start).Microseconds()
+	payload := mustJSON(merged)
+	rt.store(key, payload)
+	rt.writePayload(w, payload, false, start)
+}
+
+// handleQuery serves GET /query?path=//a//b//c: every shard node runs the
+// whole chain on its document subset (exact, because a containment chain
+// never leaves one document), and the router merges counts, per-step
+// reports and the final match set. Nodes are asked for the router's own
+// truncation budget (?limit=), so the merged first-K codes in global
+// document order are exact even when a single shard holds more than K.
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodGet {
+		rt.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	expr := r.URL.Query().Get("path")
+	if expr == "" {
+		rt.writeError(w, http.StatusBadRequest, "path query parameter is required")
+		return
+	}
+	steps, err := containment.ParsePath(expr)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	canon, _, err := qserv.CanonicalPath(steps)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	qctx, cancel, err := rt.requestContext(r)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	if err := qctx.Err(); err != nil {
+		rt.writeUpstreamFailure(w, "path query", err)
+		return
+	}
+	key := fmt.Sprintf("%d\x00path\x00%s\x00%d", rt.epoch.Load(), canon, rt.cfg.MaxCodes)
+	if payload, ok := rt.lookup(key); ok {
+		rt.writePayload(w, payload, true, start)
+		return
+	}
+
+	vals := url.Values{"path": {canon}, "limit": {strconv.Itoa(rt.cfg.MaxCodes)}}
+	replies, ferr := rt.fanout(qctx, "/query", vals, w.Header().Get("X-Trace-Id"))
+	if ferr != nil {
+		rt.writeUpstreamFailure(w, "path query", ferr)
+		return
+	}
+	resp := qserv.QueryResponse{Path: canon}
+	var codes []pbicode.Code
+	for _, rep := range replies {
+		var qr qserv.QueryResponse
+		if err := json.Unmarshal(rep.body, &qr); err != nil {
+			rt.writeError(w, http.StatusBadGateway,
+				"path query: shard %d (%s) returned an undecodable payload: %v", rep.nd.shard, rep.nd.url, err)
+			return
+		}
+		resp.Count += qr.Count
+		for _, c := range qr.Codes {
+			codes = append(codes, pbicode.Code(c))
+		}
+		resp.PageIO += qr.PageIO
+		resp.VirtualUS += qr.VirtualUS
+		for i, st := range qr.Steps {
+			for len(resp.Steps) <= i {
+				resp.Steps = append(resp.Steps, qserv.PathStep{Anc: st.Anc, Desc: st.Desc})
+			}
+			resp.Steps[i].Matches += st.Matches
+			resp.Steps[i].Algorithm = shard.MergeAlgo(resp.Steps[i].Algorithm, st.Algorithm)
+		}
+	}
+	// Each node returned its shard's first MaxCodes matches in document
+	// order; the global first MaxCodes are a subset of their union.
+	shard.SortDocOrder(codes)
+	n := len(codes)
+	if n > rt.cfg.MaxCodes {
+		n = rt.cfg.MaxCodes
+	}
+	resp.Truncated = resp.Count > n
+	resp.Codes = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		resp.Codes[i] = uint64(codes[i])
+	}
+	resp.WallUS = time.Since(start).Microseconds()
+	payload := mustJSON(resp)
+	rt.store(key, payload)
+	rt.writePayload(w, payload, false, start)
+}
+
+// handleRelations serves GET /relations: the union catalog, with element
+// and page counts summed across shards — the same view shard.Engine's
+// sharded relations present in process.
+func (rt *Router) handleRelations(w http.ResponseWriter, r *http.Request) {
+	replies, err := rt.fanout(r.Context(), "/relations", url.Values{}, w.Header().Get("X-Trace-Id"))
+	if err != nil {
+		rt.writeUpstreamFailure(w, "relations", err)
+		return
+	}
+	type acc struct {
+		info qserv.RelationInfo
+		seen bool
+	}
+	merged := map[string]*acc{}
+	for _, rep := range replies {
+		var rels []qserv.RelationInfo
+		if err := json.Unmarshal(rep.body, &rels); err != nil {
+			rt.writeError(w, http.StatusBadGateway,
+				"relations: shard %d (%s) returned an undecodable payload: %v", rep.nd.shard, rep.nd.url, err)
+			return
+		}
+		for _, ri := range rels {
+			a := merged[ri.Name]
+			if a == nil {
+				a = &acc{}
+				merged[ri.Name] = a
+			}
+			if !a.seen {
+				a.info = ri
+				a.seen = true
+				continue
+			}
+			a.info.Elements += ri.Elements
+			a.info.Pages += ri.Pages
+			a.info.Sorted = a.info.Sorted && ri.Sorted
+		}
+	}
+	out := make([]qserv.RelationInfo, 0, len(merged))
+	for _, a := range merged {
+		out = append(out, a.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(mustJSON(out)) //nolint:errcheck // client gone; nothing to do
+}
+
+// handleHealthz serves GET /healthz — router process liveness only.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{"status":"ok"}`)) //nolint:errcheck // best effort
+}
+
+// handleReadyz serves GET /readyz: the router can answer queries only
+// when every shard group has at least one healthy replica (and it is not
+// draining) — a partial fleet cannot produce exact merged answers.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if rt.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"draining"}`)) //nolint:errcheck // best effort
+		return
+	}
+	for si, group := range rt.shards {
+		ok := false
+		for _, nd := range group {
+			if nd.healthy.Load() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"status":"shard %d has no healthy replica"}`, si)
+			return
+		}
+	}
+	w.Write([]byte(`{"status":"ready"}`)) //nolint:errcheck // best effort
+}
+
+// lookup consults the epoch-keyed result cache when enabled.
+func (rt *Router) lookup(key string) ([]byte, bool) {
+	if rt.cache == nil {
+		return nil, false
+	}
+	return rt.cache.get(key)
+}
+
+// store populates the cache when enabled.
+func (rt *Router) store(key string, payload []byte) {
+	if rt.cache != nil {
+		rt.cache.put(key, payload)
+	}
+}
+
+// mustJSON marshals a response struct; the structs here cannot fail.
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return append(data, '\n')
+}

@@ -1,0 +1,393 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latRing is how many recent latencies each window retains. The router
+// keeps one window per node (feeding the adaptive hedging quantile) plus
+// one for its own end-to-end request latency; a fixed ring keeps the cost
+// per sample O(1) and the estimate representative of current behavior.
+const latRing = 2048
+
+// latBuckets are the cumulative histogram bounds (seconds) /metrics
+// exports — the same grid the nodes use, so router and node latency
+// histograms overlay directly in dashboards.
+var latBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// latWindow is a sliding latency sample plus an all-of-history histogram.
+// It does no locking of its own: every instance is guarded by its owner's
+// mutex (node.mu for per-node windows, metrics.mu for the router's).
+type latWindow struct {
+	ring [latRing]time.Duration
+	n    int // samples in ring (≤ latRing)
+	next int // ring write position
+
+	hist  []int64 // len(latBuckets)+1, lazily allocated; last slot = +Inf
+	sum   time.Duration
+	count int64
+}
+
+// observe folds one latency sample into the window and histogram.
+func (l *latWindow) observe(d time.Duration) {
+	l.ring[l.next] = d
+	l.next = (l.next + 1) % latRing
+	if l.n < latRing {
+		l.n++
+	}
+	if l.hist == nil {
+		l.hist = make([]int64, len(latBuckets)+1)
+	}
+	sec := d.Seconds()
+	slot := len(latBuckets) // +Inf
+	for i, bound := range latBuckets {
+		if sec <= bound {
+			slot = i
+			break
+		}
+	}
+	l.hist[slot]++
+	l.sum += d
+	l.count++
+}
+
+// sorted returns a sorted copy of the current window.
+func (l *latWindow) sorted() []time.Duration {
+	sample := make([]time.Duration, l.n)
+	copy(sample, l.ring[:l.n])
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	return sample
+}
+
+// quantile estimates the q-quantile of the window (0 with no samples).
+func (l *latWindow) quantile(q float64) time.Duration {
+	return percentile(l.sorted(), q)
+}
+
+// histogram copies the cumulative-histogram state for the /metrics writer.
+func (l *latWindow) histogram() (buckets []int64, sum time.Duration, count int64) {
+	buckets = make([]int64, len(latBuckets)+1)
+	copy(buckets, l.hist)
+	return buckets, l.sum, l.count
+}
+
+// percentile returns the p-quantile (0 < p ≤ 1) of a sorted sample using
+// the nearest-rank method.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// metrics aggregates the router-level counters /stats and /metrics report.
+// Per-node counters live on the nodes themselves.
+type metrics struct {
+	start time.Time
+
+	requests atomic.Int64 // completed requests (cached or fanned out)
+	errors   atomic.Int64 // requests answered with a non-2xx status
+	canceled atomic.Int64 // requests abandoned by the client (499)
+	timeouts atomic.Int64 // requests aborted by deadline expiry (504)
+	panics   atomic.Int64 // panics recovered during request handling
+
+	hedgeFires atomic.Int64 // hedge timers that fired a secondary request
+	hedgeWins  atomic.Int64 // shard answers won by the hedge request
+	failovers  atomic.Int64 // replica-to-replica retries after a failure
+
+	demotions  atomic.Int64 // healthy→unhealthy node transitions
+	promotions atomic.Int64 // unhealthy→healthy node transitions
+
+	mu  sync.Mutex
+	lat latWindow // end-to-end router request latency
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now()}
+}
+
+// observe records one completed request's latency.
+func (m *metrics) observe(d time.Duration) {
+	m.requests.Add(1)
+	m.mu.Lock()
+	m.lat.observe(d)
+	m.mu.Unlock()
+}
+
+// latencyStats is the /stats latency block (microseconds).
+type latencyStats struct {
+	Samples int   `json:"samples"`
+	P50US   int64 `json:"p50_us"`
+	P95US   int64 `json:"p95_us"`
+	P99US   int64 `json:"p99_us"`
+	MaxUS   int64 `json:"max_us"`
+}
+
+// latencySnapshot extracts the reported percentiles from the window.
+func (m *metrics) latencySnapshot() latencyStats {
+	m.mu.Lock()
+	sample := m.lat.sorted()
+	m.mu.Unlock()
+	s := latencyStats{Samples: len(sample)}
+	if len(sample) > 0 {
+		s.P50US = percentile(sample, 0.50).Microseconds()
+		s.P95US = percentile(sample, 0.95).Microseconds()
+		s.P99US = percentile(sample, 0.99).Microseconds()
+		s.MaxUS = sample[len(sample)-1].Microseconds()
+	}
+	return s
+}
+
+// nodeStat is one node's row in the /stats nodes block.
+type nodeStat struct {
+	URL          string  `json:"url"`
+	Shard        int     `json:"shard"`
+	Replica      int     `json:"replica"`
+	Healthy      bool    `json:"healthy"`
+	Probes       int64   `json:"probes"`
+	ProbeFails   int64   `json:"probe_fails"`
+	ConsecFails  int64   `json:"consec_fails"`
+	Requests     int64   `json:"requests"`
+	Failures     int64   `json:"failures"`
+	Hedges       int64   `json:"hedges"`
+	UpstreamHits int64   `json:"upstream_cache_hits"`
+	P50US        int64   `json:"p50_us"`
+	P95US        int64   `json:"p95_us"`
+	LastError    string  `json:"last_error,omitempty"`
+	LastErrAgoS  float64 `json:"last_error_ago_s,omitempty"`
+}
+
+// statsResponse is the GET /stats payload.
+type statsResponse struct {
+	UptimeS float64 `json:"uptime_s"`
+	Shards  int     `json:"shards"`
+	Epoch   int64   `json:"epoch"`
+
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Canceled int64 `json:"canceled"`
+	Timeouts int64 `json:"timeouts"`
+	Panics   int64 `json:"panics"`
+
+	HedgeFires int64 `json:"hedge_fires"`
+	HedgeWins  int64 `json:"hedge_wins"`
+	Failovers  int64 `json:"failovers"`
+	Demotions  int64 `json:"demotions"`
+	Promotions int64 `json:"promotions"`
+
+	Cache   *cacheStats  `json:"cache,omitempty"`
+	Latency latencyStats `json:"latency"`
+	Nodes   []nodeStat   `json:"nodes"`
+}
+
+// nodeStats snapshots every node's row in table order.
+func (rt *Router) nodeStats() []nodeStat {
+	out := make([]nodeStat, 0, len(rt.nodes))
+	for _, nd := range rt.nodes {
+		st := nodeStat{
+			URL: nd.url, Shard: nd.shard, Replica: nd.replica,
+			Healthy:      nd.healthy.Load(),
+			Probes:       nd.probes.Load(),
+			ProbeFails:   nd.probeFails.Load(),
+			ConsecFails:  nd.consecFails.Load(),
+			Requests:     nd.requests.Load(),
+			Failures:     nd.failures.Load(),
+			Hedges:       nd.hedges.Load(),
+			UpstreamHits: nd.upstreamHits.Load(),
+		}
+		nd.mu.Lock()
+		sample := nd.lat.sorted()
+		st.LastError = nd.lastErr
+		if !nd.lastErrAt.IsZero() {
+			st.LastErrAgoS = time.Since(nd.lastErrAt).Seconds()
+		}
+		nd.mu.Unlock()
+		if len(sample) > 0 {
+			st.P50US = percentile(sample, 0.50).Microseconds()
+			st.P95US = percentile(sample, 0.95).Microseconds()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// handleStats serves GET /stats.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := rt.met
+	resp := statsResponse{
+		UptimeS: time.Since(m.start).Seconds(),
+		Shards:  len(rt.shards),
+		Epoch:   rt.epoch.Load(),
+
+		Requests: m.requests.Load(),
+		Errors:   m.errors.Load(),
+		Canceled: m.canceled.Load(),
+		Timeouts: m.timeouts.Load(),
+		Panics:   m.panics.Load(),
+
+		HedgeFires: m.hedgeFires.Load(),
+		HedgeWins:  m.hedgeWins.Load(),
+		Failovers:  m.failovers.Load(),
+		Demotions:  m.demotions.Load(),
+		Promotions: m.promotions.Load(),
+
+		Latency: m.latencySnapshot(),
+		Nodes:   rt.nodeStats(),
+	}
+	if rt.cache != nil {
+		cs := rt.cache.snapshot()
+		resp.Cache = &cs
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(mustJSON(resp)) //nolint:errcheck // client gone; nothing to do
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (0.0.4), hand-rendered like the nodes' — the repository stays
+// dependency-free. Node labels come from the topology fixed at startup,
+// never from request input, so series cardinality is bounded.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.writeMetrics(w)
+}
+
+// family emits the HELP/TYPE preamble of one metric family.
+func family(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// writeHistogram renders one histogram family from copied window state.
+func writeHistogram(w io.Writer, name, labels string, buckets []int64, sum time.Duration, count int64) {
+	var cum int64
+	for i, bound := range latBuckets {
+		cum += buckets[i]
+		if labels == "" {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, formatBound(bound), cum)
+		}
+	}
+	cum += buckets[len(latBuckets)]
+	if labels == "" {
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", name, sum.Seconds())
+		fmt.Fprintf(w, "%s_count %d\n", name, count)
+	} else {
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, sum.Seconds())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, count)
+	}
+}
+
+// writeMetrics renders every family. Families are always present (HELP and
+// TYPE lines) even before any sample exists, so scrapers and smoke checks
+// see a stable schema.
+func (rt *Router) writeMetrics(w io.Writer) {
+	m := rt.met
+
+	family(w, "pbirouter_uptime_seconds", "Seconds since the router started.", "gauge")
+	fmt.Fprintf(w, "pbirouter_uptime_seconds %g\n", time.Since(m.start).Seconds())
+	family(w, "pbirouter_shards", "Shard groups in the node table.", "gauge")
+	fmt.Fprintf(w, "pbirouter_shards %d\n", len(rt.shards))
+	family(w, "pbirouter_epoch", "Node-table epoch (bumps on every health transition).", "gauge")
+	fmt.Fprintf(w, "pbirouter_epoch %d\n", rt.epoch.Load())
+
+	family(w, "pbirouter_requests_total", "Completed router requests (cached or fanned out).", "counter")
+	fmt.Fprintf(w, "pbirouter_requests_total %d\n", m.requests.Load())
+	family(w, "pbirouter_errors_total", "Requests answered with a non-2xx status.", "counter")
+	fmt.Fprintf(w, "pbirouter_errors_total %d\n", m.errors.Load())
+	family(w, "pbirouter_canceled_total", "Requests abandoned by the client before completion (499).", "counter")
+	fmt.Fprintf(w, "pbirouter_canceled_total %d\n", m.canceled.Load())
+	family(w, "pbirouter_timeouts_total", "Requests aborted by deadline expiry (504).", "counter")
+	fmt.Fprintf(w, "pbirouter_timeouts_total %d\n", m.timeouts.Load())
+	family(w, "pbirouter_panics_total", "Panics recovered during request handling.", "counter")
+	fmt.Fprintf(w, "pbirouter_panics_total %d\n", m.panics.Load())
+
+	family(w, "pbirouter_hedge_fires_total", "Hedge timers that fired a secondary replica request.", "counter")
+	fmt.Fprintf(w, "pbirouter_hedge_fires_total %d\n", m.hedgeFires.Load())
+	family(w, "pbirouter_hedge_wins_total", "Shard answers won by the hedge request.", "counter")
+	fmt.Fprintf(w, "pbirouter_hedge_wins_total %d\n", m.hedgeWins.Load())
+	family(w, "pbirouter_failovers_total", "Replica-to-replica retries after a retryable failure.", "counter")
+	fmt.Fprintf(w, "pbirouter_failovers_total %d\n", m.failovers.Load())
+	family(w, "pbirouter_node_demotions_total", "Healthy-to-unhealthy node transitions.", "counter")
+	fmt.Fprintf(w, "pbirouter_node_demotions_total %d\n", m.demotions.Load())
+	family(w, "pbirouter_node_promotions_total", "Unhealthy-to-healthy node transitions.", "counter")
+	fmt.Fprintf(w, "pbirouter_node_promotions_total %d\n", m.promotions.Load())
+
+	var cs cacheStats
+	if rt.cache != nil {
+		cs = rt.cache.snapshot()
+	}
+	family(w, "pbirouter_cache_hits_total", "Merged-result cache hits.", "counter")
+	fmt.Fprintf(w, "pbirouter_cache_hits_total %d\n", cs.Hits)
+	family(w, "pbirouter_cache_misses_total", "Merged-result cache misses.", "counter")
+	fmt.Fprintf(w, "pbirouter_cache_misses_total %d\n", cs.Misses)
+	family(w, "pbirouter_cache_evicted_total", "Merged-result cache LRU evictions.", "counter")
+	fmt.Fprintf(w, "pbirouter_cache_evicted_total %d\n", cs.Evicted)
+	family(w, "pbirouter_cache_entries", "Merged-result cache resident entries.", "gauge")
+	fmt.Fprintf(w, "pbirouter_cache_entries %d\n", cs.Entries)
+
+	m.mu.Lock()
+	buckets, sum, count := m.lat.histogram()
+	m.mu.Unlock()
+	family(w, "pbirouter_request_latency_seconds", "End-to-end router request latency.", "histogram")
+	writeHistogram(w, "pbirouter_request_latency_seconds", "", buckets, sum, count)
+
+	family(w, "pbirouter_node_healthy", "Node health (1 healthy, 0 demoted).", "gauge")
+	for _, nd := range rt.nodes {
+		v := 0
+		if nd.healthy.Load() {
+			v = 1
+		}
+		fmt.Fprintf(w, "pbirouter_node_healthy{node=%q,shard=\"%d\"} %d\n", nd.name(), nd.shard, v)
+	}
+	family(w, "pbirouter_node_requests_total", "Proxied requests issued per node.", "counter")
+	for _, nd := range rt.nodes {
+		fmt.Fprintf(w, "pbirouter_node_requests_total{node=%q,shard=\"%d\"} %d\n", nd.name(), nd.shard, nd.requests.Load())
+	}
+	family(w, "pbirouter_node_failures_total", "Retryable node-call failures per node.", "counter")
+	for _, nd := range rt.nodes {
+		fmt.Fprintf(w, "pbirouter_node_failures_total{node=%q,shard=\"%d\"} %d\n", nd.name(), nd.shard, nd.failures.Load())
+	}
+	family(w, "pbirouter_node_hedges_total", "Hedge (secondary) requests issued per node.", "counter")
+	for _, nd := range rt.nodes {
+		fmt.Fprintf(w, "pbirouter_node_hedges_total{node=%q,shard=\"%d\"} %d\n", nd.name(), nd.shard, nd.hedges.Load())
+	}
+	family(w, "pbirouter_node_probe_failures_total", "Failed health probes per node.", "counter")
+	for _, nd := range rt.nodes {
+		fmt.Fprintf(w, "pbirouter_node_probe_failures_total{node=%q,shard=\"%d\"} %d\n", nd.name(), nd.shard, nd.probeFails.Load())
+	}
+	family(w, "pbirouter_node_upstream_cache_hits_total", "Node answers served from the node's own cache.", "counter")
+	for _, nd := range rt.nodes {
+		fmt.Fprintf(w, "pbirouter_node_upstream_cache_hits_total{node=%q,shard=\"%d\"} %d\n", nd.name(), nd.shard, nd.upstreamHits.Load())
+	}
+	family(w, "pbirouter_node_latency_seconds", "Successful node-call latency per node.", "histogram")
+	for _, nd := range rt.nodes {
+		nd.mu.Lock()
+		nb, ns, nc := nd.lat.histogram()
+		nd.mu.Unlock()
+		labels := fmt.Sprintf("node=%q,shard=\"%d\"", nd.name(), nd.shard)
+		writeHistogram(w, "pbirouter_node_latency_seconds", labels, nb, ns, nc)
+	}
+}
+
+// formatBound renders a histogram bound the canonical Prometheus way.
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

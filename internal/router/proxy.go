@@ -1,0 +1,302 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"github.com/pbitree/pbitree/containment"
+)
+
+// This file is the per-shard call machinery: pick a replica, propagate
+// the deadline and trace ID, hedge against stragglers, fail over across
+// replicas on retryable failures, and classify what's left when every
+// replica is exhausted. The cross-shard fan-out at the bottom mirrors
+// shard.Engine.runShards: first real error cancels the siblings, and
+// knock-on cancellations never mask the failure that caused them.
+
+// nodeReply is one node call's outcome.
+type nodeReply struct {
+	nd      *node
+	status  int    // HTTP status; 0 on transport error
+	body    []byte // response body (responses are small rendered JSON)
+	cache   string // X-Cache response header
+	err     error  // transport-level error
+	hedged  bool   // this call was a hedge (secondary) fire
+	latency time.Duration
+}
+
+// retryable reports whether another replica might answer where this one
+// failed: transport errors and the statuses that mean "this node, right
+// now" (500 internal, 502, 503 shedding) — as opposed to statuses that are
+// a property of the request itself (400, 404) or of the shared deadline
+// (504), which every replica would reproduce.
+func (r nodeReply) retryable() bool {
+	if r.err != nil {
+		return true
+	}
+	switch r.status {
+	case http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// statusError carries a definitive non-200 node response up through the
+// fan-out so the router can forward it verbatim (the node's JSON error
+// vocabulary is the router's own).
+type statusError struct {
+	status int
+	body   []byte
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("node answered %d: %s", e.status, e.body)
+}
+
+// unavailableError reports a shard with no replica able to answer — the
+// router's 503.
+type unavailableError struct {
+	shard int
+	last  string // last failure seen, for the error body
+}
+
+func (e *unavailableError) Error() string {
+	return fmt.Sprintf("shard %d unavailable: %s", e.shard, e.last)
+}
+
+// callNode issues one GET to a node, propagating the trace ID and the
+// remaining deadline budget (via the node's ?timeout= clamp).
+func (rt *Router) callNode(ctx context.Context, nd *node, path string, vals url.Values, traceID string, hedged bool) nodeReply {
+	nd.requests.Add(1)
+	if hedged {
+		nd.hedges.Add(1)
+	}
+	vals = cloneValues(vals)
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nodeReply{nd: nd, err: context.DeadlineExceeded, hedged: hedged}
+		}
+		vals.Set("timeout", remaining.Round(time.Microsecond).String())
+	}
+	u := nd.url + path
+	if enc := vals.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nodeReply{nd: nd, err: err, hedged: hedged}
+	}
+	req.Header.Set("X-Trace-Id", traceID)
+	start := time.Now()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		nd.failures.Add(1)
+		return nodeReply{nd: nd, err: err, hedged: hedged, latency: time.Since(start)}
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lat := time.Since(start)
+	if err != nil {
+		// Died mid-stream: the connection broke after the status line.
+		nd.failures.Add(1)
+		return nodeReply{nd: nd, err: fmt.Errorf("read body: %w", err), hedged: hedged, latency: lat}
+	}
+	r := nodeReply{
+		nd: nd, status: resp.StatusCode, body: body,
+		cache: resp.Header.Get("X-Cache"), hedged: hedged, latency: lat,
+	}
+	if r.status == http.StatusOK {
+		if r.cache == "hit" {
+			nd.upstreamHits.Add(1)
+		}
+		nd.mu.Lock()
+		nd.lat.observe(lat)
+		nd.mu.Unlock()
+	} else if r.retryable() {
+		nd.failures.Add(1)
+	}
+	return r
+}
+
+// callShard answers one request for one shard: primary call on the best
+// candidate, a hedge fire if the primary outlives the hedging delay,
+// sequential failover across the remaining candidates on retryable
+// failures. Each replica is tried at most once. The first definitive
+// response wins and cancels the others. On exhaustion the error is an
+// *unavailableError (or the ctx error when the caller's context died).
+func (rt *Router) callShard(ctx context.Context, si int, path string, vals url.Values, traceID string) (nodeReply, error) {
+	cands := rt.candidates(si)
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+
+	results := make(chan nodeReply, len(cands)) // buffered: losers never block
+	inflight, next := 0, 0
+	launch := func(hedged bool) {
+		nd := cands[next]
+		next++
+		inflight++
+		go func() {
+			results <- rt.callNode(actx, nd, path, vals, traceID, hedged)
+		}()
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	if delay := rt.hedgeDelay(cands[0]); delay >= 0 && next < len(cands) {
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	var last nodeReply
+	for inflight > 0 {
+		select {
+		case r := <-results:
+			inflight--
+			if r.err == nil && !r.retryable() {
+				acancel() // first definitive answer wins; cancel the loser
+				if r.hedged {
+					rt.met.hedgeWins.Add(1)
+				}
+				return r, nil
+			}
+			// Retryable failure. A canceled attempt after a sibling already
+			// won can't reach here (the win returns immediately), so this is
+			// a real failure unless the caller's own context died.
+			if ctx.Err() != nil {
+				return nodeReply{}, ctx.Err()
+			}
+			last = r
+			if r.err != nil && !errors.Is(r.err, context.Canceled) {
+				rt.demoteNow(r.nd, fmt.Sprintf("request: %v", r.err))
+			} else if r.status != 0 {
+				r.nd.noteError(fmt.Sprintf("request: node answered %d", r.status))
+			}
+			if next < len(cands) {
+				rt.met.failovers.Add(1)
+				launch(false)
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(cands) {
+				rt.met.hedgeFires.Add(1)
+				launch(true)
+			}
+		case <-ctx.Done():
+			// Caller gone or deadline passed: abandon the shard. The
+			// buffered channel lets in-flight goroutines finish and exit.
+			return nodeReply{}, ctx.Err()
+		}
+	}
+	return nodeReply{}, &unavailableError{shard: si, last: failureDetail(last)}
+}
+
+// failureDetail renders the last failure of an exhausted shard.
+func failureDetail(r nodeReply) string {
+	switch {
+	case r.err != nil:
+		return r.err.Error()
+	case r.status != 0:
+		msg := decodeError(r.body)
+		if msg == "" {
+			return fmt.Sprintf("node answered %d", r.status)
+		}
+		return fmt.Sprintf("node answered %d: %s", r.status, msg)
+	default:
+		return "no replicas configured"
+	}
+}
+
+// decodeError extracts the message from a node's JSON error envelope.
+func decodeError(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil {
+		return e.Error
+	}
+	return ""
+}
+
+// fanout runs the same request against every shard concurrently and
+// returns the per-shard replies (index = shard). Like shard.Engine's
+// in-process fan-out, the first error cancels the remaining shards, and a
+// real failure is reported in preference to the knock-on cancellations it
+// causes.
+func (rt *Router) fanout(ctx context.Context, path string, vals url.Values, traceID string) ([]nodeReply, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	replies := make([]nodeReply, len(rt.shards))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	report := func(err error) {
+		mu.Lock()
+		if firstErr == nil ||
+			(containment.Classify(firstErr) == containment.FailCanceled &&
+				containment.Classify(err) != containment.FailCanceled) {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for si := range rt.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			r, err := rt.callShard(cctx, si, path, vals, traceID)
+			if err == nil && r.status != http.StatusOK {
+				err = &statusError{status: r.status, body: r.body}
+			}
+			replies[si] = r
+			if err != nil {
+				report(err)
+			}
+		}(si)
+	}
+	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return replies, firstErr
+}
+
+// requestContext derives one request's execution context, mirroring
+// qserv's semantics: the client's connection context bounded by
+// Config.QueryTimeout and/or an explicit ?timeout=, the explicit value
+// clamped to the configured one.
+func (rt *Router) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := rt.cfg.QueryTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, nil, fmt.Errorf("invalid timeout %q (want a positive Go duration, e.g. 500ms)", v)
+		}
+		if timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		return ctx, cancel, nil
+	}
+	return r.Context(), func() {}, nil
+}
+
+// cloneValues copies a url.Values so per-attempt mutations (the timeout
+// budget) never race across goroutines.
+func cloneValues(v url.Values) url.Values {
+	out := make(url.Values, len(v)+1)
+	for k, vs := range v {
+		out[k] = append([]string(nil), vs...)
+	}
+	return out
+}

@@ -289,11 +289,11 @@ func (e *Engine) PathContext(ctx context.Context, tags []string) ([]pbicode.Code
 				steps = append(steps, PathStep{Anc: tags[len(steps)], Desc: tags[len(steps)+1]})
 			}
 			steps[st.idx].Matches += st.matches
-			steps[st.idx].Algorithm = mergeAlgo(steps[st.idx].Algorithm, st.algorithm)
+			steps[st.idx].Algorithm = MergeAlgo(steps[st.idx].Algorithm, st.algorithm)
 		}
 		analyses = append(analyses, out.analyses...)
 	}
-	sortDocOrder(codes)
+	SortDocOrder(codes)
 	if err != nil {
 		e.ReleaseTemp() //nolint:errcheck // best-effort cleanup on error
 		return codes, steps, analyses, err
@@ -315,18 +315,22 @@ type chainOut struct {
 	analyses []*containment.Analysis
 }
 
-// mergeAlgo accumulates a distinct algorithm name into a "+"-joined list.
-func mergeAlgo(list, name string) string {
+// MergeAlgo accumulates a distinct algorithm name into a "+"-joined list —
+// the convention merged results use when partitions legitimately picked
+// different algorithms. Exported for the network-level coordinator
+// (internal/router), which merges per-node responses with the same
+// semantics this package uses in process.
+func MergeAlgo(list, name string) string {
 	if name == "" {
 		return list
 	}
 	if list == "" {
 		return name
 	}
-	for _, have := range strings.Split(list, "+") {
-		if have == name {
-			return list
-		}
+	// A per-shard name can itself be composite ("MHCJ+Rollup"), so dedupe
+	// on whole names: name is present only as a full "+"-bounded run.
+	if strings.Contains("+"+list+"+", "+"+name+"+") {
+		return list
 	}
 	return list + "+" + name
 }
@@ -404,9 +408,12 @@ func (e *Engine) chainShard(ctx context.Context, i int, tags []string) (out *cha
 	panic("unreachable")
 }
 
-// sortDocOrder orders codes as a document traversal would: by region
-// start, ancestors before their descendants.
-func sortDocOrder(codes []pbicode.Code) {
+// SortDocOrder orders codes as a document traversal would: by region
+// start, ancestors before their descendants. Exported because every
+// coordinator that merges per-partition match sets (this package, qserv's
+// solo path evaluator, internal/router's network merge) must produce the
+// same canonical order.
+func SortDocOrder(codes []pbicode.Code) {
 	sort.Slice(codes, func(i, j int) bool {
 		si, sj := codes[i].Start(), codes[j].Start()
 		if si != sj {

@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# Router smoke test: split a multi-document database into 3 shards, serve
+# each shard from its own pbiserve node (shard 0 with two replicas), front
+# the fleet with pbirouter, and verify that (a) every routed answer
+# matches a solo pbiserve over the unsplit database, (b) killing shard 0's
+# primary replica yields zero failed queries (failover), (c) the router
+# 503s a shard with no replica left, and (d) /stats and /metrics expose
+# the node table. CI runs this via `make router-smoke`.
+set -euo pipefail
+
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "router-smoke: building cmd/... binaries"
+go build -o "$tmp/bin/" ./cmd/...
+
+echo "router-smoke: generating a multi-document corpus"
+for seed in 1 2 3; do
+    "$tmp/bin/pbigen" -kind xmark -scale 0.004 -seed "$seed" -out "$tmp/doc$seed.xml"
+done
+"$tmp/bin/pbidb" build -db "$tmp/smoke.db" "$tmp"/doc1.xml "$tmp"/doc2.xml "$tmp"/doc3.xml
+
+nshards=3
+echo "router-smoke: splitting into $nshards shards"
+"$tmp/bin/pbidb" shard -db "$tmp/smoke.db" -shards "$nshards"
+
+wait_url() { # url pid what
+    local url=$1 pid=$2 what=$3
+    for _ in $(seq 1 50); do
+        curl -fs "$url" >/dev/null 2>&1 && return 0
+        kill -0 "$pid" 2>/dev/null || { echo "router-smoke: $what died during startup" >&2; exit 1; }
+        sleep 0.2
+    done
+    curl -fs "$url" >/dev/null
+}
+
+# Solo oracle over the unsplit database, plus one node per shard file —
+# shard 0 twice (two replicas of identical data).
+solo_addr=127.0.0.1:18441
+n0a_addr=127.0.0.1:18442
+n0b_addr=127.0.0.1:18443
+n1_addr=127.0.0.1:18444
+n2_addr=127.0.0.1:18445
+router_addr=127.0.0.1:18446
+
+"$tmp/bin/pbiserve" -db "$tmp/smoke.db" -addr "$solo_addr" -workers 2 -cache -1 &
+solo=$!; pids+=("$solo")
+"$tmp/bin/pbiserve" -db "$tmp/smoke.db.shards/shard-0.db" -addr "$n0a_addr" -workers 1 -cache -1 &
+n0a=$!; pids+=("$n0a")
+"$tmp/bin/pbiserve" -db "$tmp/smoke.db.shards/shard-0.db" -addr "$n0b_addr" -workers 1 -cache -1 &
+n0b=$!; pids+=("$n0b")
+"$tmp/bin/pbiserve" -db "$tmp/smoke.db.shards/shard-1.db" -addr "$n1_addr" -workers 1 -cache -1 &
+pids+=("$!")
+"$tmp/bin/pbiserve" -db "$tmp/smoke.db.shards/shard-2.db" -addr "$n2_addr" -workers 1 -cache -1 &
+pids+=("$!")
+for a in "$solo_addr" "$n0a_addr" "$n0b_addr" "$n1_addr" "$n2_addr"; do
+    wait_url "http://$a/readyz" "${pids[0]}" "pbiserve $a"
+done
+
+"$tmp/bin/pbirouter" \
+    -nodes "http://$n0a_addr|http://$n0b_addr,http://$n1_addr,http://$n2_addr" \
+    -addr "$router_addr" -cache -1 -probe 200ms -probe-fails 1 &
+router=$!; pids+=("$router")
+wait_url "http://$router_addr/readyz" "$router" "pbirouter"
+
+echo "router-smoke: comparing routed answers against the solo server"
+# norm strips what legitimately differs (I/O accounting happens per node,
+# wall time per envelope); counts and result codes must match exactly.
+norm() { python3 -c '
+import json,sys
+r = json.load(sys.stdin)
+for k in ("page_io","seq_io","predicted_io","virtual_us","wall_us","steps","false_hits","algorithm"):
+    r.pop(k, None)
+print(json.dumps(r, sort_keys=True))'; }
+
+queries="/join?anc=item&desc=text
+/join?anc=person&desc=emailaddress
+/join?anc=item&desc=text&algo=stacktree
+/query?path=//item//parlist//text
+/query?path=//people//person"
+for q in $queries; do
+    a=$(curl -fs "http://$solo_addr$q")
+    b=$(curl -fs "http://$router_addr$q")
+    na=$(echo "$a" | norm)
+    nb=$(echo "$b" | norm)
+    [ "$na" = "$nb" ] || {
+        echo "router-smoke: $q differs between solo and routed:" >&2
+        echo "  solo:   $na" >&2
+        echo "  routed: $nb" >&2
+        exit 1
+    }
+done
+
+echo "router-smoke: driving load through the router (pbiload -targets)"
+"$tmp/bin/pbiload" -targets "http://$router_addr,http://$router_addr" \
+    -queries item/text,person/emailaddress -paths "//item//parlist//text" \
+    -c 4 -n 200 -stats=false
+
+echo "router-smoke: killing shard 0's primary replica (failover)"
+kill "$n0a"
+wait "$n0a" 2>/dev/null || true
+# Every query must keep succeeding through the surviving replica; the
+# first may fail over in-band, none may surface an error.
+for i in $(seq 1 30); do
+    curl -fs "http://$router_addr/join?anc=item&desc=text" >/dev/null || {
+        echo "router-smoke: query $i failed after killing one replica" >&2; exit 1; }
+done
+
+echo "router-smoke: verifying the routed answers still match"
+for q in $queries; do
+    b=$(curl -fs "http://$router_addr$q")
+    a=$(curl -fs "http://$solo_addr$q")
+    [ "$(echo "$a" | norm)" = "$(echo "$b" | norm)" ] || {
+        echo "router-smoke: $q wrong after failover" >&2; exit 1; }
+done
+
+echo "router-smoke: checking /stats node table and failover counters"
+stats=$(curl -fs "http://$router_addr/stats")
+echo "$stats" | python3 -c '
+import json,sys
+s = json.load(sys.stdin)
+nodes = s["nodes"]
+assert len(nodes) == 4, f"want 4 nodes, got {len(nodes)}"
+assert s["shards"] == 3, s["shards"]
+down = [n for n in nodes if not n["healthy"]]
+assert len(down) == 1, f"want exactly the killed node down, got {down}"
+assert down[0]["shard"] == 0, down[0]
+assert s["failovers"] >= 1 or s["demotions"] >= 1, "no failover/demotion recorded"
+' || { echo "router-smoke: bad /stats: $stats" >&2; exit 1; }
+
+echo "router-smoke: checking /metrics node families"
+metrics=$(curl -fs "http://$router_addr/metrics")
+echo "$metrics" | grep -q "^pbirouter_shards $nshards\$" || {
+    echo "router-smoke: /metrics missing pbirouter_shards $nshards" >&2; exit 1; }
+echo "$metrics" | grep -q "^pbirouter_node_healthy{node=\"http://$n0a_addr\",shard=\"0\"} 0\$" || {
+    echo "router-smoke: killed node not reported unhealthy" >&2; exit 1; }
+echo "$metrics" | grep -q "^pbirouter_node_requests_total{" || {
+    echo "router-smoke: /metrics missing per-node request series" >&2; exit 1; }
+
+echo "router-smoke: killing shard 0's last replica (503 vocabulary)"
+kill "$n0b"
+wait "$n0b" 2>/dev/null || true
+sleep 0.6  # let the prober notice
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$router_addr/join?anc=item&desc=text")
+[ "$code" = "503" ] || {
+    echo "router-smoke: dead shard answered $code, want 503" >&2; exit 1; }
+ready=$(curl -s -o /dev/null -w '%{http_code}' "http://$router_addr/readyz")
+[ "$ready" = "503" ] || {
+    echo "router-smoke: /readyz with a dead shard answered $ready, want 503" >&2; exit 1; }
+
+kill -0 "$router" 2>/dev/null || { echo "router-smoke: pbirouter crashed" >&2; exit 1; }
+kill -INT "$router" && wait "$router" || true
+echo "router-smoke: OK"
