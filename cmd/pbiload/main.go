@@ -379,6 +379,7 @@ func reportTargets(bases []string, results []result) {
 		requests, ok, transportErrs int
 		hits, misses                int
 		byStatus                    map[int]int
+		lats                        []time.Duration
 	}
 	stats := make([]*tstat, len(bases))
 	for i := range stats {
@@ -394,6 +395,7 @@ func reportTargets(bases []string, results []result) {
 			t.byStatus[r.status]++
 		default:
 			t.ok++
+			t.lats = append(t.lats, r.latency)
 			switch r.cache {
 			case "hit":
 				t.hits++
@@ -409,6 +411,14 @@ func reportTargets(bases []string, results []result) {
 			fmt.Printf("  cache-hit=%.1f%%", 100*float64(t.hits)/float64(t.hits+t.misses))
 		}
 		fmt.Println()
+		// Per-target percentiles over successful requests: side-by-side
+		// targets (node vs router, replica vs replica) compare directly.
+		if len(t.lats) > 0 {
+			sort.Slice(t.lats, func(a, b int) bool { return t.lats[a] < t.lats[b] })
+			fmt.Printf("pbiload:   %-32s latency p50=%v p95=%v p99=%v max=%v\n",
+				b, pct(t.lats, 0.50), pct(t.lats, 0.95), pct(t.lats, 0.99),
+				t.lats[len(t.lats)-1].Round(time.Microsecond))
+		}
 		statuses := make([]int, 0, len(t.byStatus))
 		for status := range t.byStatus {
 			statuses = append(statuses, status)

@@ -9,7 +9,7 @@
 //	pbirouter -nodes URL[|URL...],URL[|URL...],... [-addr :8070]
 //	          [-cache 1024] [-timeout 0] [-probe 2s] [-probe-timeout 1s]
 //	          [-probe-fails 2] [-hedge 0] [-hedge-min 10ms] [-maxcodes 100]
-//	          [-drain 10s]
+//	          [-drain 10s] [-telemetry DIR] [-slowquery DUR]
 //	pbirouter -topology topology.json [...]
 //
 // -nodes lists the shard groups: commas separate shards, pipes separate
@@ -24,8 +24,11 @@
 // then byte-for-byte equivalent to a single engine over the whole store.
 //
 // Endpoints mirror pbiserve: /join /query /relations /stats /metrics
-// /healthz /readyz. SIGINT/SIGTERM mark /readyz not-ready, drain in-flight
-// requests, then exit.
+// /healthz /readyz, plus GET /debug/trace/{id} for the stitched
+// multi-node trace of a recent routed query (?spans=1 on /join or /query
+// embeds the same tree in the response; see doc/OBSERVABILITY.md).
+// SIGINT/SIGTERM mark /readyz not-ready, drain in-flight requests, then
+// exit.
 package main
 
 import (
@@ -42,6 +45,7 @@ import (
 	"time"
 
 	"github.com/pbitree/pbitree/internal/router"
+	"github.com/pbitree/pbitree/internal/telemetry"
 )
 
 func main() {
@@ -58,6 +62,8 @@ func main() {
 		hedgeMin     = flag.Duration("hedge-min", 10*time.Millisecond, "floor for the adaptive hedging delay")
 		maxcodes     = flag.Int("maxcodes", 100, "result codes echoed per /query response")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		telDir       = flag.String("telemetry", "", "append one JSONL telemetry record per routed query to this directory (rotating)")
+		slowQ        = flag.Duration("slowquery", 0, "queries at or above this wall time keep their stitched span tree in telemetry (0 = never)")
 	)
 	flag.Parse()
 	if (*nodes == "") == (*topology == "") || flag.NArg() != 0 {
@@ -76,6 +82,14 @@ func main() {
 		fail(err)
 	}
 
+	var telw *telemetry.Writer
+	if *telDir != "" {
+		telw, err = telemetry.New(telemetry.Config{Dir: *telDir, SlowQuery: *slowQ})
+		if err != nil {
+			fail(err)
+		}
+	}
+
 	rt, err := router.New(router.Config{
 		Topology:      topo,
 		CacheEntries:  *cache,
@@ -86,8 +100,10 @@ func main() {
 		HedgeAfter:    *hedge,
 		HedgeMin:      *hedgeMin,
 		MaxCodes:      *maxcodes,
+		Telemetry:     telw,
 	})
 	if err != nil {
+		telw.Close() //nolint:errcheck // the router error wins
 		fail(err)
 	}
 	for si, group := range topo {
@@ -120,6 +136,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pbirouter: serve: %v\n", err)
 	}
 	if err := rt.Close(); err != nil {
+		telw.Close() //nolint:errcheck // the router error wins
+		fail(err)
+	}
+	// Close telemetry last so every emitted record drains to disk.
+	if err := telw.Close(); err != nil {
 		fail(err)
 	}
 	fmt.Println("pbirouter: stopped")

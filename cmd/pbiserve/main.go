@@ -8,6 +8,7 @@
 //	pbiserve -db site.db [-addr :8080] [-workers 8] [-queue 64]
 //	         [-cache 1024] [-buffer 256] [-diskcost 2003|none]
 //	         [-shards 0] [-timeout 0] [-accesslog FILE|-] [-pprof]
+//	         [-telemetry DIR] [-slowquery DUR]
 //
 // With -shards N each worker is a scatter-gather engine over the N shard
 // files written by pbidb shard (expected at DB.shards/manifest.json, or
@@ -22,12 +23,15 @@
 //	GET /stats                               cache / queue / latency / per-algorithm I/O
 //	GET /metrics                             Prometheus text exposition
 //	GET /debug/trace?anc=..&desc=..|query=.. EXPLAIN ANALYZE span tree (JSON)
+//	GET /debug/trace/{id}                    retained trace of a recent query
 //	GET /debug/pprof/                        profiling (only with -pprof)
 //	GET /healthz                             liveness (process up)
 //	GET /readyz                              readiness (engines warm, not draining)
 //
 // Every response carries an X-Trace-Id header; -accesslog writes one JSON
-// line per request with the same ID (see doc/OBSERVABILITY.md).
+// line per request with the same ID, -telemetry appends one durable JSONL
+// record per completed query, and ?spans=1 on /join and /query embeds the
+// execution's span tree in the response (see doc/OBSERVABILITY.md).
 //
 // SIGINT/SIGTERM drain in-flight queries before the process exits.
 package main
@@ -46,6 +50,7 @@ import (
 
 	"github.com/pbitree/pbitree/containment"
 	"github.com/pbitree/pbitree/internal/qserv"
+	"github.com/pbitree/pbitree/internal/telemetry"
 )
 
 func main() {
@@ -63,6 +68,8 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		accesslog = flag.String("accesslog", "", "write JSON request logs to this file (- = stdout)")
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		telDir    = flag.String("telemetry", "", "append one JSONL telemetry record per query to this directory (rotating)")
+		slowQ     = flag.Duration("slowquery", 0, "queries at or above this wall time keep their full span tree in telemetry (0 = never)")
 	)
 	flag.Parse()
 	if *db == "" || flag.NArg() != 0 {
@@ -92,6 +99,15 @@ func main() {
 		logw = f
 	}
 
+	var telw *telemetry.Writer
+	if *telDir != "" {
+		var err error
+		telw, err = telemetry.New(telemetry.Config{Dir: *telDir, SlowQuery: *slowQ})
+		if err != nil {
+			fail(err)
+		}
+	}
+
 	// The flag default is explicit, so a user-given 0 means "no queue" —
 	// map it to the Config convention (negative), where 0 means default.
 	if *queue == 0 {
@@ -109,6 +125,7 @@ func main() {
 		QueryTimeout: *timeout,
 		Shards:       *shards,
 		Parallel:     *parallel,
+		Telemetry:    telw,
 	})
 	if err != nil {
 		fail(err)
@@ -146,8 +163,13 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "pbiserve: serve: %v\n", err)
 	}
-	// All handlers have returned; engines are safe to close now.
+	// All handlers have returned; engines are safe to close now. The
+	// telemetry writer closes last so every emitted record drains to disk.
 	if err := qs.Close(); err != nil {
+		telw.Close() //nolint:errcheck // the engine error wins
+		fail(err)
+	}
+	if err := telw.Close(); err != nil {
 		fail(err)
 	}
 	fmt.Println("pbiserve: stopped")

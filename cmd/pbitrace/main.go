@@ -1,0 +1,76 @@
+// Command pbitrace fetches a retained query trace from a pbiserve node or
+// a pbirouter and renders it as an indented span tree with self time and
+// actual-vs-predicted page I/O per phase — the CLI window into the
+// distributed traces doc/OBSERVABILITY.md describes.
+//
+// Usage:
+//
+//	pbitrace -url http://host:8070 TRACE_ID
+//	pbitrace -url http://host:8070 -json TRACE_ID
+//
+// The trace ID comes from any response's X-Trace-Id header or from the
+// trace_id field of a ?spans=1 response. Against a router the rendered
+// tree is the stitched multi-node trace (router root, fanout, one subtree
+// per shard node); against a node it is that node's own execution.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/pbitree/pbitree/internal/trace"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://localhost:8080", "pbiserve node or pbirouter base URL")
+		raw     = flag.Bool("json", false, "print the raw JSON record instead of the rendered tree")
+		timeout = flag.Duration("timeout", 5*time.Second, "fetch timeout")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pbitrace -url http://host:8070 [-json] TRACE_ID")
+		os.Exit(2)
+	}
+	id := flag.Arg(0)
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(strings.TrimRight(*url, "/") + "/debug/trace/" + id)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			fail(fmt.Errorf("%s: %s", resp.Status, e.Error))
+		}
+		fail(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	if *raw {
+		os.Stdout.Write(body) //nolint:errcheck // best-effort output
+		return
+	}
+	var rec trace.Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		fail(fmt.Errorf("decode trace record: %w", err))
+	}
+	rec.Render(os.Stdout)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pbitrace: %v\n", err)
+	os.Exit(1)
+}

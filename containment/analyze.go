@@ -110,6 +110,28 @@ func NewAnalysis(res *Result, root *trace.Span) *Analysis {
 	return newAnalysis(res, root)
 }
 
+// Wire returns the recorded span tree in the distributed-trace wire shape
+// (trace.WireSpan), with the section 3.4 cost model's prediction stamped
+// on the root so trace consumers can compute actual-vs-predicted ratios
+// per join without a second lookup. Nil when nothing was recorded.
+func (an *Analysis) Wire() *trace.WireSpan {
+	w := trace.ToWire(an.root)
+	if w != nil && an.Result != nil {
+		w.PredictedIO = an.Result.PredictedIO
+	}
+	return w
+}
+
+// IORatio returns the join's actual page I/O divided by the cost model's
+// prediction — the calibration signal the telemetry sidecar persists. Zero
+// when no prediction exists.
+func (an *Analysis) IORatio() float64 {
+	if an.Result == nil || an.Result.PredictedIO <= 0 {
+		return 0
+	}
+	return float64(an.Result.IO.Total()) / float64(an.Result.PredictedIO)
+}
+
 func spanNode(sp *trace.Span) *SpanNode {
 	if sp == nil {
 		return nil

@@ -248,6 +248,12 @@ type JoinOptions struct {
 	// higher values fan independent partitions out across that many
 	// workers (clamped to the memory budget's 3-page-per-worker floor).
 	Parallel int
+	// TraceID is the originating request's trace ID, threaded through for
+	// annotation only: fan-out engines (internal/shard) stamp it into
+	// per-shard span details and serving exemplars so distributed traces
+	// correlate by the request's ID instead of an internal one. It does
+	// not affect execution.
+	TraceID string
 }
 
 // ParentChild returns a join filter that keeps only pairs where the

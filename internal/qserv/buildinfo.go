@@ -1,0 +1,53 @@
+package qserv
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// BuildMeta is the binary's build identity, exposed as the build_info
+// gauge's labels by both pbiserve and pbirouter (internal/router reuses
+// this accessor rather than re-reading build info).
+type BuildMeta struct {
+	// Version is the main module's version ("(devel)" for local builds).
+	Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the VCS commit, "unknown" when the binary was built
+	// without VCS stamping.
+	Revision string
+}
+
+var buildMeta = sync.OnceValue(func() BuildMeta {
+	m := BuildMeta{Version: "unknown", GoVersion: runtime.Version(), Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return m
+	}
+	if bi.Main.Version != "" {
+		m.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		m.GoVersion = bi.GoVersion
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" && kv.Value != "" {
+			m.Revision = kv.Value
+			if len(m.Revision) > 12 {
+				m.Revision = m.Revision[:12]
+			}
+		}
+	}
+	// Label values feed a whitespace-delimited exposition format whose
+	// smoke checks assume exactly "name value" per line; keep them
+	// space-free whatever the toolchain reports.
+	m.Version = strings.ReplaceAll(m.Version, " ", "_")
+	m.GoVersion = strings.ReplaceAll(m.GoVersion, " ", "_")
+	m.Revision = strings.ReplaceAll(m.Revision, " ", "_")
+	return m
+})
+
+// BuildInfo returns the process's build metadata, computed once.
+func BuildInfo() BuildMeta { return buildMeta() }

@@ -37,6 +37,30 @@ type traceResponse struct {
 	Joins   []traceSpanSet `json:"joins"`
 }
 
+// handleDebugTraceID serves GET /debug/trace/{id}: look a recent query's
+// trace up by its trace ID in the bounded in-memory ring. Every executed
+// /join, /query, and /debug/trace request deposits its span tree there, so
+// a client holding an X-Trace-Id (or a ?spans=1 response) can retrieve the
+// full per-phase execution after the fact. 404 when the ID was never seen
+// or has been evicted.
+func (s *Server) handleDebugTraceID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if id == "" {
+		s.handleDebugTrace(w, r)
+		return
+	}
+	rec := s.traces.Get(id)
+	if rec == nil {
+		s.writeError(w, http.StatusNotFound, "no retained trace %q (evicted or never recorded)", id)
+		return
+	}
+	writeJSON(w, mustJSON(rec))
+}
+
 // handleDebugTrace serves GET /debug/trace.
 func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -95,10 +119,12 @@ func (s *Server) traceJoin(w http.ResponseWriter, r *http.Request, anc, desc, al
 	}
 	recycle := false
 	defer func() { release(recycle) }()
+	traceID := w.Header().Get("X-Trace-Id")
 	var an *containment.Analysis
 	err = s.guard(func() error {
 		var jerr error
-		an, jerr = wk.analyze(qctx, anc, desc, containment.JoinOptions{Algorithm: alg})
+		an, jerr = wk.analyze(qctx, anc, desc,
+			containment.JoinOptions{Algorithm: alg, TraceID: traceID})
 		if rerr := wk.releaseTemp(); rerr != nil && jerr == nil {
 			jerr = rerr
 		}
@@ -109,7 +135,8 @@ func (s *Server) traceJoin(w http.ResponseWriter, r *http.Request, anc, desc, al
 		return
 	}
 	s.met.recordJoin(an.Result)
-	s.met.recordPhases(an.Result.Algorithm, an.Phases)
+	s.met.recordPhases(an.Result.Algorithm, an.Phases, traceID)
+	s.keepTrace(traceID, "//"+anc+"//"+desc, an)
 	writeJSON(w, mustJSON(traceResponse{
 		TraceID: w.Header().Get("X-Trace-Id"),
 		Query:   "//" + anc + "//" + desc,
@@ -164,12 +191,13 @@ func (s *Server) traceQuery(w http.ResponseWriter, r *http.Request, expr string)
 	resp := traceResponse{TraceID: w.Header().Get("X-Trace-Id"), Query: canon}
 	for i, an := range analyses {
 		s.met.recordJoin(an.Result)
-		s.met.recordPhases(an.Result.Algorithm, an.Phases)
+		s.met.recordPhases(an.Result.Algorithm, an.Phases, resp.TraceID)
 		set := spanSet("", "", an)
 		if i < len(stepInfo) {
 			set.Anc, set.Desc = stepInfo[i].Anc, stepInfo[i].Desc
 		}
 		resp.Joins = append(resp.Joins, set)
 	}
+	s.keepTrace(resp.TraceID, canon, analyses...)
 	writeJSON(w, mustJSON(resp))
 }

@@ -50,9 +50,20 @@ type metrics struct {
 	hist      []int64 // len(latBuckets)+1; last slot = +Inf overflow
 	histSum   time.Duration
 	histCount int64
+	// histEx holds each bucket's most recent observation with the trace ID
+	// that produced it — the exemplars the OpenMetrics exposition attaches
+	// so a latency outlier links straight to its distributed trace.
+	histEx []exemplar // len(latBuckets)+1, aligned with hist
 
 	algs   map[string]*algTotals
 	phases map[phaseKey]*phaseTotals
+}
+
+// exemplar pairs a recent observation with the originating request's trace
+// ID.
+type exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 // phaseKey identifies one per-phase metric series. Both components come
@@ -70,6 +81,10 @@ type phaseTotals struct {
 	Writes      int64
 	VirtualTime time.Duration
 	Pairs       int64
+	// LastTrace is the trace ID of the most recent request that ran this
+	// phase — the originating request's ID even for per-shard child spans,
+	// since handlers thread it through JoinOptions.TraceID.
+	LastTrace string
 }
 
 // algTotals accumulates the physical cost of every join one algorithm ran.
@@ -96,13 +111,15 @@ func newMetrics() *metrics {
 	return &metrics{
 		start:  time.Now(),
 		hist:   make([]int64, len(latBuckets)+1),
+		histEx: make([]exemplar, len(latBuckets)+1),
 		algs:   map[string]*algTotals{},
 		phases: map[phaseKey]*phaseTotals{},
 	}
 }
 
-// observe records one completed request's latency.
-func (m *metrics) observe(d time.Duration) {
+// observe records one completed request's latency, remembering the trace
+// ID as the bucket's exemplar.
+func (m *metrics) observe(d time.Duration, traceID string) {
 	m.requests.Add(1)
 	m.mu.Lock()
 	m.ring[m.next] = d
@@ -121,12 +138,16 @@ func (m *metrics) observe(d time.Duration) {
 	m.hist[slot]++
 	m.histSum += d
 	m.histCount++
+	if traceID != "" {
+		m.histEx[slot] = exemplar{TraceID: traceID, Value: sec}
+	}
 	m.mu.Unlock()
 }
 
 // recordPhases folds one analyzed join's self-attributed phase costs into
-// the per-(algorithm, phase) totals.
-func (m *metrics) recordPhases(alg string, phases []containment.PhaseIO) {
+// the per-(algorithm, phase) totals, stamping the originating request's
+// trace ID as the series' exemplar.
+func (m *metrics) recordPhases(alg string, phases []containment.PhaseIO, traceID string) {
 	m.mu.Lock()
 	for _, p := range phases {
 		k := phaseKey{Alg: alg, Phase: p.Name}
@@ -140,6 +161,9 @@ func (m *metrics) recordPhases(alg string, phases []containment.PhaseIO) {
 		t.Writes += p.Writes
 		t.VirtualTime += p.VirtualIO
 		t.Pairs += p.Pairs
+		if traceID != "" {
+			t.LastTrace = traceID
+		}
 	}
 	m.mu.Unlock()
 }

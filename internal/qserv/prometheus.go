@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -14,11 +15,38 @@ import (
 // come exclusively from small fixed vocabularies (algorithm names, trace
 // phase names), never from request input, so series cardinality is bounded
 // by construction.
+//
+// Scrapers that Accept application/openmetrics-text get the OpenMetrics
+// flavor instead: the same families plus per-bucket and per-phase
+// exemplars carrying recent trace IDs (`# {trace_id="..."} value`), and
+// the mandatory `# EOF` terminator. The default 0.0.4 output stays exactly
+// two fields per sample line — smoke checks and the test-suite parser
+// depend on that — so exemplars appear only under content negotiation.
+
+// openMetricsContentType is the negotiated exemplar-capable content type.
+const openMetricsContentType = "application/openmetrics-text"
 
 // handleMetrics serves GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.writeMetrics(w)
+	om := strings.Contains(r.Header.Get("Accept"), openMetricsContentType)
+	if om {
+		w.Header().Set("Content-Type", openMetricsContentType+"; version=1.0.0; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
+	s.writeMetrics(w, om)
+	if om {
+		io.WriteString(w, "# EOF\n") //nolint:errcheck // best effort
+	}
+}
+
+// exemplarSuffix renders an OpenMetrics exemplar annotation, empty when
+// exemplars are off or no trace has hit the series yet.
+func exemplarSuffix(om bool, ex exemplar) string {
+	if !om || ex.TraceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %g", ex.TraceID, ex.Value)
 }
 
 // family emits the HELP/TYPE preamble of one metric family.
@@ -28,12 +56,17 @@ func family(w io.Writer, name, help, typ string) {
 
 // writeMetrics renders every family. Families are always present (HELP and
 // TYPE lines) even before any sample exists, so scrapers and smoke checks
-// see a stable schema.
-func (s *Server) writeMetrics(w io.Writer) {
+// see a stable schema. om switches on the OpenMetrics extras (exemplars).
+func (s *Server) writeMetrics(w io.Writer, om bool) {
 	m := s.met
 
 	family(w, "pbiserve_uptime_seconds", "Seconds since the server started.", "gauge")
 	fmt.Fprintf(w, "pbiserve_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	bi := BuildInfo()
+	family(w, "pbiserve_build_info", "Build metadata; value is always 1.", "gauge")
+	fmt.Fprintf(w, "pbiserve_build_info{version=%q,go_version=%q,revision=%q} 1\n",
+		bi.Version, bi.GoVersion, bi.Revision)
 
 	family(w, "pbiserve_requests_total", "Completed query requests (cached or executed).", "counter")
 	fmt.Fprintf(w, "pbiserve_requests_total %d\n", m.requests.Load())
@@ -49,6 +82,11 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "pbiserve_panics_total %d\n", m.panics.Load())
 	family(w, "pbiserve_engine_recycles_total", "Poisoned worker engines discarded and replaced.", "counter")
 	fmt.Fprintf(w, "pbiserve_engine_recycles_total %d\n", m.engineRecycles.Load())
+
+	family(w, "pbiserve_telemetry_records_total", "Telemetry records written to the JSONL sidecar.", "counter")
+	fmt.Fprintf(w, "pbiserve_telemetry_records_total %d\n", s.cfg.Telemetry.Written())
+	family(w, "pbiserve_telemetry_dropped_total", "Telemetry records dropped (queue full or sink error).", "counter")
+	fmt.Fprintf(w, "pbiserve_telemetry_dropped_total %d\n", s.cfg.Telemetry.Dropped())
 
 	family(w, "pbiserve_workers", "Engine pool size.", "gauge")
 	fmt.Fprintf(w, "pbiserve_workers %d\n", s.cfg.Workers)
@@ -73,6 +111,8 @@ func (s *Server) writeMetrics(w io.Writer) {
 	m.mu.Lock()
 	hist := make([]int64, len(m.hist))
 	copy(hist, m.hist)
+	histEx := make([]exemplar, len(m.histEx))
+	copy(histEx, m.histEx)
 	histSum, histCount := m.histSum, m.histCount
 	algNames := make([]string, 0, len(m.algs))
 	for name := range m.algs {
@@ -103,10 +143,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 	var cum int64
 	for i, bound := range latBuckets {
 		cum += hist[i]
-		fmt.Fprintf(w, "pbiserve_request_latency_seconds_bucket{le=%q} %d\n", formatBound(bound), cum)
+		fmt.Fprintf(w, "pbiserve_request_latency_seconds_bucket{le=%q} %d%s\n",
+			formatBound(bound), cum, exemplarSuffix(om, histEx[i]))
 	}
 	cum += hist[len(latBuckets)]
-	fmt.Fprintf(w, "pbiserve_request_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "pbiserve_request_latency_seconds_bucket{le=\"+Inf\"} %d%s\n",
+		cum, exemplarSuffix(om, histEx[len(latBuckets)]))
 	fmt.Fprintf(w, "pbiserve_request_latency_seconds_sum %g\n", histSum.Seconds())
 	fmt.Fprintf(w, "pbiserve_request_latency_seconds_count %d\n", histCount)
 
@@ -130,7 +172,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 	family(w, "pbiserve_join_phase_page_io_total", "Self-attributed page I/O per algorithm phase.", "counter")
 	for _, k := range phaseKeys {
 		t := phases[k]
-		fmt.Fprintf(w, "pbiserve_join_phase_page_io_total{algorithm=%q,phase=%q} %d\n", k.Alg, k.Phase, t.Reads+t.Writes)
+		// The phase exemplar links the series to the most recent request
+		// that ran it — by the originating request's trace ID (threaded
+		// through shard fan-outs), so it resolves via /debug/trace/{id}.
+		fmt.Fprintf(w, "pbiserve_join_phase_page_io_total{algorithm=%q,phase=%q} %d%s\n",
+			k.Alg, k.Phase, t.Reads+t.Writes,
+			exemplarSuffix(om, exemplar{TraceID: t.LastTrace, Value: float64(t.Reads + t.Writes)}))
 	}
 	family(w, "pbiserve_join_phase_virtual_seconds_total", "Self-attributed virtual disk time per algorithm phase.", "counter")
 	for _, k := range phaseKeys {

@@ -44,6 +44,8 @@ import (
 
 	"github.com/pbitree/pbitree/containment"
 	"github.com/pbitree/pbitree/internal/shard"
+	"github.com/pbitree/pbitree/internal/telemetry"
+	"github.com/pbitree/pbitree/internal/trace"
 	"github.com/pbitree/pbitree/pbicode"
 )
 
@@ -97,6 +99,14 @@ type Config struct {
 	// output location. The manifest's shard count must equal Shards.
 	// BufferPages is per shard engine in this mode. 0 serves unsharded.
 	Shards int
+	// Telemetry, when non-nil, receives one record per completed /join or
+	// /query request (the persistent query-telemetry sidecar). The server
+	// only enqueues; the caller owns the writer's lifecycle and closes it
+	// after Shutdown.
+	Telemetry *telemetry.Writer
+	// TraceRing bounds the in-memory ring of recent query traces served
+	// by GET /debug/trace/{id}. 0 means 256; negative disables retention.
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +131,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxCodes <= 0 {
 		c.MaxCodes = 100
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
+	}
 	return c
 }
 
@@ -142,6 +155,7 @@ type Server struct {
 	admit    chan struct{}
 	cache    *resultCache // nil when disabled
 	met      *metrics
+	traces   *trace.Store // recent query traces for /debug/trace/{id}
 	mux      *http.ServeMux
 	handler  http.Handler // mux wrapped with trace-ID / access-log middleware
 	rels     []RelationInfo
@@ -176,6 +190,7 @@ func New(cfg Config) (*Server, error) {
 		workers: make(chan worker, cfg.Workers),
 		admit:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		met:     newMetrics(),
+		traces:  trace.NewStore(cfg.TraceRing),
 	}
 	if cfg.Shards > 0 {
 		s.manifest = shardManifestPath(cfg.DBPath)
@@ -201,6 +216,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	s.mux.HandleFunc("/debug/trace/", s.handleDebugTraceID)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	if cfg.EnablePprof {
@@ -345,6 +361,14 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		w.Header().Set("X-Trace-Id", id)
 		sw := &statusWriter{ResponseWriter: w}
+		// The telemetry sidecar gets exactly one record per query request:
+		// the handler fills the execution half into a context-threaded
+		// holder; the envelope half (status, duration, cache) is known here.
+		var th *telemetryHolder
+		if s.cfg.Telemetry != nil && recordedEndpoint(r.URL.Path) {
+			th = &telemetryHolder{}
+			r = r.WithContext(context.WithValue(r.Context(), telemetryCtxKey{}, th))
+		}
 		func() {
 			defer func() {
 				if v := recover(); v != nil {
@@ -356,12 +380,16 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			}()
 			next.ServeHTTP(sw, r)
 		}()
-		if s.cfg.AccessLog == nil {
-			return
-		}
 		status := sw.status
 		if status == 0 {
 			status = http.StatusOK
+		}
+		if th != nil {
+			s.emitTelemetry(th, id, r.URL.Path, r.URL.RawQuery,
+				status, sw.Header().Get("X-Cache") == "hit", start)
+		}
+		if s.cfg.AccessLog == nil {
+			return
 		}
 		line, err := json.Marshal(accessRecord{
 			TS:         start.UTC().Format(time.RFC3339Nano),
@@ -526,7 +554,7 @@ func (s *Server) writePayload(w http.ResponseWriter, payload []byte, cached bool
 		w.Header().Set("X-Cache", "miss")
 	}
 	w.Write(payload) //nolint:errcheck // client gone; nothing to do
-	s.met.observe(time.Since(start))
+	s.met.observe(time.Since(start), w.Header().Get("X-Trace-Id"))
 }
 
 // overloaded sheds one request with 503 and a hint to retry.
@@ -636,6 +664,41 @@ type JoinResponse struct {
 	PredictedIO int64  `json:"predicted_io"`
 	VirtualUS   int64  `json:"virtual_us"`
 	WallUS      int64  `json:"wall_us"`
+	// TraceID and Spans are present only when the request asked for span
+	// export (?spans=1): the request's trace ID and the execution's span
+	// tree in the distributed-trace wire shape. The router requests these
+	// on fan-out and stitches the per-node trees into one trace.
+	TraceID string          `json:"trace_id,omitempty"`
+	Spans   *trace.WireSpan `json:"spans,omitempty"`
+}
+
+// wantSpans reports whether the request opted into span export.
+func wantSpans(r *http.Request) bool { return r.URL.Query().Get("spans") == "1" }
+
+// keepTrace converts executed joins' span trees to the wire shape, stores
+// them in the trace ring under the request's trace ID (retrievable via
+// GET /debug/trace/{id}), and returns them. Partial analyses from aborted
+// executions keep their partial trees — those are the interesting ones.
+func (s *Server) keepTrace(traceID, query string, analyses ...*containment.Analysis) []*trace.WireSpan {
+	var spans []*trace.WireSpan
+	for _, an := range analyses {
+		if an == nil {
+			continue
+		}
+		if ws := an.Wire(); ws != nil {
+			spans = append(spans, ws)
+		}
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+	s.traces.Put(&trace.Record{
+		TraceID: traceID,
+		TS:      time.Now().UTC().Format(time.RFC3339Nano),
+		Query:   query,
+		Spans:   spans,
+	})
+	return spans
 }
 
 // handleJoin serves GET /join?anc=TAG&desc=TAG[&algo=NAME].
@@ -670,10 +733,17 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		s.writeFailure(w, "join", err)
 		return
 	}
+	spans := wantSpans(r)
 	key := fmt.Sprintf("join\x00%s\x00%s\x00%d", anc, desc, alg)
-	if payload, ok := s.lookup(key); ok {
-		s.writePayload(w, payload, true, start)
-		return
+	// ?spans=1 bypasses the result cache entirely (no lookup, no store):
+	// cached payloads are byte-identical across requests, so embedding a
+	// span tree would replay another request's execution under this trace
+	// ID. Like /debug/trace, the flag exists to observe execution.
+	if !spans {
+		if payload, ok := s.lookup(key); ok {
+			s.writePayload(w, payload, true, start)
+			return
+		}
 	}
 
 	wk, release, aerr := s.acquire(qctx)
@@ -687,31 +757,49 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	recycle := false
 	defer func() { release(recycle) }()
+	traceID := w.Header().Get("X-Trace-Id")
 	var an *containment.Analysis
 	err = s.guard(func() error {
 		var jerr error
-		an, jerr = wk.analyze(qctx, anc, desc, containment.JoinOptions{Algorithm: alg})
+		an, jerr = wk.analyze(qctx, anc, desc,
+			containment.JoinOptions{Algorithm: alg, TraceID: traceID})
 		if rerr := wk.releaseTemp(); rerr != nil && jerr == nil {
 			jerr = rerr
 		}
 		return jerr
 	})
+	query := "//" + anc + "//" + desc
 	if err != nil {
+		s.keepTrace(traceID, query, an)
 		recycle = s.finishJoinError(w, "join", err)
 		return
 	}
 	res := an.Result
 	s.met.recordJoin(res)
-	s.met.recordPhases(res.Algorithm, an.Phases)
-	payload := mustJSON(JoinResponse{
+	s.met.recordPhases(res.Algorithm, an.Phases, traceID)
+	ws := s.keepTrace(traceID, query, an)
+	if th := telemetryFrom(r.Context()); th != nil {
+		th.query = query
+		th.fillFromAnalyses([]*containment.Analysis{an}, ws)
+	}
+	resp := JoinResponse{
 		Anc: anc, Desc: desc,
 		Algorithm: res.Algorithm, Count: res.Count, FalseHits: res.FalseHits,
 		PageIO: res.IO.Total(), SeqIO: res.IO.SeqReads + res.IO.SeqWrites,
 		PredictedIO: res.PredictedIO,
 		VirtualUS:   res.IO.VirtualTime.Microseconds(),
 		WallUS:      res.IO.WallTime.Microseconds(),
-	})
-	s.store(key, payload)
+	}
+	if spans {
+		resp.TraceID = traceID
+		if len(ws) > 0 {
+			resp.Spans = ws[0]
+		}
+	}
+	payload := mustJSON(resp)
+	if !spans {
+		s.store(key, payload)
+	}
 	s.writePayload(w, payload, false, start)
 }
 
@@ -725,6 +813,10 @@ type QueryResponse struct {
 	PageIO    int64      `json:"page_io"`
 	VirtualUS int64      `json:"virtual_us"`
 	WallUS    int64      `json:"wall_us"`
+	// TraceID and Spans are present only under ?spans=1 — one span tree
+	// per executed join step, in chain order.
+	TraceID string            `json:"trace_id,omitempty"`
+	Spans   []*trace.WireSpan `json:"spans,omitempty"`
 }
 
 // maxCodesLimit is the absolute ceiling for the /query ?limit= override:
@@ -777,10 +869,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeFailure(w, "path query", err)
 		return
 	}
+	spans := wantSpans(r)
 	key := fmt.Sprintf("path\x00%s\x00%d", canon, limit)
-	if payload, ok := s.lookup(key); ok {
-		s.writePayload(w, payload, true, start)
-		return
+	if !spans {
+		if payload, ok := s.lookup(key); ok {
+			s.writePayload(w, payload, true, start)
+			return
+		}
 	}
 
 	wk, release, aerr := s.acquire(qctx)
@@ -794,6 +889,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	recycle := false
 	defer func() { release(recycle) }()
+	traceID := w.Header().Get("X-Trace-Id")
 	var (
 		codes    []pbicode.Code
 		stepInfo []PathStep
@@ -808,6 +904,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return qerr
 	})
 	if err != nil {
+		s.keepTrace(traceID, canon, analyses...)
 		recycle = s.finishJoinError(w, "path query", err)
 		return
 	}
@@ -816,8 +913,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for _, an := range analyses {
 		res := an.Result
 		s.met.recordJoin(res)
-		s.met.recordPhases(res.Algorithm, an.Phases)
+		s.met.recordPhases(res.Algorithm, an.Phases, traceID)
 		io.Add(res.IO)
+	}
+	ws := s.keepTrace(traceID, canon, analyses...)
+	if th := telemetryFrom(r.Context()); th != nil {
+		th.query = canon
+		th.fillFromAnalyses(analyses, ws)
+	}
+	if spans {
+		resp.TraceID = traceID
+		resp.Spans = ws
 	}
 	resp.PageIO = io.Total()
 	resp.VirtualUS = io.VirtualTime.Microseconds()
@@ -831,7 +937,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Codes[i] = uint64(codes[i])
 	}
 	payload := mustJSON(resp)
-	s.store(key, payload)
+	if !spans {
+		s.store(key, payload)
+	}
 	s.writePayload(w, payload, false, start)
 }
 

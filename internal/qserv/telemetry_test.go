@@ -26,9 +26,9 @@ func TestLatencySnapshotEmptyRing(t *testing.T) {
 
 func TestObserveHistogram(t *testing.T) {
 	m := newMetrics()
-	m.observe(50 * time.Microsecond)  // ≤ 0.0001 → slot 0
-	m.observe(400 * time.Microsecond) // ≤ 0.0005 → slot 2
-	m.observe(20 * time.Second)       // beyond the last bound → +Inf slot
+	m.observe(50*time.Microsecond, "t1")  // ≤ 0.0001 → slot 0
+	m.observe(400*time.Microsecond, "t2") // ≤ 0.0005 → slot 2
+	m.observe(20*time.Second, "t3")       // beyond the last bound → +Inf slot
 	if m.hist[0] != 1 || m.hist[2] != 1 || m.hist[len(latBuckets)] != 1 {
 		t.Fatalf("bucket slots = %v", m.hist)
 	}

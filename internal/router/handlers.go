@@ -14,6 +14,7 @@ import (
 	"github.com/pbitree/pbitree/containment"
 	"github.com/pbitree/pbitree/internal/qserv"
 	"github.com/pbitree/pbitree/internal/shard"
+	"github.com/pbitree/pbitree/internal/trace"
 	"github.com/pbitree/pbitree/pbicode"
 )
 
@@ -115,22 +116,39 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 		rt.writeUpstreamFailure(w, "join", err)
 		return
 	}
+	traceID := w.Header().Get("X-Trace-Id")
+	query := "//" + anc + "//" + desc
+	spans := wantSpans(r)
 	key := fmt.Sprintf("%d\x00join\x00%s\x00%s\x00%d", rt.epoch.Load(), anc, desc, alg)
-	if payload, ok := rt.lookup(key); ok {
-		rt.writePayload(w, payload, true, start)
-		return
+	// ?spans=1 bypasses the cache entirely (no lookup, no store), same rule
+	// as the nodes: cached payloads are byte-identical across requests, so
+	// an embedded span tree would replay another request's execution.
+	if !spans {
+		if payload, ok := rt.lookup(key); ok {
+			rt.writePayload(w, payload, true, start)
+			rt.keepTrace(traceID, query, cacheHitSpan("join", time.Since(start)))
+			telemetryFrom(r.Context()).fill(query, "", 0, 0, nil)
+			return
+		}
 	}
 
 	vals := url.Values{"anc": {anc}, "desc": {desc}}
 	if algoName != "" {
 		vals.Set("algo", algoName)
 	}
-	replies, ferr := rt.fanout(qctx, "/join", vals, w.Header().Get("X-Trace-Id"))
+	if spans {
+		vals.Set("spans", "1")
+	}
+	fanStart := time.Now()
+	replies, ferr := rt.fanout(qctx, "/join", vals, traceID)
+	fanWall := time.Since(fanStart)
 	if ferr != nil {
 		rt.writeUpstreamFailure(w, "join", ferr)
 		return
 	}
+	mergeStart := time.Now()
 	merged := qserv.JoinResponse{Anc: anc, Desc: desc}
+	kids := make([]*trace.WireSpan, 0, len(replies))
 	for _, rep := range replies {
 		var jr qserv.JoinResponse
 		if err := json.Unmarshal(rep.body, &jr); err != nil {
@@ -145,12 +163,26 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 		merged.PredictedIO += jr.PredictedIO
 		merged.VirtualUS += jr.VirtualUS
 		merged.Algorithm = shard.MergeAlgo(merged.Algorithm, jr.Algorithm)
+		if jr.Spans != nil {
+			kids = append(kids, nodeSpan(rep, jr.Spans))
+		} else {
+			kids = append(kids, nodeSpan(rep))
+		}
 	}
 	// Shards ran concurrently: the envelope is the honest wall time, like
 	// shard.Engine's merge (VirtualUS keeps the sum — aggregate I/O work).
 	merged.WallUS = time.Since(start).Microseconds()
+	root := rt.keepTrace(traceID, query,
+		stitch("join", time.Since(start), fanWall, time.Since(mergeStart), kids))
+	telemetryFrom(r.Context()).fill(query, merged.Algorithm, merged.PageIO, merged.PredictedIO, root)
+	if spans {
+		merged.TraceID = traceID
+		merged.Spans = root
+	}
 	payload := mustJSON(merged)
-	rt.store(key, payload)
+	if !spans {
+		rt.store(key, payload)
+	}
 	rt.writePayload(w, payload, false, start)
 }
 
@@ -191,20 +223,33 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rt.writeUpstreamFailure(w, "path query", err)
 		return
 	}
+	traceID := w.Header().Get("X-Trace-Id")
+	spans := wantSpans(r)
 	key := fmt.Sprintf("%d\x00path\x00%s\x00%d", rt.epoch.Load(), canon, rt.cfg.MaxCodes)
-	if payload, ok := rt.lookup(key); ok {
-		rt.writePayload(w, payload, true, start)
-		return
+	if !spans {
+		if payload, ok := rt.lookup(key); ok {
+			rt.writePayload(w, payload, true, start)
+			rt.keepTrace(traceID, canon, cacheHitSpan("query", time.Since(start)))
+			telemetryFrom(r.Context()).fill(canon, "", 0, 0, nil)
+			return
+		}
 	}
 
 	vals := url.Values{"path": {canon}, "limit": {strconv.Itoa(rt.cfg.MaxCodes)}}
-	replies, ferr := rt.fanout(qctx, "/query", vals, w.Header().Get("X-Trace-Id"))
+	if spans {
+		vals.Set("spans", "1")
+	}
+	fanStart := time.Now()
+	replies, ferr := rt.fanout(qctx, "/query", vals, traceID)
+	fanWall := time.Since(fanStart)
 	if ferr != nil {
 		rt.writeUpstreamFailure(w, "path query", ferr)
 		return
 	}
+	mergeStart := time.Now()
 	resp := qserv.QueryResponse{Path: canon}
 	var codes []pbicode.Code
+	kids := make([]*trace.WireSpan, 0, len(replies))
 	for _, rep := range replies {
 		var qr qserv.QueryResponse
 		if err := json.Unmarshal(rep.body, &qr); err != nil {
@@ -225,6 +270,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Steps[i].Matches += st.Matches
 			resp.Steps[i].Algorithm = shard.MergeAlgo(resp.Steps[i].Algorithm, st.Algorithm)
 		}
+		kids = append(kids, nodeSpan(rep, qr.Spans...))
 	}
 	// Each node returned its shard's first MaxCodes matches in document
 	// order; the global first MaxCodes are a subset of their union.
@@ -239,8 +285,21 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Codes[i] = uint64(codes[i])
 	}
 	resp.WallUS = time.Since(start).Microseconds()
+	var alg string
+	for _, st := range resp.Steps {
+		alg = shard.MergeAlgo(alg, st.Algorithm)
+	}
+	root := rt.keepTrace(traceID, canon,
+		stitch("query", time.Since(start), fanWall, time.Since(mergeStart), kids))
+	telemetryFrom(r.Context()).fill(canon, alg, resp.PageIO, root.PredictedIO, root)
+	if spans {
+		resp.TraceID = traceID
+		resp.Spans = []*trace.WireSpan{root}
+	}
 	payload := mustJSON(resp)
-	rt.store(key, payload)
+	if !spans {
+		rt.store(key, payload)
+	}
 	rt.writePayload(w, payload, false, start)
 }
 

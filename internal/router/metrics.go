@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/pbitree/pbitree/internal/qserv"
 )
 
 // latRing is how many recent latencies each window retains. The router
@@ -303,6 +305,10 @@ func (rt *Router) writeMetrics(w io.Writer) {
 
 	family(w, "pbirouter_uptime_seconds", "Seconds since the router started.", "gauge")
 	fmt.Fprintf(w, "pbirouter_uptime_seconds %g\n", time.Since(m.start).Seconds())
+	bi := qserv.BuildInfo()
+	family(w, "pbirouter_build_info", "Build identity (constant 1; the labels carry the values).", "gauge")
+	fmt.Fprintf(w, "pbirouter_build_info{version=%q,go_version=%q,revision=%q} 1\n",
+		bi.Version, bi.GoVersion, bi.Revision)
 	family(w, "pbirouter_shards", "Shard groups in the node table.", "gauge")
 	fmt.Fprintf(w, "pbirouter_shards %d\n", len(rt.shards))
 	family(w, "pbirouter_epoch", "Node-table epoch (bumps on every health transition).", "gauge")
@@ -342,6 +348,11 @@ func (rt *Router) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "pbirouter_cache_evicted_total %d\n", cs.Evicted)
 	family(w, "pbirouter_cache_entries", "Merged-result cache resident entries.", "gauge")
 	fmt.Fprintf(w, "pbirouter_cache_entries %d\n", cs.Entries)
+
+	family(w, "pbirouter_telemetry_records_total", "Telemetry records written by the sidecar.", "counter")
+	fmt.Fprintf(w, "pbirouter_telemetry_records_total %d\n", rt.cfg.Telemetry.Written())
+	family(w, "pbirouter_telemetry_dropped_total", "Telemetry records dropped (queue full or sink stalled).", "counter")
+	fmt.Fprintf(w, "pbirouter_telemetry_dropped_total %d\n", rt.cfg.Telemetry.Dropped())
 
 	m.mu.Lock()
 	buckets, sum, count := m.lat.histogram()

@@ -47,6 +47,8 @@ import (
 	"time"
 
 	"github.com/pbitree/pbitree/internal/qserv"
+	"github.com/pbitree/pbitree/internal/telemetry"
+	"github.com/pbitree/pbitree/internal/trace"
 )
 
 // Config configures a Router.
@@ -88,6 +90,14 @@ type Config struct {
 	// Client overrides the HTTP client used for node requests and probes
 	// (tests). Nil uses a dedicated client with keep-alives.
 	Client *http.Client
+	// Telemetry, when non-nil, receives one record per completed /join or
+	// /query routed through this process (Record.Node is "router"). The
+	// router only enqueues; the caller owns the writer's lifecycle and
+	// closes it after the HTTP server drains.
+	Telemetry *telemetry.Writer
+	// TraceRing bounds the in-memory ring of recent stitched traces served
+	// by GET /debug/trace/{id}. 0 means 256; negative disables retention.
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCodes <= 0 {
 		c.MaxCodes = 100
+	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
 	}
 	return c
 }
@@ -161,6 +174,7 @@ type Router struct {
 	client  *http.Client
 	cache   *resultCache // nil when disabled
 	met     *metrics
+	traces  *trace.Store // recent stitched traces for /debug/trace/{id}
 	mux     *http.ServeMux
 	handler http.Handler
 
@@ -190,6 +204,7 @@ func New(cfg Config) (*Router, error) {
 		cfg:    cfg,
 		client: cfg.Client,
 		met:    newMetrics(),
+		traces: trace.NewStore(cfg.TraceRing),
 		rr:     make([]atomic.Int64, len(cfg.Topology)),
 		stop:   make(chan struct{}),
 	}
@@ -223,6 +238,7 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("/relations", rt.handleRelations)
 	rt.mux.HandleFunc("/stats", rt.handleStats)
 	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/debug/trace/", rt.handleDebugTraceID)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("/readyz", rt.handleReadyz)
 	rt.traceBase = uint32(time.Now().UnixNano())
@@ -266,21 +282,64 @@ func (rt *Router) nextTraceID() string {
 
 // instrument assigns every request a trace ID (honoring a propagated one,
 // same sanitation rule as the nodes) and serves as the panic barrier.
+// When a telemetry writer is configured it also emits exactly one record
+// per /join and /query, mirroring qserv's middleware: the handler fills
+// the execution half into a context-threaded holder, the envelope half
+// (status, duration, cache disposition) is known here.
 func (rt *Router) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		id := qserv.IncomingTraceID(r)
 		if id == "" {
 			id = rt.nextTraceID()
 		}
 		w.Header().Set("X-Trace-Id", id)
-		defer func() {
-			if v := recover(); v != nil {
-				rt.met.panics.Add(1)
-				rt.writeError(w, http.StatusInternalServerError, "internal error: %v", v)
-			}
+		sw := &statusWriter{ResponseWriter: w}
+		var th *telemetryHolder
+		if rt.cfg.Telemetry != nil && recordedEndpoint(r.URL.Path) {
+			th = &telemetryHolder{}
+			r = r.WithContext(context.WithValue(r.Context(), telemetryCtxKey{}, th))
+		}
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					rt.met.panics.Add(1)
+					if sw.status == 0 {
+						rt.writeError(sw, http.StatusInternalServerError, "internal error: %v", v)
+					}
+				}
+			}()
+			next.ServeHTTP(sw, r)
 		}()
-		next.ServeHTTP(w, r)
+		if th != nil {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			rt.emitTelemetry(th, id, r.URL.Path, r.URL.RawQuery,
+				status, sw.Header().Get("X-Cache") == "hit", start)
+		}
 	})
+}
+
+// statusWriter captures the status code a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
 }
 
 // probeLoop probes one node until Close. The first probe fires after a

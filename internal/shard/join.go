@@ -113,10 +113,18 @@ func (e *Engine) join(ctx context.Context, a, d *Relation, opts containment.Join
 			if an != nil {
 				res = an.Result
 				if root := an.Root(); root != nil {
+					// The per-shard span carries the originating request's
+					// trace ID (when the caller threaded one through), so
+					// distributed traces and /metrics exemplars correlate
+					// shard-local phases with the external request.
+					tag := fmt.Sprintf("shard=%d", i)
+					if opts.TraceID != "" {
+						tag = fmt.Sprintf("shard=%d trace=%s", i, opts.TraceID)
+					}
 					if root.Detail != "" {
-						root.Detail = fmt.Sprintf("shard=%d %s", i, root.Detail)
+						root.Detail = tag + " " + root.Detail
 					} else {
-						root.Detail = fmt.Sprintf("shard=%d", i)
+						root.Detail = tag
 					}
 					roots[i] = root
 				}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pbitree/pbitree/internal/trace"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestWriterAppendsJSONL(t *testing.T) {
+	dir := t.TempDir()
+	w, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		w.Enqueue(&Record{
+			TraceID: fmt.Sprintf("t%d", i), Endpoint: "/join",
+			Query: "a/b", Status: 200, Outcome: "ok",
+			WallUS: int64(i), PageIO: 10, PredictedIO: 8, IORatio: 1.25,
+			Phases: []Phase{{Name: "sort", Depth: 1, SelfUS: 3, Reads: 4}},
+		})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Written() != 10 || w.Dropped() != 0 {
+		t.Fatalf("written=%d dropped=%d, want 10/0", w.Written(), w.Dropped())
+	}
+	names := listTelemetryFiles(dir)
+	if len(names) != 1 {
+		t.Fatalf("files = %v, want one", names)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, names[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("lines = %d, want 10", len(lines))
+	}
+	for i, ln := range lines {
+		var rec Record
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("line %d does not parse: %v", i, err)
+		}
+		if rec.TraceID != fmt.Sprintf("t%d", i) {
+			t.Fatalf("line %d out of order: %q", i, rec.TraceID)
+		}
+		if rec.IORatio != 1.25 || len(rec.Phases) != 1 {
+			t.Fatalf("line %d lost fields: %+v", i, rec)
+		}
+	}
+}
+
+func TestRotationCapsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	w, err := New(Config{Dir: dir, MaxFileBytes: 512, MaxFiles: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", 200)
+	for i := 0; i < 50; i++ {
+		w.Enqueue(&Record{TraceID: fmt.Sprintf("t%03d", i), Query: pad, Outcome: "ok"})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names := listTelemetryFiles(dir)
+	if len(names) > 3 {
+		t.Fatalf("retained %d files, cap is 3: %v", len(names), names)
+	}
+	var total int64
+	for _, n := range names {
+		st, err := os.Stat(filepath.Join(dir, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Size()
+	}
+	// Each file may exceed MaxFileBytes by at most one record, so the
+	// directory is bounded by roughly MaxFiles * (MaxFileBytes + one line).
+	if limit := int64(3 * (512 + 1024)); total > limit {
+		t.Fatalf("directory size %d exceeds bound %d", total, limit)
+	}
+}
+
+func TestRestartResumesSequence(t *testing.T) {
+	dir := t.TempDir()
+	w, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Enqueue(&Record{TraceID: "a", Outcome: "ok"})
+	w.Close()
+	w2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Enqueue(&Record{TraceID: "b", Outcome: "ok"})
+	w2.Close()
+	names := listTelemetryFiles(dir)
+	if len(names) != 2 {
+		t.Fatalf("restart should open a new sequence file, got %v", names)
+	}
+}
+
+func TestSlowQueryKeepsSpans(t *testing.T) {
+	var mu sync.Mutex
+	var lines [][]byte
+	s := SinkFunc(func(line []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, append([]byte(nil), line...))
+		return nil
+	})
+	w := NewWithSink(Config{SlowQuery: time.Millisecond}, s)
+	spans := []*trace.WireSpan{{Name: "join", WallNS: 5e6, Reads: 3}}
+	w.Enqueue(&Record{TraceID: "fast", WallUS: 10, Spans: spans})
+	w.Enqueue(&Record{TraceID: "slow", WallUS: 5000, Spans: spans})
+	w.Close()
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var fast, slow Record
+	if err := json.Unmarshal(lines[0], &fast); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(lines[1], &slow); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Spans != nil {
+		t.Fatal("fast query kept its span tree")
+	}
+	if len(slow.Spans) != 1 || slow.Spans[0].Reads != 3 {
+		t.Fatalf("slow query lost its span tree: %+v", slow.Spans)
+	}
+}
+
+// The drop path: a wedged sink must never block Enqueue. Run under -race
+// with concurrent enqueuers to prove the hot path stays wait-free.
+func TestBlockedSinkDropsWithoutStalling(t *testing.T) {
+	bs := NewBlockedSink()
+	w := NewWithSink(Config{QueueDepth: 4}, bs)
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				w.Enqueue(&Record{TraceID: fmt.Sprintf("g%d-%d", g, i), Outcome: "ok"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// 800 enqueues against a fully wedged sink: if any enqueue blocked,
+	// this would hang until the sink released. Allow generous slack for CI.
+	if elapsed > 2*time.Second {
+		t.Fatalf("enqueues took %v against a blocked sink", elapsed)
+	}
+	// Queue depth 4 plus the one record in-flight in the drain goroutine:
+	// nearly everything must have been dropped, none written.
+	waitFor(t, "drops", func() bool { return w.Dropped() >= workers*per-5 })
+	if w.Written() != 0 {
+		t.Fatalf("written = %d through a blocked sink", w.Written())
+	}
+	bs.Release()
+	w.Close()
+}
+
+func TestNilWriterIsInert(t *testing.T) {
+	var w *Writer
+	w.Enqueue(&Record{TraceID: "x"})
+	if w.Written() != 0 || w.Dropped() != 0 || w.SlowQuery() != 0 {
+		t.Fatal("nil writer must report zeros")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnqueueAfterCloseIsDropped(t *testing.T) {
+	w := NewWithSink(Config{}, SinkFunc(func([]byte) error { return nil }))
+	w.Close()
+	// Must not panic (send on closed channel) and must not block.
+	w.Enqueue(&Record{TraceID: "late"})
+}

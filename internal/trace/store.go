@@ -1,0 +1,73 @@
+package trace
+
+import "sync"
+
+// Store is a bounded ring of recent trace Records keyed by trace ID — the
+// backing store for GET /debug/trace/{id} on both pbiserve and pbirouter.
+// When the ring is full the oldest record is evicted; storing a record
+// whose trace ID is already present replaces it in place (a retried
+// request keeps one slot). All methods are safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	cap  int
+	ring []string // trace IDs in insertion order, oldest first
+	head int      // next slot to overwrite once the ring is full
+	byID map[string]*Record
+}
+
+// NewStore returns a store that retains the most recent capacity records.
+// capacity <= 0 disables retention: Put becomes a no-op and Get always
+// misses.
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		return &Store{}
+	}
+	return &Store{
+		cap:  capacity,
+		ring: make([]string, 0, capacity),
+		byID: make(map[string]*Record, capacity),
+	}
+}
+
+// Put retains rec, evicting the oldest record if the ring is full. Records
+// without a trace ID are not retrievable and are dropped.
+func (s *Store) Put(rec *Record) {
+	if s == nil || rec == nil || rec.TraceID == "" || s.cap <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[rec.TraceID]; ok {
+		s.byID[rec.TraceID] = rec
+		return
+	}
+	if len(s.ring) < s.cap {
+		s.ring = append(s.ring, rec.TraceID)
+	} else {
+		delete(s.byID, s.ring[s.head])
+		s.ring[s.head] = rec.TraceID
+		s.head = (s.head + 1) % s.cap
+	}
+	s.byID[rec.TraceID] = rec
+}
+
+// Get returns the record for id, or nil if it was never stored or has been
+// evicted.
+func (s *Store) Get(id string) *Record {
+	if s == nil || s.cap <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// Len reports how many records are currently retained.
+func (s *Store) Len() int {
+	if s == nil || s.cap <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// This file is the distributed-trace wire format: a finished span tree
+// serialized as JSON so it can leave the process that recorded it. qserv
+// attaches a WireSpan tree to its response envelope behind ?spans=1, the
+// router stitches the per-node fragments under its own root span, and
+// pbitrace renders the result. The shape is lossless for everything a
+// finished Span carries (wall time plus the full counter delta), and adds
+// two fields that only exist across process boundaries: Node, the identity
+// of the process that recorded (or stitched) the subtree, and PredictedIO,
+// the section 3.4 cost-model estimate carried on join root spans so every
+// trace consumer can compute actual-vs-predicted ratios without a second
+// lookup.
+
+// WireSpan is the JSON wire shape of one finished span, inclusive of
+// children. Counters are the span's Total (inclusive of children), exactly
+// as Span stores them; self-attribution is recomputed by consumers.
+type WireSpan struct {
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+	// Node identifies which process recorded the subtree — empty inside a
+	// single process; the router fills it in when stitching per-node
+	// fragments into one distributed trace.
+	Node string `json:"node,omitempty"`
+	// WallNS is the measured host time, inclusive of children. For spans
+	// assembled over concurrent children (fan-outs) it is the envelope,
+	// not the sum.
+	WallNS int64 `json:"wall_ns"`
+	// The counter delta across the span (trace.Counters, flattened).
+	Reads         int64 `json:"reads"`
+	Writes        int64 `json:"writes"`
+	SeqReads      int64 `json:"seq_reads,omitempty"`
+	SeqWrites     int64 `json:"seq_writes,omitempty"`
+	VirtualNS     int64 `json:"virtual_ns"`
+	PoolHits      int64 `json:"pool_hits,omitempty"`
+	PoolMisses    int64 `json:"pool_misses,omitempty"`
+	PoolEvictions int64 `json:"pool_evictions,omitempty"`
+	Pairs         int64 `json:"pairs,omitempty"`
+	// PredictedIO is the section 3.4 cost model's page estimate for the
+	// subtree. Set on join root spans (and on stitched parents, where it
+	// sums the children); 0 elsewhere.
+	PredictedIO int64       `json:"predicted_io,omitempty"`
+	Children    []*WireSpan `json:"children,omitempty"`
+}
+
+// ToWire converts a finished span tree into its wire shape. Nil in, nil
+// out.
+func ToWire(sp *Span) *WireSpan {
+	if sp == nil {
+		return nil
+	}
+	w := &WireSpan{
+		Name:          sp.Name,
+		Detail:        sp.Detail,
+		WallNS:        sp.Wall.Nanoseconds(),
+		Reads:         sp.Total.Reads,
+		Writes:        sp.Total.Writes,
+		SeqReads:      sp.Total.SeqReads,
+		SeqWrites:     sp.Total.SeqWrites,
+		VirtualNS:     sp.Total.VirtualIO.Nanoseconds(),
+		PoolHits:      sp.Total.PoolHits,
+		PoolMisses:    sp.Total.PoolMisses,
+		PoolEvictions: sp.Total.PoolEvictions,
+		Pairs:         sp.Total.Pairs,
+	}
+	for _, c := range sp.Children {
+		w.Children = append(w.Children, ToWire(c))
+	}
+	return w
+}
+
+// Span converts the wire shape back into a Span tree — the inverse of
+// ToWire up to the wire-only fields (Node and PredictedIO have no Span
+// representation). Counter deltas round-trip exactly.
+func (w *WireSpan) Span() *Span {
+	if w == nil {
+		return nil
+	}
+	sp := &Span{
+		Name:   w.Name,
+		Detail: w.Detail,
+		Wall:   time.Duration(w.WallNS),
+		Total:  w.Counters(),
+	}
+	for _, c := range w.Children {
+		sp.Children = append(sp.Children, c.Span())
+	}
+	return sp
+}
+
+// Counters reassembles the span's counter delta.
+func (w *WireSpan) Counters() Counters {
+	return Counters{
+		Reads:         w.Reads,
+		Writes:        w.Writes,
+		SeqReads:      w.SeqReads,
+		SeqWrites:     w.SeqWrites,
+		VirtualIO:     time.Duration(w.VirtualNS),
+		PoolHits:      w.PoolHits,
+		PoolMisses:    w.PoolMisses,
+		PoolEvictions: w.PoolEvictions,
+		Pairs:         w.Pairs,
+	}
+}
+
+// Pages returns the span's inclusive page I/O (reads + writes).
+func (w *WireSpan) Pages() int64 { return w.Reads + w.Writes }
+
+// AddCounters folds o's counters (and predicted I/O) into w — the
+// accumulation step of assembling a stitched parent over independently
+// recorded children.
+func (w *WireSpan) AddCounters(o *WireSpan) {
+	if o == nil {
+		return
+	}
+	w.Reads += o.Reads
+	w.Writes += o.Writes
+	w.SeqReads += o.SeqReads
+	w.SeqWrites += o.SeqWrites
+	w.VirtualNS += o.VirtualNS
+	w.PoolHits += o.PoolHits
+	w.PoolMisses += o.PoolMisses
+	w.PoolEvictions += o.PoolEvictions
+	w.Pairs += o.Pairs
+	w.PredictedIO += o.PredictedIO
+}
+
+// StitchWire assembles a parent wire span over independently recorded
+// children — trace.Merge for trees that crossed a process boundary. The
+// parent's counters (and PredictedIO) sum the children's; its wall is the
+// caller-measured envelope, not the sum, because the children ran
+// concurrently.
+func StitchWire(name, detail string, wall time.Duration, children ...*WireSpan) *WireSpan {
+	root := &WireSpan{Name: name, Detail: detail, WallNS: wall.Nanoseconds()}
+	for _, c := range children {
+		if c == nil {
+			continue
+		}
+		root.Children = append(root.Children, c)
+		root.AddCounters(c)
+	}
+	return root
+}
+
+// SelfWallNS returns the span's wall time net of its children, clamped at
+// zero (concurrent children can sum past the envelope).
+func (w *WireSpan) SelfWallNS() int64 {
+	self := w.WallNS
+	for _, c := range w.Children {
+		self -= c.WallNS
+	}
+	if self < 0 {
+		self = 0
+	}
+	return self
+}
+
+// Walk visits the span and its descendants in pre-order with the nesting
+// depth (0 for the receiver).
+func (w *WireSpan) Walk(fn func(ws *WireSpan, depth int)) {
+	var walk func(ws *WireSpan, depth int)
+	walk = func(ws *WireSpan, depth int) {
+		fn(ws, depth)
+		for _, c := range ws.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(w, 0)
+}
+
+// Record is one request's trace as stored in a Store and served by
+// GET /debug/trace/{id}: the trace ID, what was asked, which process
+// assembled the record, and the span tree(s) — one tree per join for path
+// queries, a single stitched tree on the router.
+type Record struct {
+	TraceID string `json:"trace_id"`
+	TS      string `json:"ts"`
+	// Node identifies the process that assembled the record ("router", or
+	// empty on a serving node describing itself).
+	Node  string      `json:"node,omitempty"`
+	Query string      `json:"query"`
+	Spans []*WireSpan `json:"spans"`
+}
+
+// Render formats the record as an indented tree with self time and
+// actual-vs-predicted page I/O per phase — the pbitrace output.
+func (rec *Record) Render(w io.Writer) {
+	fmt.Fprintf(w, "TRACE %s  %s", rec.TraceID, rec.Query)
+	if rec.TS != "" {
+		fmt.Fprintf(w, "  %s", rec.TS)
+	}
+	if rec.Node != "" {
+		fmt.Fprintf(w, "  (%s)", rec.Node)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-44s %10s %10s %8s %8s %7s %10s\n",
+		"SPAN", "WALL", "SELF", "PAGES", "PRED", "RATIO", "PAIRS")
+	for _, ws := range rec.Spans {
+		ws.Walk(func(sp *WireSpan, depth int) {
+			label := strings.Repeat("  ", depth) + sp.Name
+			if sp.Detail != "" {
+				label += " [" + sp.Detail + "]"
+			}
+			if sp.Node != "" {
+				label += " @" + sp.Node
+			}
+			if len(label) > 44 {
+				label = label[:41] + "..."
+			}
+			pred, ratio := "", ""
+			if sp.PredictedIO > 0 {
+				pred = fmt.Sprintf("%d", sp.PredictedIO)
+				ratio = fmt.Sprintf("%.2fx", float64(sp.Pages())/float64(sp.PredictedIO))
+			}
+			fmt.Fprintf(w, "%-44s %10s %10s %8d %8s %7s %10d\n",
+				label,
+				time.Duration(sp.WallNS).Round(time.Microsecond),
+				time.Duration(sp.SelfWallNS()).Round(time.Microsecond),
+				sp.Pages(), pred, ratio, sp.Pairs)
+		})
+	}
+}

@@ -2,10 +2,13 @@
 # Router smoke test: split a multi-document database into 3 shards, serve
 # each shard from its own pbiserve node (shard 0 with two replicas), front
 # the fleet with pbirouter, and verify that (a) every routed answer
-# matches a solo pbiserve over the unsplit database, (b) killing shard 0's
-# primary replica yields zero failed queries (failover), (c) the router
-# 503s a shard with no replica left, and (d) /stats and /metrics expose
-# the node table. CI runs this via `make router-smoke`.
+# matches a solo pbiserve over the unsplit database, (b) a ?spans=1 join
+# yields a stitched distributed trace retrievable by ID with one subtree
+# per shard node (rendered by pbitrace), (c) killing shard 0's primary
+# replica yields zero failed queries (failover), (d) the router 503s a
+# shard with no replica left, (e) /stats and /metrics expose the node
+# table, and (f) the telemetry sidecar appended one valid JSONL record per
+# routed query. CI runs this via `make router-smoke`.
 set -euo pipefail
 
 tmp=$(mktemp -d)
@@ -64,7 +67,8 @@ done
 
 "$tmp/bin/pbirouter" \
     -nodes "http://$n0a_addr|http://$n0b_addr,http://$n1_addr,http://$n2_addr" \
-    -addr "$router_addr" -cache -1 -probe 200ms -probe-fails 1 &
+    -addr "$router_addr" -cache -1 -probe 200ms -probe-fails 1 \
+    -telemetry "$tmp/router-telemetry" &
 router=$!; pids+=("$router")
 wait_url "http://$router_addr/readyz" "$router" "pbirouter"
 
@@ -100,6 +104,45 @@ echo "router-smoke: driving load through the router (pbiload -targets)"
 "$tmp/bin/pbiload" -targets "http://$router_addr,http://$router_addr" \
     -queries item/text,person/emailaddress -paths "//item//parlist//text" \
     -c 4 -n 200 -stats=false
+
+echo "router-smoke: fetching a stitched distributed trace (?spans=1)"
+spanresp=$(curl -fs "http://$router_addr/join?anc=item&desc=text&spans=1")
+tid=$(echo "$spanresp" | jq -r .trace_id)
+[ -n "$tid" ] && [ "$tid" != "null" ] || {
+    echo "router-smoke: ?spans=1 response carries no trace_id: $spanresp" >&2; exit 1; }
+stitched=$(curl -fs "http://$router_addr/debug/trace/$tid") || {
+    echo "router-smoke: GET /debug/trace/$tid failed" >&2; exit 1; }
+echo "$stitched" | python3 -c '
+import json,sys
+rec = json.load(sys.stdin)
+assert rec["node"] == "router", rec["node"]
+assert len(rec["spans"]) == 1, "want one root span"
+root = rec["spans"][0]
+assert root["name"] == "join" and root["node"] == "router", root
+fan = [c for c in root.get("children", []) if c["name"] == "fanout"]
+assert len(fan) == 1, "stitched trace missing the fanout span"
+kids = fan[0].get("children", [])
+assert len(kids) == 3, f"want one node subtree per shard, got {len(kids)}"
+urls = {c["node"] for c in kids}
+shards = {c["detail"].split()[0] for c in kids}
+assert len(urls) == 3, f"node subtrees must come from 3 distinct nodes: {urls}"
+assert shards == {"shard=0", "shard=1", "shard=2"}, shards
+for c in kids:
+    subs = c.get("children", [])
+    assert subs and subs[0]["name"] == "join", f"{c['node']} returned no join subtree"
+# After the pbiload warm-up every page is buffer-pool resident, so count
+# pool hits as page accesses alongside physical reads and writes.
+io = root["reads"] + root["writes"] + root.get("pool_hits", 0)
+assert io > 0, "stitched root carries no page accesses"
+assert root.get("predicted_io", 0) > 0, "stitched root carries no predicted I/O"
+' || { echo "router-smoke: bad stitched trace: $stitched" >&2; exit 1; }
+
+echo "router-smoke: rendering the trace with pbitrace"
+rendered=$("$tmp/bin/pbitrace" -url "http://$router_addr" "$tid")
+echo "$rendered" | grep -q "TRACE $tid" || {
+    echo "router-smoke: pbitrace did not render the trace header" >&2; exit 1; }
+echo "$rendered" | grep -q "fanout" || {
+    echo "router-smoke: pbitrace output missing the fanout span" >&2; exit 1; }
 
 echo "router-smoke: killing shard 0's primary replica (failover)"
 kill "$n0a"
@@ -155,4 +198,20 @@ ready=$(curl -s -o /dev/null -w '%{http_code}' "http://$router_addr/readyz")
 
 kill -0 "$router" 2>/dev/null || { echo "router-smoke: pbirouter crashed" >&2; exit 1; }
 kill -INT "$router" && wait "$router" || true
+
+echo "router-smoke: checking the telemetry sidecar JSONL"
+telfiles=("$tmp"/router-telemetry/telemetry-*.jsonl)
+[ -s "${telfiles[0]}" ] || {
+    echo "router-smoke: telemetry directory has no records" >&2; exit 1; }
+# Every line must be a complete JSON record with the router's identity, a
+# trace ID and a known outcome; jq exits non-zero on any malformed line.
+cat "${telfiles[@]}" | jq -es '
+    length > 0 and all(.[];
+        .node == "router" and .trace_id != "" and .endpoint != "" and
+        (.outcome | IN("ok", "cached", "rejected", "canceled", "timeout",
+                       "not_found", "error")))' >/dev/null || {
+    echo "router-smoke: telemetry JSONL failed validation" >&2; exit 1; }
+records=$(cat "${telfiles[@]}" | wc -l)
+echo "router-smoke: telemetry recorded $records routed queries"
+
 echo "router-smoke: OK"

@@ -22,7 +22,8 @@ echo "serve-smoke: generating database"
 "$tmp/bin/pbidb" build -db "$tmp/smoke.db" "$tmp/doc.xml"
 
 addr=127.0.0.1:18421
-"$tmp/bin/pbiserve" -db "$tmp/smoke.db" -addr "$addr" -workers 4 &
+"$tmp/bin/pbiserve" -db "$tmp/smoke.db" -addr "$addr" -workers 4 \
+    -telemetry "$tmp/node-telemetry" &
 srv=$!
 
 for _ in $(seq 1 50); do
@@ -85,8 +86,30 @@ trace=$(curl -fs "http://$addr/debug/trace?anc=item&desc=text")
 echo "$trace" | grep -q '"trace_id"' || { echo "serve-smoke: /debug/trace missing trace_id: $trace" >&2; exit 1; }
 echo "$trace" | grep -q '"spans"' || { echo "serve-smoke: /debug/trace missing spans: $trace" >&2; exit 1; }
 
+echo "serve-smoke: checking /debug/trace/{id} retained-trace retrieval"
+spanresp=$(curl -fs "http://$addr/join?anc=item&desc=text&spans=1")
+tid=$(echo "$spanresp" | sed -n 's/.*"trace_id":"\([^"]*\)".*/\1/p')
+[ -n "$tid" ] || { echo "serve-smoke: ?spans=1 carries no trace_id: $spanresp" >&2; exit 1; }
+"$tmp/bin/pbitrace" -url "http://$addr" "$tid" | grep -q "TRACE $tid" || {
+    echo "serve-smoke: pbitrace could not render retained trace $tid" >&2; exit 1; }
+
 kill -0 "$srv" 2>/dev/null || { echo "serve-smoke: pbiserve crashed during the run" >&2; exit 1; }
 kill -INT "$srv"
 wait "$srv"
 srv=""
+
+echo "serve-smoke: checking the telemetry sidecar JSONL"
+telfiles=("$tmp"/node-telemetry/telemetry-*.jsonl)
+[ -s "${telfiles[0]}" ] || { echo "serve-smoke: telemetry directory has no records" >&2; exit 1; }
+cat "${telfiles[@]}" | python3 -c '
+import json,sys
+n = 0
+for line in sys.stdin:
+    rec = json.loads(line)
+    assert rec["trace_id"] and rec["endpoint"], rec
+    n += 1
+assert n > 0, "telemetry files exist but hold no records"
+print(f"serve-smoke: telemetry recorded {n} queries")
+' || { echo "serve-smoke: telemetry JSONL failed validation" >&2; exit 1; }
+
 echo "serve-smoke: OK"
