@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench fuzz experiments experiments-full serve-smoke shard-smoke parallel-smoke router-smoke clean
+.PHONY: all build test vet race cover bench fuzz experiments experiments-full serve-smoke shard-smoke parallel-smoke router-smoke chaos-smoke clean
 
 all: build vet test
 
@@ -59,6 +59,13 @@ parallel-smoke:
 # (doc/ROUTER.md).
 router-smoke:
 	./scripts/router-smoke.sh
+
+# Fault-containment check: dead shard → breaker-derived Retry-After and
+# a degraded ?partial=1 206; corrupted page → "corrupt" failure class,
+# pbifsck pinpoints it, router degrades around the shard; legacy
+# pre-checksum databases still serve (doc/ROBUSTNESS.md).
+chaos-smoke:
+	./scripts/chaos-smoke.sh
 
 # The paper-scale runs behind EXPERIMENTS.md (several minutes).
 experiments-full:

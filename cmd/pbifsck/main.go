@@ -1,0 +1,96 @@
+// Command pbifsck is the offline integrity checker for persisted pbidb
+// databases: it recomputes every page's CRC32-C and compares it against the
+// checksum sidecar, pinpointing exactly which pages — and which stored
+// relations — are damaged. Run it when a query fails with the "corrupt"
+// failure class, or routinely after restoring a database from backup.
+//
+// Usage:
+//
+//	pbifsck db.pbidb [db2.pbidb ...]      verify page checksums
+//	pbifsck -add legacy.pbidb             backfill checksums on a pre-checksum database
+//	pbifsck -json db.pbidb                machine-readable report
+//
+// Exit status: 0 when every database verifies clean, 1 on corruption or an
+// unverifiable (legacy, no-checksum) database, 2 on usage or I/O errors.
+// -add trusts the page file as it stands, so run it only on a database
+// believed intact — there is nothing older to verify against.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/pbitree/pbitree/containment"
+)
+
+func main() {
+	var (
+		add     = flag.Bool("add", false, "backfill a checksum sidecar onto a legacy (pre-checksum) database")
+		jsonOut = flag.Bool("json", false, "emit one JSON report per database instead of text")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pbifsck [-add] [-json] db.pbidb [db2.pbidb ...]")
+		os.Exit(2)
+	}
+
+	if *add {
+		for _, path := range flag.Args() {
+			if err := containment.AddChecksums(path); err != nil {
+				fmt.Fprintf(os.Stderr, "pbifsck: %s: %v\n", path, err)
+				os.Exit(2)
+			}
+			fmt.Printf("%s: checksum sidecar written\n", path)
+		}
+		return
+	}
+
+	bad := false
+	for _, path := range flag.Args() {
+		rep, err := containment.Fsck(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbifsck: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		if !rep.OK() {
+			bad = true
+		}
+		if *jsonOut {
+			out, _ := json.MarshalIndent(rep, "", "  ")
+			fmt.Printf("%s\n", out)
+			continue
+		}
+		report(rep)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// report renders one scan result as text.
+func report(rep *containment.FsckReport) {
+	if rep.NoChecksums {
+		fmt.Printf("%s: no checksum sidecar (saved before page integrity landed); run pbifsck -add to protect it\n", rep.Path)
+		return
+	}
+	if len(rep.Bad) == 0 {
+		fmt.Printf("%s: ok (%d/%d pages verified, page size %d)\n", rep.Path, rep.Checked, rep.Pages, rep.PageSize)
+		return
+	}
+	fmt.Printf("%s: CORRUPT — %d of %d pages failed verification\n", rep.Path, len(rep.Bad), rep.Checked)
+	for _, b := range rep.Bad {
+		where := "unowned (catalog internals or slack)"
+		if len(b.Relations) > 0 {
+			where = "relations: "
+			for i, r := range b.Relations {
+				if i > 0 {
+					where += ", "
+				}
+				where += r
+			}
+		}
+		fmt.Printf("  page %d: want crc32c %08x, got %08x — %s\n", b.Page, b.Want, b.Got, where)
+	}
+}

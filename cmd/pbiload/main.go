@@ -26,8 +26,13 @@
 // reports a per-target breakdown: request count, non-200 statuses by
 // failure class, and the X-Cache hit rate each target achieved.
 //
-// Exit status is nonzero if any request failed or returned non-200, so CI
-// smoke jobs can gate on it.
+// Degraded answers (HTTP 206 from a router serving with shards missing)
+// are counted as their own outcome class — "partial" — separate from both
+// successes and failures: they carry a real (lower-bound) answer, so their
+// latencies count, but a run that produced any is visibly not a clean one.
+//
+// Exit status is nonzero if any request failed or returned a status other
+// than 200 or 206, so CI smoke jobs can gate on it.
 package main
 
 import (
@@ -325,13 +330,18 @@ func collect(resc chan result, wg *sync.WaitGroup) []result {
 
 // report prints the summary and returns the number of failed requests.
 func report(results []result, elapsed time.Duration) int {
-	var transportErrs, non200, hits, misses int
+	var transportErrs, non200, partial, hits, misses int
 	lats := make([]time.Duration, 0, len(results))
 	byStatus := map[int]int{}
 	for _, r := range results {
 		switch {
 		case r.status == 0:
 			transportErrs++
+		case r.status == http.StatusPartialContent:
+			// Degraded router answer: a real lower bound, its own class —
+			// neither a clean success nor a failure.
+			partial++
+			lats = append(lats, r.latency)
 		case r.status != http.StatusOK:
 			non200++
 			byStatus[r.status]++
@@ -345,10 +355,10 @@ func report(results []result, elapsed time.Duration) int {
 			}
 		}
 	}
-	fmt.Printf("pbiload: %d requests in %v (%.1f req/s)  ok=%d cached=%d non200=%d errors=%d\n",
+	fmt.Printf("pbiload: %d requests in %v (%.1f req/s)  ok=%d partial=%d cached=%d non200=%d errors=%d\n",
 		len(results), elapsed.Round(time.Millisecond),
 		float64(len(results))/elapsed.Seconds(),
-		len(lats), hits, non200, transportErrs)
+		len(lats)-partial, partial, hits, non200, transportErrs)
 	statuses := make([]int, 0, len(byStatus))
 	for status := range byStatus {
 		statuses = append(statuses, status)
@@ -376,10 +386,10 @@ func report(results []result, elapsed time.Duration) int {
 // what X-Cache hit rate it achieved.
 func reportTargets(bases []string, results []result) {
 	type tstat struct {
-		requests, ok, transportErrs int
-		hits, misses                int
-		byStatus                    map[int]int
-		lats                        []time.Duration
+		requests, ok, partial, transportErrs int
+		hits, misses                         int
+		byStatus                             map[int]int
+		lats                                 []time.Duration
 	}
 	stats := make([]*tstat, len(bases))
 	for i := range stats {
@@ -391,6 +401,9 @@ func reportTargets(bases []string, results []result) {
 		switch {
 		case r.status == 0:
 			t.transportErrs++
+		case r.status == http.StatusPartialContent:
+			t.partial++
+			t.lats = append(t.lats, r.latency)
 		case r.status != http.StatusOK:
 			t.byStatus[r.status]++
 		default:
@@ -406,7 +419,7 @@ func reportTargets(bases []string, results []result) {
 	}
 	for i, b := range bases {
 		t := stats[i]
-		fmt.Printf("pbiload: target %-32s %6d requests  ok=%d errors=%d", b, t.requests, t.ok, t.transportErrs)
+		fmt.Printf("pbiload: target %-32s %6d requests  ok=%d partial=%d errors=%d", b, t.requests, t.ok, t.partial, t.transportErrs)
 		if t.hits+t.misses > 0 {
 			fmt.Printf("  cache-hit=%.1f%%", 100*float64(t.hits)/float64(t.hits+t.misses))
 		}
@@ -435,6 +448,8 @@ func reportTargets(bases []string, results []result) {
 // (queries too slow for their budget) and internal failures (bugs).
 func statusClass(status int) string {
 	switch status {
+	case http.StatusPartialContent:
+		return "partial (degraded: shards missing)"
 	case 499:
 		return "client canceled"
 	case http.StatusServiceUnavailable:

@@ -10,6 +10,10 @@
 //	          [-cache 1024] [-timeout 0] [-probe 2s] [-probe-timeout 1s]
 //	          [-probe-fails 2] [-hedge 0] [-hedge-min 10ms] [-maxcodes 100]
 //	          [-drain 10s] [-telemetry DIR] [-slowquery DUR]
+//	          [-breaker-threshold 5] [-breaker-interval 1s] [-breaker-max 30s]
+//	          [-retry-budget 10] [-retry-refill 1]
+//	          [-retry-backoff 10ms] [-retry-backoff-max 500ms]
+//	          [-allow-partial]
 //	pbirouter -topology topology.json [...]
 //
 // -nodes lists the shard groups: commas separate shards, pipes separate
@@ -29,6 +33,12 @@
 // embeds the same tree in the response; see doc/OBSERVABILITY.md).
 // SIGINT/SIGTERM mark /readyz not-ready, drain in-flight requests, then
 // exit.
+//
+// Fault containment (doc/ROBUSTNESS.md): each node gets a circuit breaker
+// (-breaker-*), failover retries draw from a shared token-bucket budget
+// paced by jittered exponential backoff (-retry-*), and ?partial=1 (or
+// -allow-partial as the default) serves degraded 206 answers that skip
+// exhausted shards instead of failing the whole request.
 package main
 
 import (
@@ -64,6 +74,15 @@ func main() {
 		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		telDir       = flag.String("telemetry", "", "append one JSONL telemetry record per routed query to this directory (rotating)")
 		slowQ        = flag.Duration("slowquery", 0, "queries at or above this wall time keep their stitched span tree in telemetry (0 = never)")
+
+		brThreshold = flag.Int("breaker-threshold", 5, "consecutive node failures that open its circuit breaker (negative disables)")
+		brInterval  = flag.Duration("breaker-interval", time.Second, "initial breaker open interval before a half-open trial")
+		brMax       = flag.Duration("breaker-max", 30*time.Second, "cap for the doubling breaker open interval")
+		retryBudget = flag.Float64("retry-budget", 10, "shared retry-budget bucket capacity (failover retries; negative disables)")
+		retryRefill = flag.Float64("retry-refill", 1, "retry-budget refill rate, tokens per second")
+		backoff     = flag.Duration("retry-backoff", 10*time.Millisecond, "base failover backoff, doubled per attempt with jitter (negative disables)")
+		backoffMax  = flag.Duration("retry-backoff-max", 500*time.Millisecond, "cap for the failover backoff")
+		allowPart   = flag.Bool("allow-partial", false, "serve degraded 206 answers by default when shards are exhausted (?partial= overrides)")
 	)
 	flag.Parse()
 	if (*nodes == "") == (*topology == "") || flag.NArg() != 0 {
@@ -101,6 +120,15 @@ func main() {
 		HedgeMin:      *hedgeMin,
 		MaxCodes:      *maxcodes,
 		Telemetry:     telw,
+
+		BreakerThreshold:   *brThreshold,
+		BreakerInterval:    *brInterval,
+		BreakerMaxInterval: *brMax,
+		RetryBudget:        *retryBudget,
+		RetryRefill:        *retryRefill,
+		RetryBackoff:       *backoff,
+		RetryBackoffMax:    *backoffMax,
+		AllowPartial:       *allowPart,
 	})
 	if err != nil {
 		telw.Close() //nolint:errcheck // the router error wins

@@ -31,6 +31,12 @@ const (
 	FailDeadline
 	// FailStorage: the storage layer failed (I/O error, injected fault).
 	FailStorage
+	// FailCorrupt: a page failed checksum verification — the data on disk
+	// is damaged. Distinct from FailStorage because the right response
+	// differs: the query must fail (never silently return a wrong answer),
+	// the page stays quarantined, and the operator runs pbifsck rather
+	// than retrying the same replica.
+	FailCorrupt
 	// FailInternal: anything else — a logic error worth alarming on.
 	FailInternal
 )
@@ -46,6 +52,8 @@ func (c FailureClass) String() string {
 		return "deadline"
 	case FailStorage:
 		return "storage"
+	case FailCorrupt:
+		return "corrupt"
 	default:
 		return "internal"
 	}
@@ -64,6 +72,8 @@ func Classify(err error) FailureClass {
 		return FailDeadline
 	case errors.Is(err, core.ErrCanceled), errors.Is(err, context.Canceled):
 		return FailCanceled
+	case errors.Is(err, storage.ErrCorrupt):
+		return FailCorrupt
 	case errors.Is(err, storage.ErrInjected):
 		return FailStorage
 	}

@@ -1,0 +1,165 @@
+package containment
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/pbitree/pbitree/internal/storage"
+)
+
+// This file is the offline integrity scanner behind cmd/pbifsck: it walks
+// a persisted database's page file, recomputes every page's CRC32-C, and
+// reports the pages whose content no longer matches the checksum sidecar —
+// mapping each bad page back to the relations that own it so an operator
+// knows which stored data is damaged. Unlike the serving path (which
+// verifies lazily, on fetch, and quarantines), Fsck reads every page, so
+// corruption in rarely-queried relations surfaces too.
+
+// FsckBadPage is one page that failed verification.
+type FsckBadPage struct {
+	Page int64  `json:"page"`
+	Want uint32 `json:"want"` // recorded checksum
+	Got  uint32 `json:"got"`  // checksum of the page as read
+	// Relations names the stored relations whose page lists include this
+	// page; empty for pages no relation owns (catalog internals, slack).
+	Relations []string `json:"relations,omitempty"`
+}
+
+// FsckReport is the outcome of one database scan.
+type FsckReport struct {
+	Path     string        `json:"path"`
+	PageSize int           `json:"page_size"`
+	Pages    int64         `json:"pages"`   // pages in the file
+	Checked  int64         `json:"checked"` // pages with a recorded checksum
+	Bad      []FsckBadPage `json:"bad,omitempty"`
+	// NoChecksums marks a database saved before page integrity landed
+	// (catalog flag absent): there is nothing to verify against. Use
+	// AddChecksums to bring such a database under protection.
+	NoChecksums bool `json:"no_checksums,omitempty"`
+}
+
+// OK reports whether the scan found the database intact (a legacy database
+// with no checksums is not OK — it is unverifiable).
+func (r *FsckReport) OK() bool { return !r.NoChecksums && len(r.Bad) == 0 }
+
+// readCatalog loads and version-checks a database's catalog sidecar.
+func readCatalog(path string) (*catalogFile, error) {
+	data, err := os.ReadFile(catalogPath(path))
+	if err != nil {
+		return nil, fmt.Errorf("containment: read catalog: %w", err)
+	}
+	var cat catalogFile
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return nil, fmt.Errorf("containment: parse catalog: %w", err)
+	}
+	if cat.Version != catalogVersion {
+		return nil, fmt.Errorf("containment: catalog version %d unsupported", cat.Version)
+	}
+	return &cat, nil
+}
+
+// Fsck scans the database at path: every page of the page file is read and
+// its CRC32-C compared against the checksum sidecar. The returned report
+// lists each mismatching page with the relations that own it. Databases
+// saved before checksums existed return a report with NoChecksums set and
+// no error — they are legacy, not broken.
+func Fsck(path string) (*FsckReport, error) {
+	cat, err := readCatalog(path)
+	if err != nil {
+		return nil, err
+	}
+	pageSize := cat.PageSize
+	if pageSize <= 0 {
+		pageSize = storage.DefaultPageSize
+	}
+	rep := &FsckReport{Path: path, PageSize: pageSize}
+	if !cat.Checksums {
+		rep.NoChecksums = true
+		return rep, nil
+	}
+	sums, err := storage.LoadChecksums(path)
+	if err != nil {
+		return nil, fmt.Errorf("containment: %w", err)
+	}
+
+	owners := map[int64][]string{}
+	for _, entry := range cat.Relations {
+		for _, id := range entry.Pages {
+			owners[id] = append(owners[id], entry.Name)
+		}
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size()%int64(pageSize) != 0 {
+		return nil, fmt.Errorf("containment: page file size %d is not a multiple of page size %d (truncated?)", st.Size(), pageSize)
+	}
+	rep.Pages = st.Size() / int64(pageSize)
+
+	br := bufio.NewReaderSize(f, 1<<20)
+	page := make([]byte, pageSize)
+	for id := int64(0); id < rep.Pages; id++ {
+		if _, err := io.ReadFull(br, page); err != nil {
+			return nil, fmt.Errorf("containment: read page %d: %w", id, err)
+		}
+		if int(id) >= sums.Pages() {
+			// The file grew after the sidecar was written (a writable
+			// engine extended it without re-saving): unverifiable tail.
+			continue
+		}
+		rep.Checked++
+		want := sums.Sum(storage.PageID(id))
+		got := storage.PageChecksum(page)
+		if got == want {
+			continue
+		}
+		rels := append([]string(nil), owners[id]...)
+		sort.Strings(rels)
+		rep.Bad = append(rep.Bad, FsckBadPage{Page: id, Want: want, Got: got, Relations: rels})
+	}
+	return rep, nil
+}
+
+// AddChecksums computes and writes the checksum sidecar for a database
+// saved before page integrity landed, then marks the catalog so future
+// opens verify. It trusts the page file as it stands — run it only on a
+// database believed intact (there is nothing older to verify against).
+// Idempotent: re-running recomputes the sidecar from the current file.
+func AddChecksums(path string) error {
+	cat, err := readCatalog(path)
+	if err != nil {
+		return err
+	}
+	pageSize := cat.PageSize
+	if pageSize <= 0 {
+		pageSize = storage.DefaultPageSize
+	}
+	sums, err := storage.ComputeFileChecksums(path, pageSize)
+	if err != nil {
+		return fmt.Errorf("containment: checksum page file: %w", err)
+	}
+	if err := sums.Save(path); err != nil {
+		return fmt.Errorf("containment: write checksum sidecar: %w", err)
+	}
+	cat.Checksums = true
+	data, err := json.MarshalIndent(cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := catalogPath(path) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, catalogPath(path))
+}

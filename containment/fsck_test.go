@@ -1,0 +1,217 @@
+package containment
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pbitree/pbitree/internal/storage"
+)
+
+// buildDB saves a small two-relation database and returns its path plus
+// the expected join pair count.
+func buildDB(t *testing.T) (path string, wantPairs int) {
+	t.Helper()
+	path = filepath.Join(t.TempDir(), "db.pages")
+	rng := rand.New(rand.NewSource(61))
+	aCodes := randCodes(rng, 800, 12)
+	dCodes := randCodes(rng, 800, 12)
+	e, err := NewEngine(Config{Path: path, PageSize: 512, BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Load("A", aCodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Load("D", dCodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Save(a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, len(oracle(aCodes, dCodes))
+}
+
+// flipByteInRelation corrupts one byte inside the first page owned by the
+// named relation and returns that page's ID.
+func flipByteInRelation(t *testing.T, path, rel string) int64 {
+	t.Helper()
+	cat, err := readCatalog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page int64 = -1
+	for _, e := range cat.Relations {
+		if e.Name == rel && len(e.Pages) > 0 {
+			page = e.Pages[0]
+			break
+		}
+	}
+	if page < 0 {
+		t.Fatalf("relation %s has no pages", rel)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	off := page*int64(cat.PageSize) + 17
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	return page
+}
+
+func TestCorruptionFailsQueryAndFsckPinpointsIt(t *testing.T) {
+	path, _ := buildDB(t)
+	page := flipByteInRelation(t, path, "A")
+
+	// Fsck names the exact page and the relation that owns it.
+	rep, err := Fsck(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || len(rep.Bad) != 1 {
+		t.Fatalf("report: OK=%v bad=%v", rep.OK(), rep.Bad)
+	}
+	if rep.Bad[0].Page != page {
+		t.Fatalf("fsck blamed page %d, want %d", rep.Bad[0].Page, page)
+	}
+	found := false
+	for _, r := range rep.Bad[0].Relations {
+		if r == "A" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fsck owners %v missing relation A", rep.Bad[0].Relations)
+	}
+
+	// The serving path fails the query with the corrupt class — never a
+	// silent wrong answer.
+	eng, rels, err := Open(Config{Path: path, ReadOnly: true, BufferPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, err = eng.Join(rels["A"], rels["D"], JoinOptions{})
+	if err == nil {
+		t.Fatal("join over a corrupt page succeeded")
+	}
+	if got := Classify(err); got != FailCorrupt {
+		t.Fatalf("Classify = %v (%v), want FailCorrupt", got, err)
+	}
+	// Quarantine: the same query fails fast the second time too.
+	if _, err := eng.Join(rels["A"], rels["D"], JoinOptions{}); Classify(err) != FailCorrupt {
+		t.Fatalf("second join: %v, want FailCorrupt", err)
+	}
+}
+
+func TestCorruptionDetectedOnWritableOpen(t *testing.T) {
+	path, _ := buildDB(t)
+	flipByteInRelation(t, path, "D")
+	eng, rels, err := Open(Config{Path: path, BufferPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, err = eng.Join(rels["A"], rels["D"], JoinOptions{})
+	if Classify(err) != FailCorrupt {
+		t.Fatalf("writable open join: %v, want FailCorrupt", err)
+	}
+}
+
+// stripChecksums rewrites the database as a pre-checksum (legacy) one: no
+// sidecar, no catalog flag — byte-for-byte what an old release saved.
+func stripChecksums(t *testing.T, path string) {
+	t.Helper()
+	if err := os.Remove(storage.SumsPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := readCatalog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Checksums = false
+	data, err := json.MarshalIndent(cat, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(catalogPath(path), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLegacyDatabaseStillOpens(t *testing.T) {
+	path, wantPairs := buildDB(t)
+	stripChecksums(t, path)
+
+	// Legacy databases open and query cleanly — verification is simply off.
+	eng, rels, err := Open(Config{Path: path, ReadOnly: true, BufferPages: 16})
+	if err != nil {
+		t.Fatalf("legacy open: %v", err)
+	}
+	res, err := eng.Join(rels["A"], rels["D"], JoinOptions{})
+	if err != nil {
+		t.Fatalf("legacy join: %v", err)
+	}
+	if int(res.Count) != wantPairs {
+		t.Fatalf("legacy join count %d, want %d", res.Count, wantPairs)
+	}
+	eng.Close()
+
+	// Fsck flags them as unverifiable rather than pretending they're fine.
+	rep, err := Fsck(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.NoChecksums || rep.OK() {
+		t.Fatalf("legacy report: %+v", rep)
+	}
+
+	// AddChecksums backfills protection; the database then verifies clean
+	// and a fresh open arms verification.
+	if err := AddChecksums(path); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Fsck(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("post-backfill report: %+v", rep)
+	}
+	flipByteInRelation(t, path, "A")
+	eng2, rels2, err := Open(Config{Path: path, ReadOnly: true, BufferPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if _, err := eng2.Join(rels2["A"], rels2["D"], JoinOptions{}); Classify(err) != FailCorrupt {
+		t.Fatalf("post-backfill corruption: %v, want FailCorrupt", err)
+	}
+}
+
+func TestOpenRejectsMissingSidecar(t *testing.T) {
+	path, _ := buildDB(t)
+	// Catalog says checksums exist, but the sidecar is gone: opening must
+	// fail loudly instead of silently serving unverified pages.
+	if err := os.Remove(storage.SumsPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Config{Path: path, ReadOnly: true}); err == nil {
+		t.Fatal("open with missing sidecar succeeded")
+	}
+}

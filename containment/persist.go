@@ -32,6 +32,12 @@ type catalogFile struct {
 	// it — only the shard splitter (internal/shard.Split) and inspection
 	// tooling do.
 	Documents []catalogDoc `json:"documents,omitempty"`
+	// Checksums records that a CRC32-C page-checksum sidecar (path +
+	// ".sums", storage.SumsPath) was written alongside the page file, and
+	// gates on-read verification. Additive like Documents: databases saved
+	// before page integrity landed unmarshal to false and open exactly as
+	// they always did — no sidecar is looked for, no verification runs.
+	Checksums bool `json:"checksums,omitempty"`
 }
 
 type catalogDoc struct {
@@ -124,6 +130,18 @@ func (e *Engine) SaveDocs(docs []DocInfo, relations ...*Relation) error {
 			Sorted:       r.sorted,
 		})
 	}
+	// Checksum the freshly synced page file and write the sidecar before
+	// the catalog: the catalog's Checksums flag must never assert a sidecar
+	// that does not exist. (The flag is what version-gates verification on
+	// open, so pre-checksum databases keep opening cleanly.)
+	sums, err := storage.ComputeFileChecksums(e.cfg.Path, e.cfg.PageSize)
+	if err != nil {
+		return fmt.Errorf("containment: checksum page file: %w", err)
+	}
+	if err := sums.Save(e.cfg.Path); err != nil {
+		return fmt.Errorf("containment: write checksum sidecar: %w", err)
+	}
+	cat.Checksums = true
 	data, err := json.MarshalIndent(&cat, "", "  ")
 	if err != nil {
 		return err
@@ -171,18 +189,33 @@ func Open(cfg Config) (*Engine, map[string]*Relation, error) {
 		cfg.TreeHeight = cat.TreeHeight
 	}
 	cost := storage.CostModel{Random: cfg.DiskCost.Random, Sequential: cfg.DiskCost.Sequential}
+	// Page-integrity verification is version-gated on the catalog flag:
+	// databases saved before checksums existed have no flag, no sidecar,
+	// and open exactly as before. When the flag is set the sidecar is
+	// mandatory — a catalog asserting checksums with the sidecar missing
+	// is itself an integrity failure, not a legacy database.
+	var sums *storage.ChecksumSet
+	if cat.Checksums {
+		var err error
+		sums, err = storage.LoadChecksums(cfg.Path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("containment: catalog records page checksums but the sidecar is unusable: %w", err)
+		}
+	}
 	var disk storage.Disk
 	if cfg.ReadOnly {
 		od, err := storage.OpenOverlay(cfg.Path, cfg.PageSize, cost)
 		if err != nil {
 			return nil, nil, err
 		}
+		od.SetChecksums(sums)
 		disk = od
 	} else {
 		fd, err := storage.ReopenFileDisk(cfg.Path, cfg.PageSize, cost)
 		if err != nil {
 			return nil, nil, err
 		}
+		fd.SetChecksums(sums)
 		disk = fd
 	}
 	e := &Engine{disk: disk, pool: buffer.New(disk, cfg.BufferPages), cfg: cfg}

@@ -152,6 +152,11 @@ func (p *Pool) Fetch(id storage.PageID) (Frame, error) {
 	}
 	if err := p.disk.Read(id, p.slots[i].data); err != nil {
 		// The victim slot was already flushed and unmapped; leave it free.
+		// This is also the page-integrity gate: a disk armed with checksums
+		// (storage.ChecksumSet) fails the Read with storage.ErrCorrupt on a
+		// mismatch, so a damaged page never becomes a resident frame — the
+		// fetch fails, the query fails with a distinct class, and repeat
+		// fetches of the quarantined page fail fast without re-reading.
 		return Frame{}, fmt.Errorf("buffer: fetch page %d: %w", id, err)
 	}
 	p.install(i, id)

@@ -1,0 +1,87 @@
+package qserv
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+)
+
+// flipEveryPage XORs one byte in every page of the database file, so any
+// query that touches storage is guaranteed to cross a corrupted page.
+func flipEveryPage(t *testing.T, db string, pageSize int64) {
+	t.Helper()
+	f, err := os.OpenFile(db, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 1)
+	for off := int64(100); off < st.Size(); off += pageSize {
+		if _, err := f.ReadAt(b, off); err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 0x20
+		if _, err := f.WriteAt(b, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCorruptPageFailsWithCorruptClass locks the node-level contract: a
+// page-checksum mismatch fails the query with HTTP 500 and the "corrupt"
+// failure class — never a silent wrong answer — and the corruption counter
+// surfaces in /stats.
+func TestCorruptPageFailsWithCorruptClass(t *testing.T) {
+	db, _ := buildServerDB(t)
+	flipEveryPage(t, db, 4096)
+
+	s, err := New(Config{DBPath: db, Workers: 2, QueueDepth: 8, BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{}
+
+	status, body, _ := get(t, client, ts.URL+"/join?anc=section&desc=figure")
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500; body %s", status, body)
+	}
+	var envelope struct {
+		Error string `json:"error"`
+		Class string `json:"class"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatalf("parse error body %q: %v", body, err)
+	}
+	if envelope.Class != "corrupt" {
+		t.Fatalf("class %q, want corrupt (error: %s)", envelope.Class, envelope.Error)
+	}
+
+	// Quarantined page: the retry fails the same way, fast.
+	status, _, _ = get(t, client, ts.URL+"/join?anc=section&desc=figure")
+	if status != http.StatusInternalServerError {
+		t.Fatalf("retry status %d, want 500", status)
+	}
+
+	status, body, _ = get(t, client, ts.URL+"/stats")
+	if status != http.StatusOK {
+		t.Fatalf("/stats status %d", status)
+	}
+	var stats struct {
+		Corrupt int64 `json:"corrupt"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Corrupt < 2 {
+		t.Fatalf("stats corrupt = %d, want >= 2", stats.Corrupt)
+	}
+}

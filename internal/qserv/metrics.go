@@ -36,6 +36,7 @@ type metrics struct {
 
 	canceled       atomic.Int64 // requests aborted by client disconnect (499)
 	timeouts       atomic.Int64 // requests aborted by deadline (504)
+	corrupt        atomic.Int64 // queries failed by page-checksum mismatch
 	panics         atomic.Int64 // panics recovered during query execution
 	engineRecycles atomic.Int64 // poisoned engines discarded and replaced
 

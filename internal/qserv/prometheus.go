@@ -78,6 +78,8 @@ func (s *Server) writeMetrics(w io.Writer, om bool) {
 	fmt.Fprintf(w, "pbiserve_canceled_total %d\n", m.canceled.Load())
 	family(w, "pbiserve_timeouts_total", "Requests aborted by deadline expiry (504).", "counter")
 	fmt.Fprintf(w, "pbiserve_timeouts_total %d\n", m.timeouts.Load())
+	family(w, "pbiserve_corrupt_total", "Queries failed by page-checksum verification (corrupt page quarantined).", "counter")
+	fmt.Fprintf(w, "pbiserve_corrupt_total %d\n", m.corrupt.Load())
 	family(w, "pbiserve_panics_total", "Panics recovered during request handling.", "counter")
 	fmt.Fprintf(w, "pbiserve_panics_total %d\n", m.panics.Load())
 	family(w, "pbiserve_engine_recycles_total", "Poisoned worker engines discarded and replaced.", "counter")

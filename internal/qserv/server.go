@@ -533,9 +533,14 @@ func (s *Server) replaceWorker() {
 	}
 }
 
-// errorResponse is the JSON error envelope.
+// errorResponse is the JSON error envelope. Class carries the
+// containment.FailureClass vocabulary ("canceled", "deadline", "storage",
+// "corrupt", "internal") on execution failures so clients and smoke tests
+// can assert on the failure kind without parsing the message; plain
+// request errors (400s and the like) leave it empty.
 type errorResponse struct {
 	Error string `json:"error"`
+	Class string `json:"class,omitempty"`
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -591,19 +596,42 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return r.Context(), func() {}, nil
 }
 
+// writeClassified renders the error envelope with the failure class named,
+// so the wire carries the vocabulary and not just prose.
+func (s *Server) writeClassified(w http.ResponseWriter, status int, class containment.FailureClass, format string, args ...any) {
+	s.met.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{ //nolint:errcheck // best-effort error body
+		Error: fmt.Sprintf(format, args...),
+		Class: class.String(),
+	})
+}
+
 // writeFailure answers a failed execution, classifying the error into the
 // status vocabulary: 499 for client-canceled requests, 504 for deadline
-// expiry, 500 for everything else. The matching counters are bumped.
+// expiry, 500 for everything else. Corruption (a page failed checksum
+// verification) is a 500 like other storage failures — retryable at the
+// router, since a clean replica of the same shard can still answer — but
+// carries its own class and counter: the query failed precisely so a
+// damaged page could not become a silently wrong result, and the operator
+// response (quarantine holds; run pbifsck; restore the shard file) is
+// different from a transient I/O error. The matching counters are bumped.
 func (s *Server) writeFailure(w http.ResponseWriter, what string, err error) {
-	switch containment.Classify(err) {
+	class := containment.Classify(err)
+	switch class {
 	case containment.FailDeadline:
 		s.met.timeouts.Add(1)
-		s.writeError(w, http.StatusGatewayTimeout, "%s timed out: %v", what, err)
+		s.writeClassified(w, http.StatusGatewayTimeout, class, "%s timed out: %v", what, err)
 	case containment.FailCanceled:
 		s.met.canceled.Add(1)
-		s.writeError(w, statusClientClosedRequest, "%s canceled by client", what)
+		s.writeClassified(w, statusClientClosedRequest, class, "%s canceled by client", what)
+	case containment.FailCorrupt:
+		s.met.corrupt.Add(1)
+		s.writeClassified(w, http.StatusInternalServerError, class,
+			"%s failed: %v (page quarantined; run pbifsck against this shard)", what, err)
 	default:
-		s.writeError(w, http.StatusInternalServerError, "%s failed: %v", what, err)
+		s.writeClassified(w, http.StatusInternalServerError, class, "%s failed: %v", what, err)
 	}
 }
 
@@ -664,6 +692,13 @@ type JoinResponse struct {
 	PredictedIO int64  `json:"predicted_io"`
 	VirtualUS   int64  `json:"virtual_us"`
 	WallUS      int64  `json:"wall_us"`
+	// Partial and MissingShards are set only by the router's degraded
+	// serving mode (?partial=1): the listed shards had no usable replica
+	// and were skipped, so Count (and every other aggregate) is an exact
+	// lower bound over the shards that answered — never an estimate, and
+	// never silently short. Single nodes always return complete answers.
+	Partial       bool  `json:"partial,omitempty"`
+	MissingShards []int `json:"missing_shards,omitempty"`
 	// TraceID and Spans are present only when the request asked for span
 	// export (?spans=1): the request's trace ID and the execution's span
 	// tree in the distributed-trace wire shape. The router requests these
@@ -813,6 +848,11 @@ type QueryResponse struct {
 	PageIO    int64      `json:"page_io"`
 	VirtualUS int64      `json:"virtual_us"`
 	WallUS    int64      `json:"wall_us"`
+	// Partial and MissingShards mirror JoinResponse: set only by the
+	// router's degraded mode when the listed shards were skipped, making
+	// Count and Codes an exact lower bound over the answering shards.
+	Partial       bool  `json:"partial,omitempty"`
+	MissingShards []int `json:"missing_shards,omitempty"`
 	// TraceID and Spans are present only under ?spans=1 — one span tree
 	// per executed join step, in chain order.
 	TraceID string            `json:"trace_id,omitempty"`
@@ -1014,6 +1054,7 @@ type statsResponse struct {
 	Rejected       int64                  `json:"rejected"`
 	Canceled       int64                  `json:"canceled"`
 	Timeouts       int64                  `json:"timeouts"`
+	Corrupt        int64                  `json:"corrupt"`
 	Panics         int64                  `json:"panics"`
 	EngineRecycles int64                  `json:"engine_recycles"`
 	Queue          queueStats             `json:"queue"`
@@ -1033,6 +1074,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:       s.met.rejected.Load(),
 		Canceled:       s.met.canceled.Load(),
 		Timeouts:       s.met.timeouts.Load(),
+		Corrupt:        s.met.corrupt.Load(),
 		Panics:         s.met.panics.Load(),
 		EngineRecycles: s.met.engineRecycles.Load(),
 		Queue: queueStats{

@@ -1,0 +1,238 @@
+package router
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file is the router's fault-containment machinery: a per-node
+// circuit breaker (closed / open / half-open), a token-bucket retry budget
+// shared across every shard, and the jittered exponential backoff that
+// paces failover retries. Together they replace the bare bounded failover
+// loop: a node that keeps failing stops receiving traffic at all (breaker),
+// the fleet-wide retry volume under a brownout is capped regardless of how
+// many requests are in flight (budget), and the retries that do happen
+// spread out instead of stampeding a recovering node (backoff + jitter).
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // normal: requests flow, failures counted
+	breakerOpen                         // tripped: requests denied until the open interval elapses
+	breakerHalfOpen                     // trial: one probe request at a time may test the node
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one node's circuit breaker. A nil *breaker (breakers
+// disabled by configuration) admits everything and records nothing — all
+// methods are nil-safe.
+//
+// Transitions:
+//
+//	closed ──threshold consecutive failures──▶ open
+//	open ──interval elapses──▶ half-open (admits one trial request)
+//	half-open ──trial succeeds, or the health probe sees /readyz OK──▶ closed
+//	half-open ──trial fails──▶ open again, interval doubled (capped)
+//
+// The health prober closes the breaker too (success() on a good probe):
+// a node can be promoted back into rotation without a live user request
+// having to be the guinea pig.
+type breaker struct {
+	threshold int           // consecutive failures that trip the circuit
+	interval  time.Duration // initial open interval
+	maxOpen   time.Duration // cap for the doubling open interval
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int           // consecutive failures while closed
+	openedAt time.Time     // when the circuit last opened
+	openFor  time.Duration // current open interval
+	trialAt  time.Time     // half-open: when the outstanding trial started
+	opens    int64         // total closed/half-open → open transitions
+}
+
+// newBreaker returns a closed breaker, or nil when threshold <= 0
+// (disabled).
+func newBreaker(threshold int, interval, maxOpen time.Duration) *breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	return &breaker{threshold: threshold, interval: interval, maxOpen: maxOpen, openFor: interval}
+}
+
+// allow reports whether a request may be sent to the node now. In
+// half-open, one trial request per open-interval is admitted; its outcome
+// (success/failure) decides the next state, and the time-based re-arm
+// means a trial that never reports back (client canceled mid-flight)
+// cannot wedge the breaker shut forever.
+func (b *breaker) allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.openFor {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.trialAt = now
+		return true
+	default: // half-open
+		if now.Sub(b.trialAt) < b.openFor {
+			return false // a trial is already out; wait for its verdict
+		}
+		b.trialAt = now
+		return true
+	}
+}
+
+// success records a definitive answer from the node (any real HTTP
+// response, or a successful health probe) and closes the circuit.
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.openFor = b.interval
+	b.mu.Unlock()
+}
+
+// failure records a retryable failure. While closed it counts toward the
+// trip threshold; a failed half-open trial reopens immediately with the
+// open interval doubled (capped at maxOpen).
+func (b *breaker) failure(now time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.openFor = b.interval
+			b.opens++
+		}
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		if b.openFor *= 2; b.openFor > b.maxOpen {
+			b.openFor = b.maxOpen
+		}
+		b.opens++
+	case breakerOpen:
+		// A straggling failure from before the trip; nothing changes.
+	}
+}
+
+// remaining returns how long until the breaker would next admit a request:
+// 0 when closed or already admitting, the rest of the open interval when
+// tripped. This is what derives the Retry-After header.
+func (b *breaker) remaining(now time.Time) time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		return 0
+	}
+	if left := b.openFor - now.Sub(b.openedAt); left > 0 {
+		return left
+	}
+	return 0
+}
+
+// snapshot returns the state name and total open transitions for /stats
+// and /metrics.
+func (b *breaker) snapshot() (state string, opens int64) {
+	if b == nil {
+		return "disabled", 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.opens
+}
+
+// tokenBucket is the shared retry budget: failover retries across every
+// shard and every in-flight request draw from one bucket, so the total
+// extra load the router adds to a browning-out fleet is bounded by the
+// refill rate — N struggling requests cannot each multiply themselves by
+// the replica count. Initial attempts and hedges are not charged: the
+// budget exists to stop retry storms, not to shed first-try traffic.
+// A nil *tokenBucket (budget disabled) admits everything.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	cap    float64
+	refill float64 // tokens per second
+	last   time.Time
+}
+
+// newTokenBucket returns a full bucket, or nil when capacity <= 0
+// (disabled).
+func newTokenBucket(capacity, refillPerSec float64, now time.Time) *tokenBucket {
+	if capacity <= 0 {
+		return nil
+	}
+	return &tokenBucket{tokens: capacity, cap: capacity, refill: refillPerSec, last: now}
+}
+
+// take consumes one token if available. Refill is computed lazily from
+// elapsed wall time.
+func (tb *tokenBucket) take(now time.Time) bool {
+	if tb == nil {
+		return true
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+		tb.tokens += dt * tb.refill
+		if tb.tokens > tb.cap {
+			tb.tokens = tb.cap
+		}
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// backoffDelay computes the jittered exponential failover backoff for the
+// given retry attempt (0-based): base·2^attempt capped at max, then
+// uniformly jittered over [½d, 1½d) so concurrent retries decorrelate.
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}

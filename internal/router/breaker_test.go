@@ -1,0 +1,203 @@
+package router
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second, 8*time.Second)
+
+	for i := 0; i < 2; i++ {
+		if !b.allow(now) {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.failure(now)
+	}
+	if st, _ := b.snapshot(); st != "closed" {
+		t.Fatalf("state %s after 2/3 failures", st)
+	}
+	b.failure(now) // third consecutive failure trips it
+	if st, opens := b.snapshot(); st != "open" || opens != 1 {
+		t.Fatalf("state %s opens %d after threshold", st, opens)
+	}
+	if b.allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("open breaker admitted a request mid-interval")
+	}
+	if rem := b.remaining(now.Add(400 * time.Millisecond)); rem != 600*time.Millisecond {
+		t.Fatalf("remaining = %v", rem)
+	}
+
+	// Interval elapses: exactly one half-open trial is admitted.
+	now = now.Add(time.Second)
+	if !b.allow(now) {
+		t.Fatal("half-open trial denied")
+	}
+	if st, _ := b.snapshot(); st != "half-open" {
+		t.Fatalf("state %s after interval", st)
+	}
+	if b.allow(now.Add(10 * time.Millisecond)) {
+		t.Fatal("second concurrent trial admitted")
+	}
+	b.success()
+	if st, _ := b.snapshot(); st != "closed" {
+		t.Fatalf("state %s after successful trial", st)
+	}
+	if !b.allow(now) {
+		t.Fatal("closed breaker denies")
+	}
+}
+
+func TestBreakerReopenDoubles(t *testing.T) {
+	now := time.Unix(2000, 0)
+	b := newBreaker(1, time.Second, 3*time.Second)
+	b.failure(now) // trip
+	now = now.Add(time.Second)
+	if !b.allow(now) {
+		t.Fatal("trial denied")
+	}
+	b.failure(now) // failed trial: reopen, interval doubles to 2s
+	if b.allow(now.Add(1500 * time.Millisecond)) {
+		t.Fatal("reopened breaker admitted before the doubled interval")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.allow(now) {
+		t.Fatal("trial denied after doubled interval")
+	}
+	b.failure(now) // doubling caps at maxOpen (3s, not 4s)
+	if !b.allow(now.Add(3 * time.Second)) {
+		t.Fatal("trial denied after capped interval")
+	}
+	if _, opens := b.snapshot(); opens != 3 {
+		t.Fatalf("opens = %d, want 3", opens)
+	}
+}
+
+func TestBreakerTrialTimeoutRearms(t *testing.T) {
+	// A trial whose outcome never reports (client canceled mid-flight) must
+	// not wedge the breaker: after another open interval a new trial is
+	// admitted.
+	now := time.Unix(3000, 0)
+	b := newBreaker(1, time.Second, 8*time.Second)
+	b.failure(now)
+	now = now.Add(time.Second)
+	if !b.allow(now) {
+		t.Fatal("first trial denied")
+	}
+	// No verdict ever arrives. One interval later a fresh trial goes out.
+	now = now.Add(time.Second)
+	if !b.allow(now) {
+		t.Fatal("breaker wedged by an abandoned trial")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	now := time.Unix(4000, 0)
+	b := newBreaker(3, time.Second, 8*time.Second)
+	b.failure(now)
+	b.failure(now)
+	b.success() // streak broken
+	b.failure(now)
+	b.failure(now)
+	if st, _ := b.snapshot(); st != "closed" {
+		t.Fatalf("state %s: non-consecutive failures tripped the breaker", st)
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *breaker
+	if !b.allow(time.Now()) {
+		t.Fatal("nil breaker denied")
+	}
+	b.success()
+	b.failure(time.Now())
+	if b.remaining(time.Now()) != 0 {
+		t.Fatal("nil breaker remaining")
+	}
+	if st, _ := b.snapshot(); st != "disabled" {
+		t.Fatalf("nil snapshot %s", st)
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	b := newBreaker(5, time.Millisecond, 8*time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				now := time.Now()
+				if b.allow(now) {
+					if (i+w)%3 == 0 {
+						b.failure(now)
+					} else {
+						b.success()
+					}
+				}
+				b.remaining(now)
+				b.snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(5000, 0)
+	tb := newTokenBucket(2, 1, now)
+	if !tb.take(now) || !tb.take(now) {
+		t.Fatal("full bucket denied")
+	}
+	if tb.take(now) {
+		t.Fatal("empty bucket granted")
+	}
+	// Refill is lazy from wall time: 1 token/s.
+	if !tb.take(now.Add(time.Second)) {
+		t.Fatal("refilled token denied")
+	}
+	if tb.take(now.Add(time.Second)) {
+		t.Fatal("over-refill granted")
+	}
+	// Refill clamps at capacity.
+	now = now.Add(time.Hour)
+	if !tb.take(now) || !tb.take(now) {
+		t.Fatal("capacity tokens denied after long idle")
+	}
+	if tb.take(now) {
+		t.Fatal("bucket exceeded capacity")
+	}
+}
+
+func TestTokenBucketDisabled(t *testing.T) {
+	var tb *tokenBucket
+	for i := 0; i < 100; i++ {
+		if !tb.take(time.Now()) {
+			t.Fatal("nil bucket denied")
+		}
+	}
+	if newTokenBucket(-1, 1, time.Now()) != nil {
+		t.Fatal("negative capacity did not disable")
+	}
+}
+
+func TestBackoffDelay(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	for attempt := 0; attempt < 8; attempt++ {
+		raw := base << attempt
+		if raw > max {
+			raw = max
+		}
+		for i := 0; i < 50; i++ {
+			d := backoffDelay(base, max, attempt)
+			if d < raw/2 || d >= raw/2+raw {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, raw/2, raw/2+raw)
+			}
+		}
+	}
+	if backoffDelay(0, max, 3) != 0 || backoffDelay(-time.Millisecond, max, 0) != 0 {
+		t.Fatal("disabled backoff returned a delay")
+	}
+}

@@ -66,7 +66,14 @@ func (rt *Router) writeUpstreamFailure(w http.ResponseWriter, what string, err e
 	default:
 		var ue *unavailableError
 		if errors.As(err, &ue) {
-			w.Header().Set("Retry-After", "1")
+			// Retry-After comes from the breaker state: the soonest any of the
+			// shard's circuits will admit a request again, rounded up to whole
+			// seconds (minimum 1 — the header has one-second granularity).
+			secs := int64((ue.retryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 			rt.writeError(w, http.StatusServiceUnavailable, "%v", ue)
 			return
 		}
@@ -74,13 +81,34 @@ func (rt *Router) writeUpstreamFailure(w http.ResponseWriter, what string, err e
 	}
 }
 
+// wantPartial decides whether this request may be answered degraded:
+// ?partial=1 opts in, ?partial=0 opts out, and absent the parameter the
+// router's -allow-partial default applies. Degraded answers are exact
+// lower bounds (document-disjoint sharding: no shard can affect another's
+// matches), but they are opt-in because a silent undercount is worse than
+// an honest 503 for clients that need totals.
+func (rt *Router) wantPartial(r *http.Request) bool {
+	switch r.URL.Query().Get("partial") {
+	case "1":
+		return true
+	case "0":
+		return false
+	}
+	return rt.cfg.AllowPartial
+}
+
 // writePayload sends a rendered JSON payload, marking cache disposition.
-func (rt *Router) writePayload(w http.ResponseWriter, payload []byte, cached bool, start time.Time) {
+// status is http.StatusOK for complete answers, http.StatusPartialContent
+// for degraded ones.
+func (rt *Router) writePayload(w http.ResponseWriter, status int, payload []byte, cached bool, start time.Time) {
 	w.Header().Set("Content-Type", "application/json")
 	if cached {
 		w.Header().Set("X-Cache", "hit")
 	} else {
 		w.Header().Set("X-Cache", "miss")
+	}
+	if status != http.StatusOK {
+		w.WriteHeader(status)
 	}
 	w.Write(payload) //nolint:errcheck // client gone; nothing to do
 	rt.met.observe(time.Since(start))
@@ -125,7 +153,7 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 	// an embedded span tree would replay another request's execution.
 	if !spans {
 		if payload, ok := rt.lookup(key); ok {
-			rt.writePayload(w, payload, true, start)
+			rt.writePayload(w, http.StatusOK, payload, true, start)
 			rt.keepTrace(traceID, query, cacheHitSpan("join", time.Since(start)))
 			telemetryFrom(r.Context()).fill(query, "", 0, 0, nil)
 			return
@@ -140,7 +168,7 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 		vals.Set("spans", "1")
 	}
 	fanStart := time.Now()
-	replies, ferr := rt.fanout(qctx, "/join", vals, traceID)
+	replies, missing, ferr := rt.fanout(qctx, "/join", vals, traceID, rt.wantPartial(r))
 	fanWall := time.Since(fanStart)
 	if ferr != nil {
 		rt.writeUpstreamFailure(w, "join", ferr)
@@ -150,6 +178,9 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 	merged := qserv.JoinResponse{Anc: anc, Desc: desc}
 	kids := make([]*trace.WireSpan, 0, len(replies))
 	for _, rep := range replies {
+		if rep.nd == nil { // shard skipped by degraded serving
+			continue
+		}
 		var jr qserv.JoinResponse
 		if err := json.Unmarshal(rep.body, &jr); err != nil {
 			rt.writeError(w, http.StatusBadGateway,
@@ -172,6 +203,16 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 	// Shards ran concurrently: the envelope is the honest wall time, like
 	// shard.Engine's merge (VirtualUS keeps the sum — aggregate I/O work).
 	merged.WallUS = time.Since(start).Microseconds()
+	status := http.StatusOK
+	if len(missing) > 0 {
+		merged.Partial = true
+		merged.MissingShards = missing
+		status = http.StatusPartialContent
+		rt.met.partials.Add(1)
+		for _, si := range missing {
+			kids = append(kids, missingSpan(si))
+		}
+	}
 	root := rt.keepTrace(traceID, query,
 		stitch("join", time.Since(start), fanWall, time.Since(mergeStart), kids))
 	telemetryFrom(r.Context()).fill(query, merged.Algorithm, merged.PageIO, merged.PredictedIO, root)
@@ -180,10 +221,12 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 		merged.Spans = root
 	}
 	payload := mustJSON(merged)
-	if !spans {
+	// Partial answers never enter the cache: stored payloads are always
+	// complete, so a later full request cannot be served an undercount.
+	if !spans && len(missing) == 0 {
 		rt.store(key, payload)
 	}
-	rt.writePayload(w, payload, false, start)
+	rt.writePayload(w, status, payload, false, start)
 }
 
 // handleQuery serves GET /query?path=//a//b//c: every shard node runs the
@@ -228,7 +271,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("%d\x00path\x00%s\x00%d", rt.epoch.Load(), canon, rt.cfg.MaxCodes)
 	if !spans {
 		if payload, ok := rt.lookup(key); ok {
-			rt.writePayload(w, payload, true, start)
+			rt.writePayload(w, http.StatusOK, payload, true, start)
 			rt.keepTrace(traceID, canon, cacheHitSpan("query", time.Since(start)))
 			telemetryFrom(r.Context()).fill(canon, "", 0, 0, nil)
 			return
@@ -240,7 +283,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		vals.Set("spans", "1")
 	}
 	fanStart := time.Now()
-	replies, ferr := rt.fanout(qctx, "/query", vals, traceID)
+	replies, missing, ferr := rt.fanout(qctx, "/query", vals, traceID, rt.wantPartial(r))
 	fanWall := time.Since(fanStart)
 	if ferr != nil {
 		rt.writeUpstreamFailure(w, "path query", ferr)
@@ -251,6 +294,9 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var codes []pbicode.Code
 	kids := make([]*trace.WireSpan, 0, len(replies))
 	for _, rep := range replies {
+		if rep.nd == nil { // shard skipped by degraded serving
+			continue
+		}
 		var qr qserv.QueryResponse
 		if err := json.Unmarshal(rep.body, &qr); err != nil {
 			rt.writeError(w, http.StatusBadGateway,
@@ -285,6 +331,16 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Codes[i] = uint64(codes[i])
 	}
 	resp.WallUS = time.Since(start).Microseconds()
+	status := http.StatusOK
+	if len(missing) > 0 {
+		resp.Partial = true
+		resp.MissingShards = missing
+		status = http.StatusPartialContent
+		rt.met.partials.Add(1)
+		for _, si := range missing {
+			kids = append(kids, missingSpan(si))
+		}
+	}
 	var alg string
 	for _, st := range resp.Steps {
 		alg = shard.MergeAlgo(alg, st.Algorithm)
@@ -297,17 +353,20 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Spans = []*trace.WireSpan{root}
 	}
 	payload := mustJSON(resp)
-	if !spans {
+	// Partial answers never enter the cache (see handleJoin).
+	if !spans && len(missing) == 0 {
 		rt.store(key, payload)
 	}
-	rt.writePayload(w, payload, false, start)
+	rt.writePayload(w, status, payload, false, start)
 }
 
 // handleRelations serves GET /relations: the union catalog, with element
 // and page counts summed across shards — the same view shard.Engine's
 // sharded relations present in process.
 func (rt *Router) handleRelations(w http.ResponseWriter, r *http.Request) {
-	replies, err := rt.fanout(r.Context(), "/relations", url.Values{}, w.Header().Get("X-Trace-Id"))
+	// The catalog is metadata, not a query: a partial union would misstate
+	// the corpus, so /relations never serves degraded.
+	replies, _, err := rt.fanout(r.Context(), "/relations", url.Values{}, w.Header().Get("X-Trace-Id"), false)
 	if err != nil {
 		rt.writeUpstreamFailure(w, "relations", err)
 		return

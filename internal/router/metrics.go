@@ -113,6 +113,10 @@ type metrics struct {
 	hedgeWins  atomic.Int64 // shard answers won by the hedge request
 	failovers  atomic.Int64 // replica-to-replica retries after a failure
 
+	breakerDenials atomic.Int64 // candidate launches skipped: circuit open
+	budgetDenials  atomic.Int64 // failover retries denied by the retry budget
+	partials       atomic.Int64 // degraded 206 responses (shards missing)
+
 	demotions  atomic.Int64 // healthy→unhealthy node transitions
 	promotions atomic.Int64 // unhealthy→healthy node transitions
 
@@ -162,6 +166,8 @@ type nodeStat struct {
 	Shard        int     `json:"shard"`
 	Replica      int     `json:"replica"`
 	Healthy      bool    `json:"healthy"`
+	Breaker      string  `json:"breaker"`
+	BreakerOpens int64   `json:"breaker_opens,omitempty"`
 	Probes       int64   `json:"probes"`
 	ProbeFails   int64   `json:"probe_fails"`
 	ConsecFails  int64   `json:"consec_fails"`
@@ -193,6 +199,10 @@ type statsResponse struct {
 	Demotions  int64 `json:"demotions"`
 	Promotions int64 `json:"promotions"`
 
+	PartialResponses  int64 `json:"partial_responses"`
+	BreakerDenials    int64 `json:"breaker_denials"`
+	RetryBudgetDenied int64 `json:"retry_budget_denied"`
+
 	Cache   *cacheStats  `json:"cache,omitempty"`
 	Latency latencyStats `json:"latency"`
 	Nodes   []nodeStat   `json:"nodes"`
@@ -213,6 +223,7 @@ func (rt *Router) nodeStats() []nodeStat {
 			Hedges:       nd.hedges.Load(),
 			UpstreamHits: nd.upstreamHits.Load(),
 		}
+		st.Breaker, st.BreakerOpens = nd.br.snapshot()
 		nd.mu.Lock()
 		sample := nd.lat.sorted()
 		st.LastError = nd.lastErr
@@ -248,6 +259,10 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Failovers:  m.failovers.Load(),
 		Demotions:  m.demotions.Load(),
 		Promotions: m.promotions.Load(),
+
+		PartialResponses:  m.partials.Load(),
+		BreakerDenials:    m.breakerDenials.Load(),
+		RetryBudgetDenied: m.budgetDenials.Load(),
 
 		Latency: m.latencySnapshot(),
 		Nodes:   rt.nodeStats(),
@@ -331,6 +346,12 @@ func (rt *Router) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "pbirouter_hedge_wins_total %d\n", m.hedgeWins.Load())
 	family(w, "pbirouter_failovers_total", "Replica-to-replica retries after a retryable failure.", "counter")
 	fmt.Fprintf(w, "pbirouter_failovers_total %d\n", m.failovers.Load())
+	family(w, "pbirouter_partial_responses_total", "Degraded 206 responses served with shards missing.", "counter")
+	fmt.Fprintf(w, "pbirouter_partial_responses_total %d\n", m.partials.Load())
+	family(w, "pbirouter_breaker_denials_total", "Node launches skipped because the circuit breaker was open.", "counter")
+	fmt.Fprintf(w, "pbirouter_breaker_denials_total %d\n", m.breakerDenials.Load())
+	family(w, "pbirouter_retry_budget_denials_total", "Failover retries denied by the shared retry budget.", "counter")
+	fmt.Fprintf(w, "pbirouter_retry_budget_denials_total %d\n", m.budgetDenials.Load())
 	family(w, "pbirouter_node_demotions_total", "Healthy-to-unhealthy node transitions.", "counter")
 	fmt.Fprintf(w, "pbirouter_node_demotions_total %d\n", m.demotions.Load())
 	family(w, "pbirouter_node_promotions_total", "Unhealthy-to-healthy node transitions.", "counter")
@@ -387,6 +408,25 @@ func (rt *Router) writeMetrics(w io.Writer) {
 	family(w, "pbirouter_node_upstream_cache_hits_total", "Node answers served from the node's own cache.", "counter")
 	for _, nd := range rt.nodes {
 		fmt.Fprintf(w, "pbirouter_node_upstream_cache_hits_total{node=%q,shard=\"%d\"} %d\n", nd.name(), nd.shard, nd.upstreamHits.Load())
+	}
+	family(w, "pbirouter_node_breaker_state", "Circuit-breaker state per node (0 closed, 1 half-open, 2 open; absent when disabled).", "gauge")
+	for _, nd := range rt.nodes {
+		state, _ := nd.br.snapshot()
+		var v int
+		switch state {
+		case "half-open":
+			v = 1
+		case "open":
+			v = 2
+		case "disabled":
+			continue
+		}
+		fmt.Fprintf(w, "pbirouter_node_breaker_state{node=%q,shard=\"%d\"} %d\n", nd.name(), nd.shard, v)
+	}
+	family(w, "pbirouter_node_breaker_opens_total", "Circuit-breaker open transitions per node.", "counter")
+	for _, nd := range rt.nodes {
+		_, opens := nd.br.snapshot()
+		fmt.Fprintf(w, "pbirouter_node_breaker_opens_total{node=%q,shard=\"%d\"} %d\n", nd.name(), nd.shard, opens)
 	}
 	family(w, "pbirouter_node_latency_seconds", "Successful node-call latency per node.", "histogram")
 	for _, nd := range rt.nodes {

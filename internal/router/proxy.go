@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"sync"
 	"time"
 
@@ -61,14 +62,38 @@ func (e *statusError) Error() string {
 }
 
 // unavailableError reports a shard with no replica able to answer — the
-// router's 503.
+// router's 503. retryAfter is the soonest a retry could plausibly go
+// differently: the smallest remaining breaker open-interval among the
+// shard's replicas, or the probe interval when no breaker is open (the
+// prober is the next thing that could change the fleet view). It becomes
+// the response's Retry-After header.
 type unavailableError struct {
-	shard int
-	last  string // last failure seen, for the error body
+	shard      int
+	last       string // last failure seen, for the error body
+	retryAfter time.Duration
 }
 
 func (e *unavailableError) Error() string {
 	return fmt.Sprintf("shard %d unavailable: %s", e.shard, e.last)
+}
+
+// retryAfterHint derives an unavailableError's retryAfter from the
+// candidates' breaker state.
+func (rt *Router) retryAfterHint(cands []*node) time.Duration {
+	now := time.Now()
+	var min time.Duration
+	for _, nd := range cands {
+		if rem := nd.br.remaining(now); rem > 0 && (min == 0 || rem < min) {
+			min = rem
+		}
+	}
+	if min == 0 {
+		if rt.cfg.ProbeInterval > 0 {
+			return rt.cfg.ProbeInterval
+		}
+		return time.Second
+	}
+	return min
 }
 
 // callNode issues one GET to a node, propagating the trace ID and the
@@ -127,11 +152,16 @@ func (rt *Router) callNode(ctx context.Context, nd *node, path string, vals url.
 }
 
 // callShard answers one request for one shard: primary call on the best
-// candidate, a hedge fire if the primary outlives the hedging delay,
-// sequential failover across the remaining candidates on retryable
-// failures. Each replica is tried at most once. The first definitive
-// response wins and cancels the others. On exhaustion the error is an
-// *unavailableError (or the ctx error when the caller's context died).
+// candidate whose circuit breaker admits it, a hedge fire if the primary
+// outlives the hedging delay, and budgeted, backoff-paced failover across
+// the remaining candidates on retryable failures. Each replica is tried at
+// most once; replicas whose breaker is open are skipped outright. Every
+// failover retry must win a token from the shared retry budget and then
+// waits out a jittered exponential backoff, so a shard-wide brownout
+// produces a bounded, spread-out trickle of retries instead of a storm.
+// The first definitive response wins and cancels the others. On exhaustion
+// the error is an *unavailableError carrying a breaker-derived Retry-After
+// hint (or the ctx error when the caller's context died).
 func (rt *Router) callShard(ctx context.Context, si int, path string, vals url.Values, traceID string) (nodeReply, error) {
 	cands := rt.candidates(si)
 	actx, acancel := context.WithCancel(ctx)
@@ -139,15 +169,31 @@ func (rt *Router) callShard(ctx context.Context, si int, path string, vals url.V
 
 	results := make(chan nodeReply, len(cands)) // buffered: losers never block
 	inflight, next := 0, 0
-	launch := func(hedged bool) {
-		nd := cands[next]
-		next++
-		inflight++
-		go func() {
-			results <- rt.callNode(actx, nd, path, vals, traceID, hedged)
-		}()
+	// launch starts the next candidate whose breaker admits a request and
+	// reports whether one was started (false: every remaining candidate's
+	// circuit is open).
+	launch := func(hedged bool) bool {
+		for next < len(cands) {
+			nd := cands[next]
+			next++
+			if !nd.br.allow(time.Now()) {
+				rt.met.breakerDenials.Add(1)
+				continue
+			}
+			inflight++
+			go func() {
+				results <- rt.callNode(actx, nd, path, vals, traceID, hedged)
+			}()
+			return true
+		}
+		return false
 	}
-	launch(false)
+	if !launch(false) {
+		return nodeReply{}, &unavailableError{
+			shard: si, last: "all replicas' circuit breakers open",
+			retryAfter: rt.retryAfterHint(cands),
+		}
+	}
 
 	var hedgeC <-chan time.Time
 	if delay := rt.hedgeDelay(cands[0]); delay >= 0 && next < len(cands) {
@@ -156,13 +202,27 @@ func (rt *Router) callShard(ctx context.Context, si int, path string, vals url.V
 		hedgeC = timer.C
 	}
 
+	// backoffC is armed between a retryable failure and the failover it
+	// pays for; the loop keeps running while it pends even with nothing in
+	// flight.
+	var backoffTimer *time.Timer
+	defer func() {
+		if backoffTimer != nil {
+			backoffTimer.Stop()
+		}
+	}()
+	var backoffC <-chan time.Time
+	attempt := 0
+	budgetDenied := false
+
 	var last nodeReply
-	for inflight > 0 {
+	for inflight > 0 || backoffC != nil {
 		select {
 		case r := <-results:
 			inflight--
 			if r.err == nil && !r.retryable() {
-				acancel() // first definitive answer wins; cancel the loser
+				r.nd.br.success() // any definitive answer closes the circuit
+				acancel()         // first definitive answer wins; cancel the loser
 				if r.hedged {
 					rt.met.hedgeWins.Add(1)
 				}
@@ -175,15 +235,35 @@ func (rt *Router) callShard(ctx context.Context, si int, path string, vals url.V
 				return nodeReply{}, ctx.Err()
 			}
 			last = r
+			if r.err == nil || !errors.Is(r.err, context.Canceled) {
+				r.nd.br.failure(time.Now())
+			}
 			if r.err != nil && !errors.Is(r.err, context.Canceled) {
 				rt.demoteNow(r.nd, fmt.Sprintf("request: %v", r.err))
 			} else if r.status != 0 {
 				r.nd.noteError(fmt.Sprintf("request: node answered %d", r.status))
 			}
-			if next < len(cands) {
+			// Schedule a failover — if candidates remain, none is already
+			// pending, and the shared retry budget admits one more retry.
+			if next < len(cands) && backoffC == nil && !budgetDenied {
+				if !rt.budget.take(time.Now()) {
+					rt.met.budgetDenials.Add(1)
+					budgetDenied = true
+					continue
+				}
 				rt.met.failovers.Add(1)
-				launch(false)
+				if delay := backoffDelay(rt.cfg.RetryBackoff, rt.cfg.RetryBackoffMax, attempt); delay > 0 {
+					attempt++
+					backoffTimer = time.NewTimer(delay)
+					backoffC = backoffTimer.C
+				} else {
+					attempt++
+					launch(false)
+				}
 			}
+		case <-backoffC:
+			backoffC = nil
+			launch(false)
 		case <-hedgeC:
 			hedgeC = nil
 			if next < len(cands) {
@@ -196,7 +276,13 @@ func (rt *Router) callShard(ctx context.Context, si int, path string, vals url.V
 			return nodeReply{}, ctx.Err()
 		}
 	}
-	return nodeReply{}, &unavailableError{shard: si, last: failureDetail(last)}
+	detail := failureDetail(last)
+	if budgetDenied {
+		detail = "retry budget exhausted: " + detail
+	}
+	return nodeReply{}, &unavailableError{
+		shard: si, last: detail, retryAfter: rt.retryAfterHint(cands),
+	}
 }
 
 // failureDetail renders the last failure of an exhausted shard.
@@ -231,13 +317,23 @@ func decodeError(body []byte) string {
 // in-process fan-out, the first error cancels the remaining shards, and a
 // real failure is reported in preference to the knock-on cancellations it
 // causes.
-func (rt *Router) fanout(ctx context.Context, path string, vals url.Values, traceID string) ([]nodeReply, error) {
+//
+// With partial set (degraded serving), an exhausted shard — one where
+// every replica failed or was breaker-denied — does not abort the request:
+// its index lands in the returned missing list (sorted) and the other
+// shards keep running. Definitive errors (bad request, deadline, client
+// gone) still abort: partiality only covers availability, never
+// correctness. When every shard is missing the request fails with the
+// first shard's unavailableError rather than returning an empty "answer".
+func (rt *Router) fanout(ctx context.Context, path string, vals url.Values, traceID string, partial bool) ([]nodeReply, []int, error) {
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	replies := make([]nodeReply, len(rt.shards))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var missing []int
+	var firstSkip *unavailableError
 	report := func(err error) {
 		mu.Lock()
 		if firstErr == nil ||
@@ -257,16 +353,31 @@ func (rt *Router) fanout(ctx context.Context, path string, vals url.Values, trac
 				err = &statusError{status: r.status, body: r.body}
 			}
 			replies[si] = r
-			if err != nil {
-				report(err)
+			if err == nil {
+				return
 			}
+			var ue *unavailableError
+			if partial && errors.As(err, &ue) {
+				mu.Lock()
+				missing = append(missing, si)
+				if firstSkip == nil || ue.shard < firstSkip.shard {
+					firstSkip = ue
+				}
+				mu.Unlock()
+				return // degraded: skip this shard, let the others finish
+			}
+			report(err)
 		}(si)
 	}
 	wg.Wait()
 	if firstErr == nil {
 		firstErr = ctx.Err()
 	}
-	return replies, firstErr
+	if firstErr == nil && len(missing) > 0 && len(missing) == len(rt.shards) {
+		firstErr = firstSkip // nothing answered: that is not a partial result
+	}
+	sort.Ints(missing)
+	return replies, missing, firstErr
 }
 
 // requestContext derives one request's execution context, mirroring

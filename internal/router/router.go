@@ -87,6 +87,42 @@ type Config struct {
 	// MaxCodes caps how many merged result codes /query echoes.
 	// 0 means 100.
 	MaxCodes int
+	// BreakerThreshold is how many consecutive retryable failures trip a
+	// node's circuit breaker (closed → open). While open the node receives
+	// no proxied requests at all; after BreakerInterval one half-open trial
+	// request (or a successful health probe) decides whether it closes.
+	// 0 means 5; negative disables breakers.
+	BreakerThreshold int
+	// BreakerInterval is the initial open interval — how long a tripped
+	// breaker denies requests before admitting a half-open trial. Each
+	// failed trial doubles it, up to BreakerMaxInterval. 0 means 1s.
+	BreakerInterval time.Duration
+	// BreakerMaxInterval caps the doubling open interval. 0 means 30s.
+	BreakerMaxInterval time.Duration
+	// RetryBudget is the capacity of the token-bucket retry budget shared
+	// across all shards and requests: every failover retry (not initial
+	// attempts, not hedges) consumes one token, and an empty bucket stops
+	// failover cold — bounding the extra load the router can add to a
+	// fleet-wide brownout. 0 means 10 tokens; negative disables the budget.
+	RetryBudget float64
+	// RetryRefill is the budget's refill rate in tokens per second.
+	// 0 means 1.
+	RetryRefill float64
+	// RetryBackoff is the base delay before a failover retry; attempt k
+	// waits base·2^k (jittered ±50%, capped at RetryBackoffMax) so retries
+	// against a struggling shard spread out instead of stampeding.
+	// 0 means 10ms; negative disables backoff (immediate failover).
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential failover backoff. 0 means 500ms.
+	RetryBackoffMax time.Duration
+	// AllowPartial makes degraded partial-result serving the default:
+	// when a shard has no usable replica it is skipped and the response
+	// carries partial metadata (HTTP 206, partial: true, missing_shards)
+	// instead of failing the whole request. Per-request ?partial=1 /
+	// ?partial=0 overrides this in either direction. Sound because shards
+	// are document-disjoint: the merged answer over the responding shards
+	// is an exact lower bound, never an estimate.
+	AllowPartial bool
 	// Client overrides the HTTP client used for node requests and probes
 	// (tests). Nil uses a dedicated client with keep-alives.
 	Client *http.Client
@@ -122,6 +158,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxCodes <= 0 {
 		c.MaxCodes = 100
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerInterval <= 0 {
+		c.BreakerInterval = time.Second
+	}
+	if c.BreakerMaxInterval <= 0 {
+		c.BreakerMaxInterval = 30 * time.Second
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 10
+	}
+	if c.RetryRefill <= 0 {
+		c.RetryRefill = 1
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 500 * time.Millisecond
+	}
 	if c.TraceRing == 0 {
 		c.TraceRing = 256
 	}
@@ -145,6 +202,8 @@ type node struct {
 	failures     atomic.Int64 // node calls that failed retryably
 	hedges       atomic.Int64 // node calls that were hedge (secondary) fires
 	upstreamHits atomic.Int64 // node answered from its own result cache
+
+	br *breaker // circuit breaker; nil when disabled
 
 	mu        sync.Mutex
 	lastErr   string
@@ -173,6 +232,7 @@ type Router struct {
 	rr      []atomic.Int64
 	client  *http.Client
 	cache   *resultCache // nil when disabled
+	budget  *tokenBucket // shared failover retry budget; nil when disabled
 	met     *metrics
 	traces  *trace.Store // recent stitched traces for /debug/trace/{id}
 	mux     *http.ServeMux
@@ -214,6 +274,7 @@ func New(cfg Config) (*Router, error) {
 	if cfg.CacheEntries > 0 {
 		rt.cache = newResultCache(cfg.CacheEntries)
 	}
+	rt.budget = newTokenBucket(cfg.RetryBudget, cfg.RetryRefill, time.Now())
 	for si, replicas := range cfg.Topology {
 		if len(replicas) == 0 {
 			return nil, fmt.Errorf("router: shard %d has no replicas", si)
@@ -225,6 +286,7 @@ func New(cfg Config) (*Router, error) {
 				return nil, fmt.Errorf("router: shard %d replica %d: bad URL %q", si, ri, raw)
 			}
 			nd := &node{url: strings.TrimRight(raw, "/"), shard: si, replica: ri}
+			nd.br = newBreaker(cfg.BreakerThreshold, cfg.BreakerInterval, cfg.BreakerMaxInterval)
 			nd.healthy.Store(true)
 			group = append(group, nd)
 			rt.nodes = append(rt.nodes, nd)
@@ -385,6 +447,10 @@ func (rt *Router) probeOnce(nd *node) {
 		return
 	}
 	nd.consecFails.Store(0)
+	// Probe-driven close: a node that answers /readyz is back, so the
+	// breaker re-admits traffic without a live user request having to be
+	// the half-open trial.
+	nd.br.success()
 	rt.setHealthy(nd, true, "")
 }
 

@@ -43,6 +43,12 @@ func nodeSpan(rep nodeReply, sub ...*trace.WireSpan) *trace.WireSpan {
 	return ws
 }
 
+// missingSpan stands in for a shard skipped by degraded (partial) serving,
+// so a 206's stitched trace shows exactly which subtrees are absent.
+func missingSpan(shard int) *trace.WireSpan {
+	return &trace.WireSpan{Name: "node", Detail: fmt.Sprintf("shard=%d missing", shard)}
+}
+
 // stitch assembles the router's root span for one fanned-out request:
 //
 //	<what> @router

@@ -1,0 +1,320 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChecksumSetVerify(t *testing.T) {
+	cs := NewChecksumSet(0)
+	page := bytes.Repeat([]byte{0x5A}, 256)
+	cs.Update(3, page)
+	if cs.Pages() != 4 {
+		t.Fatalf("Pages = %d, want 4", cs.Pages())
+	}
+	if err := cs.Verify(3, page); err != nil {
+		t.Fatalf("verify clean page: %v", err)
+	}
+	// Pages never written verify against the zero checksum only.
+	zero := make([]byte, 256)
+	if err := cs.Verify(1, zero); err == nil {
+		t.Fatal("unwritten page with zero checksum verified a zero page; want mismatch (crc of zeros != 0)")
+	}
+}
+
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	cs := NewChecksumSet(1)
+	page := bytes.Repeat([]byte{0xC3}, 512)
+	cs.Update(0, page)
+	flipped := append([]byte(nil), page...)
+	flipped[100] ^= 0x01
+	err := cs.Verify(0, flipped)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip: %v, want ErrCorrupt", err)
+	}
+	var cpe *CorruptPageError
+	if !errors.As(err, &cpe) || cpe.Page != 0 {
+		t.Fatalf("error detail: %v", err)
+	}
+}
+
+func TestChecksumQuarantine(t *testing.T) {
+	cs := NewChecksumSet(1)
+	page := bytes.Repeat([]byte{7}, 64)
+	cs.Update(0, page)
+	bad := append([]byte(nil), page...)
+	bad[0] ^= 0xFF
+	if err := cs.Verify(0, bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("corruption not detected")
+	}
+	if got := cs.Quarantined(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Quarantined = %v", got)
+	}
+	// Once quarantined, even the original (clean) content fails fast: the
+	// page's integrity can no longer be trusted without an fsck.
+	if err := cs.Verify(0, page); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("quarantined page verified clean content: %v", err)
+	}
+	// A fresh write rehabilitates the page.
+	cs.Update(0, page)
+	if err := cs.Verify(0, page); err != nil {
+		t.Fatalf("verify after rewrite: %v", err)
+	}
+}
+
+func TestChecksumSidecarRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.pages")
+	cs := NewChecksumSet(0)
+	for i := PageID(0); i < 5; i++ {
+		cs.Update(i, bytes.Repeat([]byte{byte(i + 1)}, 128))
+	}
+	if err := cs.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadChecksums(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pages() != cs.Pages() {
+		t.Fatalf("Pages = %d, want %d", got.Pages(), cs.Pages())
+	}
+	for i := PageID(0); i < 5; i++ {
+		if got.Sum(i) != cs.Sum(i) {
+			t.Fatalf("sum %d mismatch", i)
+		}
+	}
+}
+
+func TestChecksumSidecarSelfCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.pages")
+	cs := NewChecksumSet(0)
+	cs.Update(0, make([]byte, 64))
+	if err := cs.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the sidecar itself: the trailing self-CRC must catch it.
+	sp := SumsPath(path)
+	data, err := os.ReadFile(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(sumsMagic)+2] ^= 0xFF
+	if err := os.WriteFile(sp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadChecksums(path); err == nil {
+		t.Fatal("corrupted sidecar loaded")
+	}
+}
+
+func TestComputeFileChecksums(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages")
+	content := append(bytes.Repeat([]byte{1}, 128), bytes.Repeat([]byte{2}, 128)...)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ComputeFileChecksums(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Pages() != 2 {
+		t.Fatalf("Pages = %d", cs.Pages())
+	}
+	if cs.Sum(0) != PageChecksum(content[:128]) || cs.Sum(1) != PageChecksum(content[128:]) {
+		t.Fatal("sums do not match page content")
+	}
+	if _, err := ComputeFileChecksums(path, 100); err == nil {
+		t.Fatal("non-multiple page size accepted")
+	}
+}
+
+func TestFileDiskVerifiesChecksums(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.db")
+	d, err := OpenFileDisk(path, 128, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	id, err := d.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewChecksumSet(0)
+	d.SetChecksums(cs)
+	page := bytes.Repeat([]byte{0xEE}, 128)
+	if err := d.Write(id, page); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 128)
+	if err := d.Read(id, got); err != nil {
+		t.Fatalf("clean read: %v", err)
+	}
+	// Flip a bit on disk behind the checksum's back.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xEF}, int64(id)*128); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := d.Read(id, got); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("read of flipped page: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOverlayDiskVerifiesBaseReads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.db")
+	page := bytes.Repeat([]byte{0x42}, 128)
+	if err := os.WriteFile(path, page, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	od, err := OpenOverlay(path, 128, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer od.Close()
+	cs := NewChecksumSet(0)
+	cs.Update(0, page)
+	od.SetChecksums(cs)
+	got := make([]byte, 128)
+	if err := od.Read(0, got); err != nil {
+		t.Fatalf("clean base read: %v", err)
+	}
+	// COW write: the overlay page diverges from the base checksum but must
+	// still read back fine (only base-file reads verify).
+	mod := bytes.Repeat([]byte{0x43}, 128)
+	if err := od.Write(0, mod); err != nil {
+		t.Fatal(err)
+	}
+	if err := od.Read(0, got); err != nil {
+		t.Fatalf("overlay read after COW: %v", err)
+	}
+	if !bytes.Equal(got, mod) {
+		t.Fatal("overlay content lost")
+	}
+	// A second overlay over the same (now corrupted) base file sees the rot.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 7); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	od2, err := OpenOverlay(path, 128, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer od2.Close()
+	od2.SetChecksums(cs2Fresh(page))
+	if err := od2.Read(0, got); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("base read of rotted page: %v, want ErrCorrupt", err)
+	}
+}
+
+// cs2Fresh builds a one-page checksum set over the given original content
+// (a fresh set so the first overlay's quarantine state doesn't leak in).
+func cs2Fresh(page []byte) *ChecksumSet {
+	cs := NewChecksumSet(0)
+	cs.Update(0, page)
+	return cs
+}
+
+func TestFaultDiskCorruption(t *testing.T) {
+	base := NewMemDisk(128, CostModel{})
+	fd := NewFaultDisk(base)
+	id, err := fd.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := bytes.Repeat([]byte{0x10}, 128)
+	if err := fd.Write(id, page); err != nil {
+		t.Fatal(err)
+	}
+	fd.CorruptPages = map[PageID]Corruption{id: CorruptBitFlip}
+	got := make([]byte, 128)
+	if err := fd.Read(id, got); err != nil {
+		t.Fatalf("corrupted read still succeeds silently (that's the point): %v", err)
+	}
+	if bytes.Equal(got, page) {
+		t.Fatal("bit flip had no effect")
+	}
+	// With a checksum downstream, the silent corruption becomes loud.
+	cs := NewChecksumSet(0)
+	cs.Update(id, page)
+	if err := cs.Verify(id, got); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("checksum missed the injected flip: %v", err)
+	}
+
+	fd.CorruptPages = map[PageID]Corruption{id: CorruptTorn}
+	if err := fd.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	half := 128 / 2
+	if !bytes.Equal(got[:half], page[:half]) {
+		t.Fatal("torn write damaged the first half")
+	}
+	for i := half; i < 128; i++ {
+		if got[i] != 0 {
+			t.Fatal("torn write left the second half intact")
+		}
+	}
+}
+
+func TestFaultDiskReadDelay(t *testing.T) {
+	base := NewMemDisk(64, CostModel{})
+	fd := NewFaultDisk(base)
+	if _, err := fd.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	fd.ReadDelay = 20 * time.Millisecond
+	buf := make([]byte, 64)
+	start := time.Now()
+	if err := fd.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("read returned after %v, want >= ~20ms brownout", elapsed)
+	}
+}
+
+func TestChecksumSetConcurrent(t *testing.T) {
+	cs := NewChecksumSet(0)
+	pages := make([][]byte, 8)
+	for i := range pages {
+		pages[i] = bytes.Repeat([]byte{byte(i + 1)}, 64)
+		cs.Update(PageID(i), pages[i])
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 200; rep++ {
+				for i := range pages {
+					if err := cs.Verify(PageID(i), pages[i]); err != nil {
+						t.Errorf("verify: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for rep := 0; rep < 200; rep++ {
+			cs.Update(PageID(rep%8), pages[rep%8])
+		}
+	}()
+	wg.Wait()
+}

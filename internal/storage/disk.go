@@ -283,6 +283,17 @@ type FileDisk struct {
 	f        *os.File
 	numPages PageID
 	closed   bool
+	sums     *ChecksumSet // nil: no verification (see SetChecksums)
+}
+
+// SetChecksums arms page-integrity verification: every subsequent Read is
+// checked against the set (failing with a *CorruptPageError on mismatch)
+// and every Write updates the set, so the in-memory sums always track the
+// file. Arm before sharing the disk; nil disarms.
+func (d *FileDisk) SetChecksums(cs *ChecksumSet) {
+	d.mu.Lock()
+	d.sums = cs
+	d.mu.Unlock()
 }
 
 // OpenFileDisk creates (or truncates) the file at path and returns an empty
@@ -368,6 +379,9 @@ func (d *FileDisk) Read(id PageID, p []byte) error {
 	for i := n; i < len(p); i++ {
 		p[i] = 0
 	}
+	if d.sums != nil {
+		return d.sums.Verify(id, p)
+	}
 	return nil
 }
 
@@ -387,6 +401,9 @@ func (d *FileDisk) Write(id PageID, p []byte) error {
 	d.onWrite(id)
 	if _, err := d.f.WriteAt(p, int64(id)*int64(d.pageSize)); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	if d.sums != nil {
+		d.sums.Update(id, p)
 	}
 	return nil
 }

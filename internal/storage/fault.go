@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrInjected is the error produced by a FaultDisk when a fault fires.
@@ -32,9 +33,44 @@ type FaultDisk struct {
 	// is incremented) and fails the read with its error when non-nil. Tests
 	// use it to trigger cancellation or faults at exact page touches.
 	OnRead func(PageID) error
+	// CorruptPages maps page IDs to a silent corruption applied to the
+	// buffer after the underlying read succeeds — the read itself reports
+	// no error, exactly like real media corruption. Only a checksum layer
+	// (ChecksumSet) can catch it.
+	CorruptPages map[PageID]Corruption
+	// ReadDelay stalls every read for the given duration before it reaches
+	// the underlying disk — a brownout, not an outage: the node stays up
+	// but every query crawls. Tests use it to drive retry-storm and
+	// hedging behavior.
+	ReadDelay time.Duration
 
 	mu                    sync.Mutex
 	reads, writes, allocs int64
+}
+
+// Corruption selects how a CorruptPages entry mangles the page content.
+type Corruption int
+
+const (
+	// CorruptBitFlip flips a single bit in the middle of the page — the
+	// classic undetected media error.
+	CorruptBitFlip Corruption = iota + 1
+	// CorruptTorn zeroes the second half of the page, modeling a torn
+	// write: the first sectors hit the platter, the rest never did.
+	CorruptTorn
+)
+
+// corrupt applies the injected damage to a successfully read page.
+func (c Corruption) corrupt(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	switch c {
+	case CorruptBitFlip:
+		p[len(p)/2] ^= 0x10
+	case CorruptTorn:
+		clear(p[len(p)/2:])
+	}
 }
 
 // NewFaultDisk wraps d with no faults armed.
@@ -57,7 +93,16 @@ func (d *FaultDisk) Read(id PageID, p []byte) error {
 	if d.BadPages[id] {
 		return ErrInjected
 	}
-	return d.Disk.Read(id, p)
+	if d.ReadDelay > 0 {
+		time.Sleep(d.ReadDelay)
+	}
+	if err := d.Disk.Read(id, p); err != nil {
+		return err
+	}
+	if c := d.CorruptPages[id]; c != 0 {
+		c.corrupt(p)
+	}
+	return nil
 }
 
 // Write implements Disk.

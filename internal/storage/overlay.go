@@ -42,6 +42,20 @@ type OverlayDisk struct {
 	overlay   map[PageID][]byte
 	numPages  PageID
 	closed    bool
+	sums      *ChecksumSet // nil: no verification (see SetChecksums)
+}
+
+// SetChecksums arms page-integrity verification for base-file reads: a
+// page served from the immutable file is checked against the set and fails
+// with a *CorruptPageError on mismatch. Overlay pages — this engine's own
+// in-memory writes — are never verified: they legitimately diverge from
+// the base the checksums describe. The set may be shared across every
+// OverlayDisk open over the same file (it is concurrency-safe), so one
+// engine's corruption discovery quarantines the page for the whole pool.
+func (d *OverlayDisk) SetChecksums(cs *ChecksumSet) {
+	d.mu.Lock()
+	d.sums = cs
+	d.mu.Unlock()
 }
 
 // OpenOverlay opens the page file at path read-only and returns an
@@ -125,6 +139,9 @@ func (d *OverlayDisk) Read(id PageID, p []byte) error {
 	}
 	for i := n; i < len(p); i++ {
 		p[i] = 0
+	}
+	if d.sums != nil {
+		return d.sums.Verify(id, p)
 	}
 	return nil
 }
