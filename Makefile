@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench fuzz experiments experiments-full serve-smoke shard-smoke parallel-smoke router-smoke chaos-smoke clean
+.PHONY: all build test vet race cover bench fuzz experiments experiments-full serve-smoke shard-smoke parallel-smoke router-smoke chaos-smoke ingest-smoke clean
 
 all: build vet test
 
@@ -66,6 +66,13 @@ router-smoke:
 # pre-checksum databases still serve (doc/ROBUSTNESS.md).
 chaos-smoke:
 	./scripts/chaos-smoke.sh
+
+# Live-ingest check: pbiserve -ingest under a mixed read/write load must
+# advance epochs with consistent answers, fold the chain via compaction,
+# survive a restart on the latest epoch, and stay legible to pbidb epochs
+# and pbifsck (doc/INGEST.md).
+ingest-smoke:
+	./scripts/ingest-smoke.sh
 
 # The paper-scale runs behind EXPERIMENTS.md (several minutes).
 experiments-full:

@@ -5,10 +5,17 @@
 //
 // Usage:
 //
-//	pbidb build -db site.db [-tags item,text] doc1.xml [doc2.xml ...]
-//	pbidb tags  -db site.db
-//	pbidb join  -db site.db -anc item -desc text [-algo auto] [-buffer 500]
-//	pbidb shard -db site.db [-shards 4] [-out site.db.shards]
+//	pbidb build  -db site.db [-tags item,text] doc1.xml [doc2.xml ...]
+//	pbidb tags   -db site.db
+//	pbidb join   -db site.db -anc item -desc text [-algo auto] [-buffer 500]
+//	pbidb shard  -db site.db [-shards 4] [-out site.db.shards]
+//	pbidb epochs -db site.db
+//
+// epochs lists the database's epoch family — the snapshots a live-ingest
+// pbiserve (-ingest, see doc/INGEST.md) has published beside the page
+// file: which epoch is current, which are compacted bases vs delta
+// layers, and how long each delta chain runs. A database that has never
+// taken a write has only the implicit epoch 0.
 //
 // Multiple documents are encoded as one collection (a forest under a
 // synthetic root), so joins span the corpus; pairs never cross documents.
@@ -26,6 +33,7 @@ import (
 	"strings"
 
 	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/internal/ingest"
 	"github.com/pbitree/pbitree/internal/shard"
 	"github.com/pbitree/pbitree/xmltree"
 )
@@ -43,6 +51,8 @@ func main() {
 		join(os.Args[2:])
 	case "shard":
 		shardCmd(os.Args[2:])
+	case "epochs":
+		epochs(os.Args[2:])
 	default:
 		usage()
 	}
@@ -50,10 +60,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  pbidb build -db FILE [-tags a,b] doc.xml [doc.xml ...]
-  pbidb tags  -db FILE
-  pbidb join  -db FILE -anc TAG -desc TAG [-algo NAME] [-buffer N]
-  pbidb shard -db FILE [-shards N] [-out DIR]`)
+  pbidb build  -db FILE [-tags a,b] doc.xml [doc.xml ...]
+  pbidb tags   -db FILE
+  pbidb join   -db FILE -anc TAG -desc TAG [-algo NAME] [-buffer N]
+  pbidb shard  -db FILE [-shards N] [-out DIR]
+  pbidb epochs -db FILE`)
 	os.Exit(2)
 }
 
@@ -239,6 +250,44 @@ func join(args []string) {
 	fmt.Printf("//%s//%s: %d pairs  algorithm=%s  pageIO=%d  elapsed=%v\n",
 		*anc, *desc, res.Count, res.Algorithm, res.IO.Total(),
 		(res.IO.VirtualTime + res.IO.WallTime).Round(1000000))
+}
+
+// epochs lists the database's published epoch family from the manifest a
+// live-ingest server maintains beside the page file (internal/ingest).
+// Reading the manifest alone keeps the listing cheap and safe to run
+// against a database a pbiserve -ingest is actively writing: the manifest
+// swaps atomically, so this sees either the old or the new family.
+func epochs(args []string) {
+	fs := flag.NewFlagSet("epochs", flag.ExitOnError)
+	db := fs.String("db", "", "database file (required)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *db == "" || fs.NArg() != 0 {
+		usage()
+	}
+	list, err := ingest.ListEpochs(*db)
+	if err != nil {
+		fail(err)
+	}
+	if list == nil {
+		fmt.Printf("pbidb: %s: no epoch family (never ingested into); the page file is the implicit epoch 0\n", *db)
+		return
+	}
+	fmt.Printf("%-7s %-9s %6s %6s  %s\n", "epoch", "kind", "chain", "files", "path")
+	for _, e := range list.Epochs {
+		kind := "delta"
+		switch {
+		case e.Epoch == 0:
+			kind = "base"
+		case e.Compacted:
+			kind = "compacted"
+		}
+		cur := ""
+		if e.Epoch == list.Current {
+			cur = "  <- current"
+		}
+		fmt.Printf("%-7d %-9s %6d %6d  %s%s\n",
+			e.Epoch, kind, len(e.Chain), len(e.Files), list.Resolve(e), cur)
+	}
 }
 
 func fail(err error) {

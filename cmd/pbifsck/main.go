@@ -4,11 +4,19 @@
 // relations — are damaged. Run it when a query fails with the "corrupt"
 // failure class, or routinely after restoring a database from backup.
 //
+// The scanner is epoch-aware: when the named database carries an epoch
+// family (a live-ingest pbiserve has published snapshots beside it — see
+// doc/INGEST.md), every published epoch is verified too. An epoch database
+// scans its base page file page-by-page and additionally verifies each
+// delta file of its chain whole against the delta's trailing CRC32-C.
+// Pass -noepochs to scan only the named files.
+//
 // Usage:
 //
-//	pbifsck db.pbidb [db2.pbidb ...]      verify page checksums
+//	pbifsck db.pbidb [db2.pbidb ...]      verify page checksums (+ epoch family)
 //	pbifsck -add legacy.pbidb             backfill checksums on a pre-checksum database
 //	pbifsck -json db.pbidb                machine-readable report
+//	pbifsck -noepochs db.pbidb            skip the epoch family
 //
 // Exit status: 0 when every database verifies clean, 1 on corruption or an
 // unverifiable (legacy, no-checksum) database, 2 on usage or I/O errors.
@@ -21,18 +29,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/internal/ingest"
 )
 
 func main() {
 	var (
-		add     = flag.Bool("add", false, "backfill a checksum sidecar onto a legacy (pre-checksum) database")
-		jsonOut = flag.Bool("json", false, "emit one JSON report per database instead of text")
+		add      = flag.Bool("add", false, "backfill a checksum sidecar onto a legacy (pre-checksum) database")
+		jsonOut  = flag.Bool("json", false, "emit one JSON report per database instead of text")
+		noEpochs = flag.Bool("noepochs", false, "scan only the named files, not their epoch families")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pbifsck [-add] [-json] db.pbidb [db2.pbidb ...]")
+		fmt.Fprintln(os.Stderr, "usage: pbifsck [-add] [-json] [-noepochs] db.pbidb [db2.pbidb ...]")
 		os.Exit(2)
 	}
 
@@ -48,25 +59,58 @@ func main() {
 	}
 
 	bad := false
+	seen := map[string]bool{}
 	for _, path := range flag.Args() {
-		rep, err := containment.Fsck(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pbifsck: %s: %v\n", path, err)
-			os.Exit(2)
+		for _, target := range expandEpochs(path, *noEpochs) {
+			if clean, err := filepath.Abs(target); err == nil {
+				if seen[clean] {
+					continue // epoch 0 resolves back to a named file
+				}
+				seen[clean] = true
+			}
+			rep, err := containment.Fsck(target)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pbifsck: %s: %v\n", target, err)
+				os.Exit(2)
+			}
+			if !rep.OK() {
+				bad = true
+			}
+			if *jsonOut {
+				out, _ := json.MarshalIndent(rep, "", "  ")
+				fmt.Printf("%s\n", out)
+				continue
+			}
+			report(rep)
 		}
-		if !rep.OK() {
-			bad = true
-		}
-		if *jsonOut {
-			out, _ := json.MarshalIndent(rep, "", "  ")
-			fmt.Printf("%s\n", out)
-			continue
-		}
-		report(rep)
 	}
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// expandEpochs returns the databases to scan for one argument: the named
+// file, plus — when a live-ingest epoch manifest sits beside it — every
+// published epoch of its family. A manifest read failure is reported but
+// does not stop the base scan: the family may be mid-teardown.
+func expandEpochs(path string, skip bool) []string {
+	targets := []string{path}
+	if skip {
+		return targets
+	}
+	list, err := ingest.ListEpochs(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbifsck: %s: epoch manifest: %v (scanning base only)\n", path, err)
+		return targets
+	}
+	if list == nil {
+		return targets
+	}
+	fmt.Fprintf(os.Stderr, "pbifsck: %s: epoch family of %d (current %d)\n", path, len(list.Epochs), list.Current)
+	for _, e := range list.Epochs {
+		targets = append(targets, list.Resolve(e))
+	}
+	return targets
 }
 
 // report renders one scan result as text.
@@ -75,11 +119,15 @@ func report(rep *containment.FsckReport) {
 		fmt.Printf("%s: no checksum sidecar (saved before page integrity landed); run pbifsck -add to protect it\n", rep.Path)
 		return
 	}
-	if len(rep.Bad) == 0 {
-		fmt.Printf("%s: ok (%d/%d pages verified, page size %d)\n", rep.Path, rep.Checked, rep.Pages, rep.PageSize)
+	epoch := ""
+	if rep.Epoch > 0 {
+		epoch = fmt.Sprintf(", epoch %d over %d deltas", rep.Epoch, len(rep.Deltas))
+	}
+	if len(rep.Bad) == 0 && deltasOK(rep) {
+		fmt.Printf("%s: ok (%d/%d pages verified, page size %d%s)\n", rep.Path, rep.Checked, rep.Pages, rep.PageSize, epoch)
 		return
 	}
-	fmt.Printf("%s: CORRUPT — %d of %d pages failed verification\n", rep.Path, len(rep.Bad), rep.Checked)
+	fmt.Printf("%s: CORRUPT — %d of %d pages failed verification%s\n", rep.Path, len(rep.Bad), rep.Checked, epoch)
 	for _, b := range rep.Bad {
 		where := "unowned (catalog internals or slack)"
 		if len(b.Relations) > 0 {
@@ -93,4 +141,19 @@ func report(rep *containment.FsckReport) {
 		}
 		fmt.Printf("  page %d: want crc32c %08x, got %08x — %s\n", b.Page, b.Want, b.Got, where)
 	}
+	for _, d := range rep.Deltas {
+		if !d.OK {
+			fmt.Printf("  delta %s (%d pages): %s\n", d.Path, d.Pages, d.Error)
+		}
+	}
+}
+
+// deltasOK reports whether every delta of an epoch chain verified.
+func deltasOK(rep *containment.FsckReport) bool {
+	for _, d := range rep.Deltas {
+		if !d.OK {
+			return false
+		}
+	}
+	return true
 }

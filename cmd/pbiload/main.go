@@ -14,12 +14,22 @@
 // replays the paper's D1–D10 / B1–B10 join workloads (tags absent from
 // the served database are skipped after consulting /relations).
 //
+// Against a pbiserve running with a live write path (-ingest, see
+// doc/INGEST.md), -ingest FRAC turns that fraction of requests into POST
+// /ingest batches of synthetic single-item documents; -ingest-updates
+// splits them between fresh inserts and replacements of documents the run
+// already landed. Ingest batches report their own latency percentiles,
+// the epoch the run reached, and the renumber counts the server's
+// gap-aware coder charged — the serving-tier counterpart of
+// internal/ingest's sustained-ingest benchmark.
+//
 // Usage:
 //
 //	pbiload -url http://localhost:8080 -mix xmark -c 8 -n 2000
 //	pbiload -url http://localhost:8080 -mode open -qps 200 -duration 30s \
 //	        -queries section/figure,section/para/rollup -paths //a//b//c
 //	pbiload -targets http://n1:8080,http://n2:8080 -mix xmark -n 2000
+//	pbiload -url http://localhost:8080 -mix xmark -ingest 0.1 -ingest-updates 0.5 -n 500
 //
 // -targets spreads the workload round-robin across several serving
 // endpoints (replica nodes, or pbiserve vs pbirouter side by side) and
@@ -36,6 +46,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -65,8 +76,13 @@ func main() {
 		paths    = flag.String("paths", "", "comma-separated path expressions //a//b")
 		mix      = flag.String("mix", "", "replay a benchmark mix: dblp|xmark")
 		stats    = flag.Bool("stats", true, "print server /stats after the run")
+		ingFrac  = flag.Float64("ingest", 0, "fraction of requests issued as POST /ingest batches (server needs -ingest)")
+		ingUpd   = flag.Float64("ingest-updates", 0, "fraction of ingest batches that replace an already-inserted document")
 	)
 	flag.Parse()
+	if *ingFrac < 0 || *ingFrac > 1 || *ingUpd < 0 || *ingUpd > 1 {
+		fail(fmt.Errorf("-ingest and -ingest-updates must be in [0,1]"))
+	}
 
 	bases := splitList(*targets)
 	if len(bases) == 0 {
@@ -86,6 +102,7 @@ func main() {
 	if len(urls) == 0 {
 		fail(fmt.Errorf("empty query mix: pass -queries, -paths or -mix"))
 	}
+	ing.init(*ingFrac, *ingUpd, len(bases))
 	fmt.Printf("pbiload: %d distinct queries, %d targets, mode=%s\n", len(urls), len(bases), *mode)
 
 	var results []result
@@ -99,13 +116,22 @@ func main() {
 		fail(fmt.Errorf("unknown -mode %q (closed|open)", *mode))
 	}
 
-	bad := report(results, elapsed)
+	// Ingest batches report separately: write latency under a read load is
+	// a different quantity than read latency under a write load.
+	readRes, writeRes := splitIngest(results)
+	bad := report(readRes, elapsed)
+	bad += reportIngest(writeRes)
 	if len(bases) > 1 {
 		reportTargets(bases, results)
 	}
 	if *stats {
 		for _, b := range bases {
 			printServerStats(b)
+		}
+	}
+	if *ingFrac > 0 {
+		for _, b := range bases {
+			printEpochStats(b)
 		}
 	}
 	if bad > 0 {
@@ -119,6 +145,193 @@ type result struct {
 	status  int    // 0 on transport error
 	cache   string // X-Cache response header: "hit", "miss" or ""
 	target  int    // index into the target base-URL list
+	ingest  bool   // POST /ingest batch, not a query
+}
+
+// ing drives the optional mixed write workload (-ingest): a deterministic
+// fraction of the request sequence becomes POST /ingest batches of
+// synthetic single-item documents, split between fresh inserts and
+// replacements (delete_doc + insert_doc in one atomic batch) of documents
+// this run already landed. Renumber counts accumulate from the commit
+// results the server returns, so the report needs no post-run scraping.
+type ingestLoad struct {
+	frac    float64
+	updFrac float64
+	prefix  string
+	mu      sync.Mutex
+	docs    [][]string   // confirmed inserted doc names, per target
+	scoped  atomic.Int64 // renumbers charged to this run's batches
+	global  atomic.Int64
+	epoch   atomic.Int64 // highest epoch a commit reported
+}
+
+var ing ingestLoad
+
+func (st *ingestLoad) init(frac, upd float64, targets int) {
+	st.frac, st.updFrac = frac, upd
+	// Unique per run so repeated runs against one server never collide on
+	// insert_doc names.
+	st.prefix = fmt.Sprintf("pbiload-%d", time.Now().UnixNano()%1_000_000_000)
+	st.docs = make([][]string, targets)
+}
+
+// isIngestSeq picks which sequence numbers become ingest batches. The
+// multiplier spreads the chosen residues across each window of 100 so
+// writes interleave with reads instead of clustering.
+func isIngestSeq(seq int64) bool {
+	return ing.frac > 0 && float64((seq*61)%100) < ing.frac*100
+}
+
+// doOp issues request seq of the run: an ingest batch on the sequence
+// numbers isIngestSeq selects, a query from the mix otherwise.
+func doOp(client *http.Client, bases, urls []string, seq int64) result {
+	if isIngestSeq(seq) {
+		return doIngest(client, bases, seq)
+	}
+	return doRequest(client, bases, urls[int(seq)%len(urls)], seq)
+}
+
+// doIngest posts one synthetic update batch: a fresh single-item document,
+// or — on the -ingest-updates fraction, once the target has confirmed
+// inserts to draw from — an atomic replacement of one of them.
+func doIngest(client *http.Client, bases []string, seq int64) result {
+	ti := int(seq) % len(bases)
+	name := fmt.Sprintf("%s-%d", ing.prefix, seq)
+	xml := fmt.Sprintf("<doc><item><text>r%d</text></item></doc>", seq)
+	replace := ""
+	if float64((seq*37)%100) < ing.updFrac*100 {
+		ing.mu.Lock()
+		if n := len(ing.docs[ti]); n > 0 {
+			replace = ing.docs[ti][int(seq)%n]
+		}
+		ing.mu.Unlock()
+	}
+	var ops []map[string]any
+	if replace != "" {
+		ops = []map[string]any{
+			{"op": "delete_doc", "doc": replace},
+			{"op": "insert_doc", "doc": replace, "xml": xml},
+		}
+	} else {
+		ops = []map[string]any{{"op": "insert_doc", "doc": name, "xml": xml}}
+	}
+	body, _ := json.Marshal(map[string]any{"ops": ops})
+	start := time.Now()
+	resp, err := client.Post(bases[ti]+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return result{latency: time.Since(start), target: ti, ingest: true}
+	}
+	var cr struct {
+		Epoch           int64  `json:"epoch"`
+		RenumbersScoped uint64 `json:"renumbers_scoped"`
+		RenumbersGlobal uint64 `json:"renumbers_global"`
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&cr)
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
+	resp.Body.Close()
+	lat := time.Since(start)
+	if resp.StatusCode == http.StatusOK && decErr == nil {
+		ing.scoped.Add(int64(cr.RenumbersScoped))
+		ing.global.Add(int64(cr.RenumbersGlobal))
+		for {
+			cur := ing.epoch.Load()
+			if cr.Epoch <= cur || ing.epoch.CompareAndSwap(cur, cr.Epoch) {
+				break
+			}
+		}
+		if replace == "" {
+			ing.mu.Lock()
+			ing.docs[ti] = append(ing.docs[ti], name)
+			ing.mu.Unlock()
+		}
+	}
+	return result{latency: lat, status: resp.StatusCode, target: ti, ingest: true}
+}
+
+// splitIngest partitions a run's results into queries and ingest batches.
+func splitIngest(results []result) (queries, ingests []result) {
+	for _, r := range results {
+		if r.ingest {
+			ingests = append(ingests, r)
+		} else {
+			queries = append(queries, r)
+		}
+	}
+	return queries, ingests
+}
+
+// reportIngest prints the write-side summary and returns the number of
+// failed batches. Shed batches (503, the server's ingest backlog was
+// full) are their own class — retryable backpressure, but still a
+// nonzero exit so CI notices an overloaded configuration.
+func reportIngest(results []result) int {
+	if len(results) == 0 {
+		return 0
+	}
+	var ok, shed, failed int
+	lats := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		switch {
+		case r.status == http.StatusOK:
+			ok++
+			lats = append(lats, r.latency)
+		case r.status == http.StatusServiceUnavailable:
+			shed++
+		default:
+			failed++
+		}
+	}
+	fmt.Printf("pbiload: ingest: %d batches  ok=%d shed=%d failed=%d\n", len(results), ok, shed, failed)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("pbiload: ingest latency p50=%v p95=%v p99=%v max=%v\n",
+			pct(lats, 0.50), pct(lats, 0.95), pct(lats, 0.99), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	if ok > 0 {
+		fmt.Printf("pbiload: ingest reached epoch %d  renumbers scoped=%d global=%d\n",
+			ing.epoch.Load(), ing.scoped.Load(), ing.global.Load())
+	}
+	return shed + failed
+}
+
+// printEpochStats surfaces the server's own write-path view after a mixed
+// run: chain length, op counts, overflow inserts and compactions — the
+// counters /epochs exposes (see doc/INGEST.md).
+func printEpochStats(base string) {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/epochs")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbiload: fetch /epochs: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "pbiload: /epochs: status %d (server not running -ingest?)\n", resp.StatusCode)
+		return
+	}
+	var e struct {
+		Current int64 `json:"current"`
+		Stats   struct {
+			ChainLen        int    `json:"chain_len"`
+			Documents       int    `json:"documents"`
+			Commits         uint64 `json:"commits"`
+			Inserts         uint64 `json:"inserts"`
+			Updates         uint64 `json:"updates"`
+			Deletes         uint64 `json:"deletes"`
+			RenumbersScoped uint64 `json:"renumbers_scoped"`
+			RenumbersGlobal uint64 `json:"renumbers_global"`
+			OverflowInserts uint64 `json:"overflow_inserts"`
+			Compactions     uint64 `json:"compactions"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		fmt.Fprintf(os.Stderr, "pbiload: parse /epochs: %v\n", err)
+		return
+	}
+	s := e.Stats
+	fmt.Printf("server: epoch %d (chain %d, %d documents), %d commits: %d inserts %d updates %d deletes\n",
+		e.Current, s.ChainLen, s.Documents, s.Commits, s.Inserts, s.Updates, s.Deletes)
+	fmt.Printf("server: renumbers scoped=%d global=%d, overflow inserts=%d, compactions=%d\n",
+		s.RenumbersScoped, s.RenumbersGlobal, s.OverflowInserts, s.Compactions)
 }
 
 // buildMix assembles the request list as target-relative URLs; the load
@@ -249,7 +462,7 @@ func closedLoop(bases, urls []string, conc int, total int64, duration time.Durat
 				if total == 0 && time.Now().After(deadline) {
 					return
 				}
-				resc <- doRequest(client, bases, urls[int(i-1)%len(urls)], i-1)
+				resc <- doOp(client, bases, urls, i-1)
 			}
 		}()
 	}
@@ -288,13 +501,12 @@ func openLoop(bases, urls []string, qps float64, total int64, duration time.Dura
 				return
 			}
 			issued++
-			u := urls[int(issued-1)%len(urls)]
 			seq := issued - 1
 			sem <- struct{}{}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				resc <- doRequest(client, bases, u, seq)
+				resc <- doOp(client, bases, urls, seq)
 				<-sem
 			}()
 		}

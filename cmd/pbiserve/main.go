@@ -9,11 +9,20 @@
 //	         [-cache 1024] [-buffer 256] [-diskcost 2003|none]
 //	         [-shards 0] [-timeout 0] [-accesslog FILE|-] [-pprof]
 //	         [-telemetry DIR] [-slowquery DUR]
+//	         [-ingest] [-ingest-backlog 4] [-compact-after 4]
+//	         [-compact-rate 0] [-gap-aware] [-keep-epochs 2]
 //
 // With -shards N each worker is a scatter-gather engine over the N shard
 // files written by pbidb shard (expected at DB.shards/manifest.json, or
 // pass the manifest path as -db); /stats and /metrics then expose
 // per-shard I/O counters. See doc/SHARDING.md.
+//
+// With -ingest the server attaches a live write path over the database
+// (internal/ingest, doc/INGEST.md): POST /ingest applies atomic update
+// batches and publishes each as a new immutable epoch, queries follow
+// epochs without blocking on writes (X-Epoch names the answering epoch),
+// and a background daemon folds delta chains back into fresh bases under
+// the -compact-rate I/O budget. Incompatible with -shards.
 //
 // Endpoints:
 //
@@ -27,6 +36,8 @@
 //	GET /debug/pprof/                        profiling (only with -pprof)
 //	GET /healthz                             liveness (process up)
 //	GET /readyz                              readiness (engines warm, not draining)
+//	POST /ingest                             apply one update batch (only with -ingest)
+//	GET /epochs                              epoch family + ingest counters (only with -ingest)
 //
 // Every response carries an X-Trace-Id header; -accesslog writes one JSON
 // line per request with the same ID, -telemetry appends one durable JSONL
@@ -49,6 +60,7 @@ import (
 	"time"
 
 	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/internal/ingest"
 	"github.com/pbitree/pbitree/internal/qserv"
 	"github.com/pbitree/pbitree/internal/telemetry"
 )
@@ -70,6 +82,13 @@ func main() {
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		telDir    = flag.String("telemetry", "", "append one JSONL telemetry record per query to this directory (rotating)")
 		slowQ     = flag.Duration("slowquery", 0, "queries at or above this wall time keep their full span tree in telemetry (0 = never)")
+
+		ingestOn    = flag.Bool("ingest", false, "attach the live write path: POST /ingest, GET /epochs, epoch-following workers")
+		ingestQueue = flag.Int("ingest-backlog", 4, "ingest batches in flight before shedding with 503")
+		compactN    = flag.Int("compact-after", 4, "fold the delta chain into a fresh base once it reaches this many files (0 = never)")
+		compactRate = flag.Int("compact-rate", 0, "compaction write budget in pages/sec (0 = unthrottled)")
+		gapAware    = flag.Bool("gap-aware", true, "gap-aware code assignment: headroom re-encodes plus a reserved overflow slot region")
+		keepEpochs  = flag.Int("keep-epochs", 2, "retired epochs kept published for draining readers before GC")
 	)
 	flag.Parse()
 	if *db == "" || flag.NArg() != 0 {
@@ -113,19 +132,38 @@ func main() {
 	if *queue == 0 {
 		*queue = -1
 	}
+	// The ingest store opens before the server (workers must start at the
+	// manifest's current epoch, not the base) and closes after it.
+	var ist *ingest.Store
+	if *ingestOn {
+		var err error
+		ist, err = ingest.Open(ingest.Config{
+			DBPath:             *db,
+			GapAware:           *gapAware,
+			BufferPages:        *buffer,
+			CompactAfter:       *compactN,
+			CompactPagesPerSec: *compactRate,
+			Keep:               *keepEpochs,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
 	qs, err := qserv.New(qserv.Config{
-		DBPath:       *db,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cache,
-		BufferPages:  *buffer,
-		DiskCost:     cost,
-		AccessLog:    logw,
-		EnablePprof:  *pprofFlag,
-		QueryTimeout: *timeout,
-		Shards:       *shards,
-		Parallel:     *parallel,
-		Telemetry:    telw,
+		DBPath:        *db,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheEntries:  *cache,
+		BufferPages:   *buffer,
+		DiskCost:      cost,
+		AccessLog:     logw,
+		EnablePprof:   *pprofFlag,
+		QueryTimeout:  *timeout,
+		Shards:        *shards,
+		Parallel:      *parallel,
+		Telemetry:     telw,
+		Ingest:        ist,
+		IngestBacklog: *ingestQueue,
 	})
 	if err != nil {
 		fail(err)
@@ -135,6 +173,10 @@ func main() {
 	}
 	if *shards > 0 {
 		fmt.Printf("pbiserve: sharded serving, %d shards per worker\n", *shards)
+	}
+	if ist != nil {
+		epoch, path := ist.CurrentEpoch()
+		fmt.Printf("pbiserve: live ingest enabled, serving epoch %d (%s)\n", epoch, path)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: qs.Handler()}
@@ -163,8 +205,15 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "pbiserve: serve: %v\n", err)
 	}
-	// All handlers have returned; engines are safe to close now. The
-	// telemetry writer closes last so every emitted record drains to disk.
+	// All handlers have returned; engines are safe to close now. The ingest
+	// store closes first (drain already refused new batches; this stops the
+	// compaction daemon), then the engines, then the telemetry writer so
+	// every emitted record drains to disk.
+	if ist != nil {
+		if err := ist.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pbiserve: ingest close: %v\n", err)
+		}
+	}
 	if err := qs.Close(); err != nil {
 		telw.Close() //nolint:errcheck // the engine error wins
 		fail(err)

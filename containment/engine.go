@@ -81,7 +81,30 @@ type Engine struct {
 	// docs is the per-document catalog (SaveDocs / Open); nil when the
 	// database predates document tracking or none was supplied.
 	docs []DocInfo
+	// base / deltas / epoch / checksums describe how Open resolved the
+	// database: the base page file, the epoch delta chain layered over it
+	// (nil for a self-contained v1 database), the publication sequence
+	// number, and whether the base carries a checksum sidecar. SaveEpoch
+	// extends the chain; zero values for engines not created by Open.
+	base      string
+	deltas    []string
+	epoch     int64
+	checksums bool
 }
+
+// Epoch returns the publication sequence number of the opened database: 0
+// for a self-contained (version-1) database, the epoch catalog's number
+// otherwise.
+func (e *Engine) Epoch() int64 { return e.epoch }
+
+// DeltaChain returns the delta files layered over the base page file, in
+// application order — empty for a self-contained database.
+func (e *Engine) DeltaChain() []string { return append([]string(nil), e.deltas...) }
+
+// BasePath returns the page file the opened database resolves to: the
+// database path itself for a version-1 catalog, the epoch catalog's base
+// for version 2. Empty for engines not created by Open.
+func (e *Engine) BasePath() string { return e.base }
 
 // Relation is a stored element set owned by an Engine.
 type Relation struct {

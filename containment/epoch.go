@@ -1,0 +1,125 @@
+package containment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/pbitree/pbitree/internal/storage"
+)
+
+// This file writes epoch databases: immutable snapshots of a read-only
+// engine's state, published as a version-2 catalog that references the
+// original base page file plus a chain of delta files (storage.WriteDelta).
+// The live-ingest write path (internal/ingest) opens epoch N read-only,
+// applies a batch of updates through the engine's relations — every write
+// lands in the engine's private overlay, the base is never touched — and
+// calls SaveEpoch to freeze the overlay as epoch N+1's delta. Queries keep
+// serving epoch N throughout; the swap to N+1 is a manifest update, not a
+// file mutation. Compaction (internal/ingest) periodically folds a long
+// chain back into a fresh self-contained database, restarting the chain.
+
+// SaveEpoch freezes the engine's current state as an epoch database at
+// path: path+".delta" receives every page the engine has written or
+// allocated since open (the overlay snapshot), and path+".catalog" a
+// version-2 catalog chaining that delta after the engine's existing delta
+// chain over its base page file. Base and chain are recorded relative to
+// path's directory; the base file and prior deltas are not copied, so the
+// epoch is only valid alongside them (ingest keeps the whole family in one
+// epochs directory).
+//
+// The engine must have been created by Open with Config.ReadOnly — only
+// then is the write set isolated in an overlay — and the overlay must hold
+// nothing but committed data: call ReleaseTemp after any query work before
+// applying the update batch. Both the delta and the catalog are written
+// via tmp+rename; a crash between the two leaves a delta without a catalog,
+// which nothing references and compaction's GC removes.
+func (e *Engine) SaveEpoch(path string, epoch int64, docs []DocInfo, relations ...*Relation) error {
+	od, ok := e.disk.(*storage.OverlayDisk)
+	if !ok {
+		return fmt.Errorf("containment: SaveEpoch requires a read-only (overlay) engine")
+	}
+	if e.base == "" {
+		return fmt.Errorf("containment: SaveEpoch requires an engine created by Open")
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	snap, logical := od.OverlaySnapshot()
+	deltaPath := path + ".delta"
+	if err := storage.WriteDelta(deltaPath, e.cfg.PageSize, logical, snap); err != nil {
+		return fmt.Errorf("containment: write epoch delta: %w", err)
+	}
+
+	dir := filepath.Dir(path)
+	relTo := func(target string) (string, error) {
+		rel, err := filepath.Rel(dir, target)
+		if err != nil {
+			return "", fmt.Errorf("containment: epoch file %s not addressable from %s: %w", target, dir, err)
+		}
+		return rel, nil
+	}
+	cat := catalogFile{
+		Version:    catalogVersionEpoch,
+		PageSize:   e.cfg.PageSize,
+		TreeHeight: e.cfg.TreeHeight,
+		Epoch:      epoch,
+		Checksums:  e.checksums,
+	}
+	var err error
+	if cat.Base, err = relTo(e.base); err != nil {
+		return err
+	}
+	for _, d := range append(append([]string(nil), e.deltas...), deltaPath) {
+		rel, err := relTo(d)
+		if err != nil {
+			return err
+		}
+		cat.Deltas = append(cat.Deltas, rel)
+	}
+	for _, d := range docs {
+		cat.Documents = append(cat.Documents, catalogDoc{
+			Name: d.Name, Root: uint64(d.Root), Elements: d.Elements,
+		})
+	}
+	seen := map[string]bool{}
+	for _, r := range relations {
+		if seen[r.rel.Name()] {
+			return fmt.Errorf("containment: duplicate relation name %q in catalog", r.rel.Name())
+		}
+		seen[r.rel.Name()] = true
+		pages := r.rel.Pages()
+		ids := make([]int64, len(pages))
+		for i, p := range pages {
+			ids[i] = int64(p)
+		}
+		span, _ := r.rel.Span()
+		cat.Relations = append(cat.Relations, catalogEntry{
+			Name:         r.rel.Name(),
+			Pages:        ids,
+			Count:        r.rel.NumRecords(),
+			MinStart:     span.Start,
+			MaxEnd:       span.End,
+			MaxHeight:    r.maxHeight,
+			SingleHeight: r.singleHeight,
+			Sorted:       r.sorted,
+		})
+	}
+	data, err := json.MarshalIndent(&cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := catalogPath(path) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, catalogPath(path)); err != nil {
+		return err
+	}
+	// Keep the engine's own view coherent with what it just published.
+	e.deltas = append(e.deltas, deltaPath)
+	e.epoch = epoch
+	e.docs = append([]DocInfo(nil), docs...)
+	return nil
+}

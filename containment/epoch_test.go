@@ -1,0 +1,193 @@
+package containment
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+func codesOf(us []uint64) []pbicode.Code {
+	cs := make([]pbicode.Code, len(us))
+	for i, u := range us {
+		cs[i] = pbicode.Code(u)
+	}
+	return cs
+}
+
+// buildEpochBase builds and saves a small v1 database and returns its path
+// plus the code sets it stored.
+func buildEpochBase(t *testing.T) (string, []uint64, []uint64) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.pbidb")
+	rng := rand.New(rand.NewSource(42))
+	aCodes := randCodes(rng, 600, 12)
+	dCodes := randCodes(rng, 600, 12)
+	e, err := NewEngine(Config{Path: path, PageSize: 512, BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Load("A", aCodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Load("D", dCodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Save(a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var as, ds []uint64
+	for _, c := range aCodes {
+		as = append(as, uint64(c))
+	}
+	for _, c := range dCodes {
+		ds = append(ds, uint64(c))
+	}
+	return path, as, ds
+}
+
+func TestSaveEpochAndReopenChain(t *testing.T) {
+	path, aCodes, _ := buildEpochBase(t)
+	dir := filepath.Dir(path)
+
+	// Epoch 1: reload A with extra codes through a read-only engine; the
+	// new relation's pages land in the overlay and become the delta.
+	e1, rels1, err := Open(Config{Path: path, BufferPages: 32, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Epoch() != 0 || len(e1.DeltaChain()) != 0 {
+		t.Fatalf("v1 open: epoch %d chain %v", e1.Epoch(), e1.DeltaChain())
+	}
+	grown := append([]uint64(nil), aCodes...)
+	grown = append(grown, grown[0]) // duplicate code is fine for a relation
+	newA, err := e1.Load("A", codesOf(grown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1 := filepath.Join(dir, "epoch-000001.pbidb")
+	if err := e1.SaveEpoch(ep1, 1, nil, newA, rels1["D"]); err != nil {
+		t.Fatal(err)
+	}
+	if e1.Epoch() != 1 || len(e1.DeltaChain()) != 1 {
+		t.Fatalf("after SaveEpoch: epoch %d chain %v", e1.Epoch(), e1.DeltaChain())
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The epoch is virtual: catalog + delta, no page file of its own.
+	if _, err := os.Stat(ep1); !os.IsNotExist(err) {
+		t.Fatalf("epoch page file exists: %v", err)
+	}
+
+	// Reopen epoch 1 read-only and check the grown relation; then chain a
+	// second epoch on top of it.
+	e2, rels2, err := Open(Config{Path: ep1, BufferPages: 32, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Epoch() != 1 || len(e2.DeltaChain()) != 1 {
+		t.Fatalf("epoch 1 open: epoch %d chain %v", e2.Epoch(), e2.DeltaChain())
+	}
+	if got := rels2["A"].Len(); got != int64(len(grown)) {
+		t.Fatalf("epoch 1 relation A: %d codes, want %d", got, len(grown))
+	}
+	res, err := e2.Join(rels2["A"], rels2["D"], JoinOptions{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("epoch 1 join returned nothing")
+	}
+	// Temp state from the join must be dropped before the next commit.
+	if err := e2.ReleaseTemp(); err != nil {
+		t.Fatal(err)
+	}
+	grown2 := append(append([]uint64(nil), grown...), grown[1])
+	newA2, err := e2.Load("A", codesOf(grown2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2 := filepath.Join(dir, "epoch-000002.pbidb")
+	if err := e2.SaveEpoch(ep2, 2, []DocInfo{{Name: "doc0", Root: codesOf(grown)[0], Elements: 3}}, newA2, rels2["D"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e3, rels3, err := Open(Config{Path: ep2, BufferPages: 32, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+	if e3.Epoch() != 2 || len(e3.DeltaChain()) != 2 {
+		t.Fatalf("epoch 2 open: epoch %d chain %v", e3.Epoch(), e3.DeltaChain())
+	}
+	if e3.BasePath() != path {
+		t.Fatalf("epoch 2 base %s, want %s", e3.BasePath(), path)
+	}
+	if got := rels3["A"].Len(); got != int64(len(grown2)) {
+		t.Fatalf("epoch 2 relation A: %d codes, want %d", got, len(grown2))
+	}
+	if len(e3.Documents()) != 1 || e3.Documents()[0].Name != "doc0" {
+		t.Fatalf("epoch 2 documents: %+v", e3.Documents())
+	}
+
+	// Epoch databases: fsck verifies base pages and the delta chain.
+	rep, err := Fsck(ep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.Deltas) != 2 || rep.Epoch != 2 {
+		t.Fatalf("fsck: ok=%v deltas=%d epoch=%d", rep.OK(), len(rep.Deltas), rep.Epoch)
+	}
+	// Corrupt the first delta: fsck flags it, OK() turns false.
+	buf, err := os.ReadFile(ep1 + ".delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x01
+	if err := os.WriteFile(ep1+".delta", buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Fsck(ep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Deltas[0].OK || !rep.Deltas[1].OK {
+		t.Fatalf("fsck after corruption: %+v", rep.Deltas)
+	}
+}
+
+func TestEpochCatalogRefusesWritableOpen(t *testing.T) {
+	path, _, _ := buildEpochBase(t)
+	e, rels, err := Open(Config{Path: path, BufferPages: 32, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := filepath.Join(filepath.Dir(path), "epoch-000001.pbidb")
+	if err := e.SaveEpoch(ep, 1, nil, rels["A"], rels["D"]); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if _, _, err := Open(Config{Path: ep, BufferPages: 32}); err == nil {
+		t.Fatal("epoch catalog opened writable")
+	}
+	// SaveEpoch on a writable engine is refused.
+	we, _, err := Open(Config{Path: path, BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer we.Close()
+	if err := we.SaveEpoch(ep, 2, nil); err == nil {
+		t.Fatal("SaveEpoch accepted a writable engine")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"github.com/pbitree/pbitree/internal/storage"
@@ -29,6 +30,16 @@ type FsckBadPage struct {
 	Relations []string `json:"relations,omitempty"`
 }
 
+// FsckDelta is the verification result for one delta file of an epoch
+// chain: deltas carry a whole-file CRC32-C trailer (storage.VerifyDelta),
+// so a delta is either intact or damaged as a unit.
+type FsckDelta struct {
+	Path  string `json:"path"`
+	Pages int    `json:"pages"` // pages the delta carries
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
 // FsckReport is the outcome of one database scan.
 type FsckReport struct {
 	Path     string        `json:"path"`
@@ -36,6 +47,11 @@ type FsckReport struct {
 	Pages    int64         `json:"pages"`   // pages in the file
 	Checked  int64         `json:"checked"` // pages with a recorded checksum
 	Bad      []FsckBadPage `json:"bad,omitempty"`
+	// Epoch and Deltas are set when the catalog is an epoch (version-2)
+	// database: the page scan above covers the base file, and each delta of
+	// the chain is CRC-verified whole.
+	Epoch  int64       `json:"epoch,omitempty"`
+	Deltas []FsckDelta `json:"deltas,omitempty"`
 	// NoChecksums marks a database saved before page integrity landed
 	// (catalog flag absent): there is nothing to verify against. Use
 	// AddChecksums to bring such a database under protection.
@@ -44,7 +60,17 @@ type FsckReport struct {
 
 // OK reports whether the scan found the database intact (a legacy database
 // with no checksums is not OK — it is unverifiable).
-func (r *FsckReport) OK() bool { return !r.NoChecksums && len(r.Bad) == 0 }
+func (r *FsckReport) OK() bool {
+	if r.NoChecksums || len(r.Bad) > 0 {
+		return false
+	}
+	for _, d := range r.Deltas {
+		if !d.OK {
+			return false
+		}
+	}
+	return true
+}
 
 // readCatalog loads and version-checks a database's catalog sidecar.
 func readCatalog(path string) (*catalogFile, error) {
@@ -56,7 +82,7 @@ func readCatalog(path string) (*catalogFile, error) {
 	if err := json.Unmarshal(data, &cat); err != nil {
 		return nil, fmt.Errorf("containment: parse catalog: %w", err)
 	}
-	if cat.Version != catalogVersion {
+	if cat.Version != catalogVersion && cat.Version != catalogVersionEpoch {
 		return nil, fmt.Errorf("containment: catalog version %d unsupported", cat.Version)
 	}
 	return &cat, nil
@@ -64,9 +90,12 @@ func readCatalog(path string) (*catalogFile, error) {
 
 // Fsck scans the database at path: every page of the page file is read and
 // its CRC32-C compared against the checksum sidecar. The returned report
-// lists each mismatching page with the relations that own it. Databases
-// saved before checksums existed return a report with NoChecksums set and
-// no error — they are legacy, not broken.
+// lists each mismatching page with the relations that own it. For an epoch
+// (version-2) database the page scan covers the base file the catalog
+// references, and every delta of the chain is additionally verified whole
+// against its trailing CRC. Databases saved before checksums existed
+// return a report with NoChecksums set and no error — they are legacy, not
+// broken.
 func Fsck(path string) (*FsckReport, error) {
 	cat, err := readCatalog(path)
 	if err != nil {
@@ -77,11 +106,30 @@ func Fsck(path string) (*FsckReport, error) {
 		pageSize = storage.DefaultPageSize
 	}
 	rep := &FsckReport{Path: path, PageSize: pageSize}
+	pagePath := path
+	if cat.Version == catalogVersionEpoch {
+		dir := filepath.Dir(path)
+		if cat.Base == "" {
+			return nil, fmt.Errorf("containment: epoch catalog names no base page file")
+		}
+		pagePath = filepath.Join(dir, cat.Base)
+		rep.Epoch = cat.Epoch
+		for _, d := range cat.Deltas {
+			dp := filepath.Join(dir, d)
+			fd := FsckDelta{Path: dp}
+			if pages, _, err := storage.VerifyDelta(dp); err != nil {
+				fd.Error = err.Error()
+			} else {
+				fd.Pages, fd.OK = pages, true
+			}
+			rep.Deltas = append(rep.Deltas, fd)
+		}
+	}
 	if !cat.Checksums {
 		rep.NoChecksums = true
 		return rep, nil
 	}
-	sums, err := storage.LoadChecksums(path)
+	sums, err := storage.LoadChecksums(pagePath)
 	if err != nil {
 		return nil, fmt.Errorf("containment: %w", err)
 	}
@@ -93,7 +141,7 @@ func Fsck(path string) (*FsckReport, error) {
 		}
 	}
 
-	f, err := os.Open(path)
+	f, err := os.Open(pagePath)
 	if err != nil {
 		return nil, err
 	}
@@ -140,6 +188,9 @@ func AddChecksums(path string) error {
 	cat, err := readCatalog(path)
 	if err != nil {
 		return err
+	}
+	if cat.Version == catalogVersionEpoch {
+		return fmt.Errorf("containment: epoch catalogs inherit checksums from their base database; run AddChecksums on the base")
 	}
 	pageSize := cat.PageSize
 	if pageSize <= 0 {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"github.com/pbitree/pbitree/internal/buffer"
 	"github.com/pbitree/pbitree/internal/relation"
@@ -18,14 +19,30 @@ import (
 // (rebuild them after opening); temporary join state never reaches the
 // catalog.
 
-// catalogVersion guards the sidecar format.
-const catalogVersion = 1
+// catalogVersion guards the sidecar format. Version 1 is a self-contained
+// database: one page file, one catalog. Version 2 is an epoch catalog (see
+// SaveEpoch and doc/INGEST.md): the pages live in a *base* page file plus
+// an ordered chain of delta files, all referenced by relative path. The
+// version bump is deliberate — binaries that predate epochs refuse a v2
+// catalog outright instead of misreading a layered database as truncated.
+const (
+	catalogVersion      = 1
+	catalogVersionEpoch = 2
+)
 
 type catalogFile struct {
 	Version    int            `json:"version"`
 	PageSize   int            `json:"page_size"`
 	TreeHeight int            `json:"tree_height"`
 	Relations  []catalogEntry `json:"relations"`
+	// Base and Deltas appear only in version-2 (epoch) catalogs: the page
+	// image is Base plus the Deltas chain applied in order (later wins).
+	// Both are recorded relative to the catalog's own directory so an epoch
+	// directory can be moved or copied wholesale.
+	Base   string   `json:"base,omitempty"`
+	Deltas []string `json:"deltas,omitempty"`
+	// Epoch is the publication sequence number of a version-2 catalog.
+	Epoch int64 `json:"epoch,omitempty"`
 	// Documents records the collection's per-document boundaries (root
 	// code, stored-element count). The field is additive: catalogs written
 	// before document tracking simply have none, and joins never consult
@@ -173,8 +190,11 @@ func Open(cfg Config) (*Engine, map[string]*Relation, error) {
 	if err := json.Unmarshal(data, &cat); err != nil {
 		return nil, nil, fmt.Errorf("containment: parse catalog: %w", err)
 	}
-	if cat.Version != catalogVersion {
+	if cat.Version != catalogVersion && cat.Version != catalogVersionEpoch {
 		return nil, nil, fmt.Errorf("containment: catalog version %d unsupported", cat.Version)
+	}
+	if cat.Version == catalogVersionEpoch && !cfg.ReadOnly {
+		return nil, nil, fmt.Errorf("containment: epoch catalogs open read-only (writes go through ingest commits, not in-place)")
 	}
 	if cfg.PageSize == 0 {
 		cfg.PageSize = cat.PageSize
@@ -194,17 +214,32 @@ func Open(cfg Config) (*Engine, map[string]*Relation, error) {
 	// and open exactly as before. When the flag is set the sidecar is
 	// mandatory — a catalog asserting checksums with the sidecar missing
 	// is itself an integrity failure, not a legacy database.
+	// An epoch catalog's pages live in its base file plus the delta chain,
+	// all recorded relative to the catalog's directory; a v1 catalog is its
+	// own base with no chain.
+	basePath := cfg.Path
+	var deltaPaths []string
+	if cat.Version == catalogVersionEpoch {
+		dir := filepath.Dir(cfg.Path)
+		if cat.Base == "" {
+			return nil, nil, fmt.Errorf("containment: epoch catalog names no base page file")
+		}
+		basePath = filepath.Join(dir, cat.Base)
+		for _, d := range cat.Deltas {
+			deltaPaths = append(deltaPaths, filepath.Join(dir, d))
+		}
+	}
 	var sums *storage.ChecksumSet
 	if cat.Checksums {
 		var err error
-		sums, err = storage.LoadChecksums(cfg.Path)
+		sums, err = storage.LoadChecksums(basePath)
 		if err != nil {
 			return nil, nil, fmt.Errorf("containment: catalog records page checksums but the sidecar is unusable: %w", err)
 		}
 	}
 	var disk storage.Disk
 	if cfg.ReadOnly {
-		od, err := storage.OpenOverlay(cfg.Path, cfg.PageSize, cost)
+		od, err := storage.OpenOverlayLayered(basePath, deltaPaths, cfg.PageSize, cost)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -218,7 +253,10 @@ func Open(cfg Config) (*Engine, map[string]*Relation, error) {
 		fd.SetChecksums(sums)
 		disk = fd
 	}
-	e := &Engine{disk: disk, pool: buffer.New(disk, cfg.BufferPages), cfg: cfg}
+	e := &Engine{
+		disk: disk, pool: buffer.New(disk, cfg.BufferPages), cfg: cfg,
+		base: basePath, deltas: deltaPaths, epoch: cat.Epoch, checksums: cat.Checksums,
+	}
 	for _, d := range cat.Documents {
 		e.docs = append(e.docs, DocInfo{
 			Name: d.Name, Root: pbicode.Code(d.Root), Elements: d.Elements,

@@ -299,6 +299,56 @@ func (t *Tree) splitInternal(f buffer.Frame, i int, key uint64, child storage.Pa
 	return keys[mid], rf.ID, nil
 }
 
+// Delete removes one entry matching both key and value (duplicates make
+// the key alone ambiguous), reporting whether one was found. Removal is
+// leaf-local: entries shift left within the leaf, with no page merging and
+// no separator maintenance — an emptied leaf stays in the chain and
+// internal separators keep routing correctly because they only bound key
+// ranges, they never promise the key is present. That is the right
+// trade-off for the incremental-maintenance write path (internal/ingest):
+// deletes are rare next to lookups, and compaction periodically rewrites
+// the whole page image anyway, reclaiming hollow leaves.
+func (t *Tree) Delete(key, value uint64) (bool, error) {
+	page := t.root
+	for level := t.height; level > 1; level-- {
+		f, err := t.pool.Fetch(page)
+		if err != nil {
+			return false, err
+		}
+		child := childForSeek(f.Data, key)
+		t.pool.Unpin(f, false)
+		page = child
+	}
+	// Duplicates of key may straddle leaves; walk the chain until a greater
+	// key proves the (key, value) pair absent.
+	for page != storage.InvalidPageID {
+		f, err := t.pool.Fetch(page)
+		if err != nil {
+			return false, err
+		}
+		n := keyCount(f.Data)
+		for i := lowerBound(f.Data, key); i < n; i++ {
+			if entryKey(f.Data, i) != key {
+				t.pool.Unpin(f, false)
+				return false, nil
+			}
+			if entryVal(f.Data, i) != value {
+				continue
+			}
+			copy(f.Data[hdrSize+i*entrySize:hdrSize+(n-1)*entrySize],
+				f.Data[hdrSize+(i+1)*entrySize:hdrSize+n*entrySize])
+			setKeyCount(f.Data, n-1)
+			t.pool.Unpin(f, true)
+			t.count--
+			return true, nil
+		}
+		next := nextPtr(f.Data)
+		t.pool.Unpin(f, false)
+		page = next
+	}
+	return false, nil
+}
+
 // Iter is a forward iterator over leaf entries. It pins the current leaf
 // only. Close it when done.
 type Iter struct {

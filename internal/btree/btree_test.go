@@ -332,3 +332,125 @@ func TestInsertIOErrorPropagates(t *testing.T) {
 		t.Fatalf("Insert never failed: %v", insertErr)
 	}
 }
+
+func TestDeleteBasic(t *testing.T) {
+	pool := newPool(t, 8)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if err := tr.Insert(i, i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := tr.Delete(40, 400)
+	if err != nil || !ok {
+		t.Fatalf("Delete(40,400) = %v, %v", ok, err)
+	}
+	if tr.NumKeys() != 99 {
+		t.Fatalf("NumKeys = %d, want 99", tr.NumKeys())
+	}
+	// Wrong value or absent key: not found, nothing removed.
+	if ok, err := tr.Delete(41, 999); err != nil || ok {
+		t.Fatalf("Delete(41,999) = %v, %v", ok, err)
+	}
+	if ok, err := tr.Delete(40, 400); err != nil || ok {
+		t.Fatalf("re-Delete(40,400) = %v, %v", ok, err)
+	}
+	got := collect(t, tr, 39, 42)
+	if !equalU64(got, []uint64{39, 41, 42}) {
+		t.Fatalf("range after delete: %v", got)
+	}
+}
+
+// TestDeleteDuplicatesAcrossLeaves removes specific (key, value) pairs from
+// long duplicate runs that straddle leaf boundaries, including draining
+// leaves empty, and checks seeks still work over the hollow chain.
+func TestDeleteDuplicatesAcrossLeaves(t *testing.T) {
+	pool := newPool(t, 8)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity at 256-byte pages is 15 entries: 60 duplicates of key 5 span
+	// several leaves, bracketed by neighbors.
+	const dups = 60
+	if err := tr.Insert(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < dups; v++ {
+		if err := tr.Insert(5, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Insert(9, 900); err != nil {
+		t.Fatal(err)
+	}
+	// Delete every duplicate, in an order that exercises both ends.
+	for i := 0; i < dups; i++ {
+		v := uint64(i)
+		if i%2 == 1 {
+			v = uint64(dups - i)
+		}
+		ok, err := tr.Delete(5, v)
+		if err != nil || !ok {
+			t.Fatalf("Delete(5,%d) = %v, %v", v, ok, err)
+		}
+	}
+	if ok, err := tr.Delete(5, 0); err != nil || ok {
+		t.Fatal("found a duplicate after all were removed")
+	}
+	if got := collect(t, tr, 0, 10); !equalU64(got, []uint64{1, 9}) {
+		t.Fatalf("surviving keys: %v", got)
+	}
+	if tr.NumKeys() != 2 {
+		t.Fatalf("NumKeys = %d, want 2", tr.NumKeys())
+	}
+	// The hollow leaves still insert correctly afterwards.
+	for v := uint64(0); v < 20; v++ {
+		if err := tr.Insert(5, 1000+v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(collect(t, tr, 5, 5)); got != 20 {
+		t.Fatalf("reinserted duplicates: %d, want 20", got)
+	}
+}
+
+// TestDeleteRandomAgainstOracle mirrors the insert oracle test with
+// interleaved deletes.
+func TestDeleteRandomAgainstOracle(t *testing.T) {
+	pool := newPool(t, 16)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var oracle []pair
+	for step := 0; step < 3000; step++ {
+		if len(oracle) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(oracle))
+			p := oracle[i]
+			ok, err := tr.Delete(p.k, p.v)
+			if err != nil || !ok {
+				t.Fatalf("step %d: Delete(%d,%d) = %v, %v", step, p.k, p.v, ok, err)
+			}
+			oracle = append(oracle[:i], oracle[i+1:]...)
+		} else {
+			p := pair{k: uint64(rng.Intn(200)), v: uint64(step)}
+			if err := tr.Insert(p.k, p.v); err != nil {
+				t.Fatal(err)
+			}
+			oracle = append(oracle, p)
+		}
+		if int64(len(oracle)) != tr.NumKeys() {
+			t.Fatalf("step %d: NumKeys %d, oracle %d", step, tr.NumKeys(), len(oracle))
+		}
+	}
+	sort.Slice(oracle, func(i, j int) bool { return oracle[i].k < oracle[j].k })
+	lo, hi := uint64(30), uint64(170)
+	if got := collect(t, tr, lo, hi); !equalU64(got, oracleRange(oracle, lo, hi)) {
+		t.Fatalf("final range mismatch: %d keys vs oracle %d", len(got), len(oracleRange(oracle, lo, hi)))
+	}
+}

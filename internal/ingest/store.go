@@ -1,0 +1,951 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/internal/btree"
+	"github.com/pbitree/pbitree/internal/buffer"
+	"github.com/pbitree/pbitree/internal/storage"
+	"github.com/pbitree/pbitree/pbicode"
+	"github.com/pbitree/pbitree/xmltree"
+)
+
+// relPrefix namespaces tag relations in the catalog (mirrors cmd/pbidb).
+const relPrefix = "tag:"
+
+// Config configures a Store.
+type Config struct {
+	// DBPath is the self-contained (version-1) database the epoch family
+	// grows from; its ".epochs" sibling directory holds everything ingest
+	// writes. The original database is never modified or deleted.
+	DBPath string
+	// GapAware enables the gap-aware coding scheme: re-encodes reserve
+	// Headroom extra slot levels (2^Headroom× the minimal sibling ranges)
+	// and per-parent slot ranges keep their last quarter as an overflow
+	// region, taken only when the primary region is exhausted. Off, the
+	// naive scheme packs minimally (headroom 0, pure first-fit) — the
+	// baseline the sustained-ingest benchmark compares against.
+	GapAware bool
+	// Headroom is the slot headroom used by gap-aware re-encodes
+	// (default 2; ignored when GapAware is off).
+	Headroom int
+	// ParseOptions parses insert_doc payloads (match what built the base).
+	ParseOptions xmltree.Options
+	// BufferPages sizes the buffer pool of commit/compaction engines.
+	BufferPages int
+	// CompactAfter starts the compaction daemon: when the delta chain
+	// reaches this many files, the chain is folded into a fresh
+	// self-contained base. 0 disables the daemon (CompactNow still works).
+	CompactAfter int
+	// CompactPagesPerSec caps the compaction daemon's write rate in pages
+	// per second; 0 is unthrottled.
+	CompactPagesPerSec int
+	// CompactInterval is the daemon's poll period (default 2s).
+	CompactInterval time.Duration
+	// Keep is how many retired epochs stay published for draining readers
+	// before garbage collection (default 2; the current epoch is always
+	// kept).
+	Keep int
+}
+
+// BatchError reports a rejected batch: the operations themselves were
+// invalid (unknown code, duplicate document, bad XML, ...) and the store
+// rolled back cleanly without publishing — a client problem. Commit and
+// rollback failures stay plain errors (a server problem).
+type BatchError struct{ Err error }
+
+func (e *BatchError) Error() string { return e.Err.Error() }
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// Op is one ingest operation. Codes address elements of the current epoch
+// (as returned by queries against it).
+type Op struct {
+	// Op is one of: insert_doc, delete_doc, insert_element,
+	// delete_element, update_element.
+	Op string `json:"op"`
+	// Doc names the document (insert_doc, delete_doc).
+	Doc string `json:"doc,omitempty"`
+	// XML is the document payload (insert_doc).
+	XML string `json:"xml,omitempty"`
+	// Parent is the parent element's code (insert_element).
+	Parent uint64 `json:"parent,omitempty"`
+	// Code is the target element's code (delete_element, update_element).
+	Code uint64 `json:"code,omitempty"`
+	// Tag is the new element's tag (insert_element) or the new tag
+	// (update_element).
+	Tag string `json:"tag,omitempty"`
+}
+
+// CommitResult describes one published epoch.
+type CommitResult struct {
+	Epoch   int64  `json:"epoch"`
+	Path    string `json:"path"`
+	Applied int    `json:"applied"`
+	// RenumbersScoped / RenumbersGlobal count the re-encodes this batch
+	// forced (scoped subtree renumbering vs whole-collection).
+	RenumbersScoped uint64 `json:"renumbers_scoped"`
+	RenumbersGlobal uint64 `json:"renumbers_global"`
+}
+
+// Stats is a point-in-time snapshot of the store's gauges and counters.
+type Stats struct {
+	Epoch     int64 `json:"epoch"`
+	ChainLen  int   `json:"chain_len"`
+	Documents int   `json:"documents"`
+	Elements  int   `json:"elements"`
+
+	Commits         uint64 `json:"commits"`
+	Inserts         uint64 `json:"inserts"`
+	Updates         uint64 `json:"updates"`
+	Deletes         uint64 `json:"deletes"`
+	RenumbersScoped uint64 `json:"renumbers_scoped"`
+	RenumbersGlobal uint64 `json:"renumbers_global"`
+	OverflowInserts uint64 `json:"overflow_inserts"`
+	Compactions     uint64 `json:"compactions"`
+	CompactAborts   uint64 `json:"compact_aborts"`
+	CompactedPages  uint64 `json:"compacted_pages"`
+	IdxInserts      uint64 `json:"idx_inserts"`
+	IdxDeletes      uint64 `json:"idx_deletes"`
+	IdxRebuilds     uint64 `json:"idx_rebuilds"`
+}
+
+// docState tracks one live document of the forest by identity (codes may
+// change under renumbering; the element pointer does not).
+type docState struct {
+	name string
+	root *xmltree.Element
+}
+
+// Store is the live write path over one database's epoch family. All
+// methods are safe for concurrent use; Apply batches are serialized.
+type Store struct {
+	cfg Config
+	dir string // epochs directory
+
+	mu     sync.Mutex
+	man    *Manifest
+	cur    string // current epoch's database path
+	chain  int    // delta-chain length of the current epoch
+	forest *xmltree.Document
+	docs   []docState
+	// docSpans is the interval index over document regions, sorted by
+	// start — DocFor resolves codes to documents with a binary search.
+	docSpans []docSpan
+	// startIdx is the incrementally-maintained B+-tree over every stored
+	// element (key = region start, value = code), the live counterpart of
+	// the serving side's start index: per-op inserts and deletes keep it
+	// current, scoped renumbers patch the affected subtree, and only a
+	// global re-encode rebuilds it from scratch.
+	idxDisk *storage.MemDisk
+	idxPool *buffer.Pool
+	idx     *btree.Tree
+	// dirty tags since the last commit; dirtyAll after a global re-encode.
+	dirty    map[string]bool
+	dirtyAll bool
+	closed   bool
+
+	onPublish func(epoch int64, path string)
+
+	stop chan struct{}
+	done chan struct{}
+
+	commits, inserts, updates, deletes  atomic.Uint64
+	renumScoped, renumGlobal, overflow  atomic.Uint64
+	compactions, compactAborts          atomic.Uint64
+	compactedPages                      atomic.Uint64
+	idxInserts, idxDeletes, idxRebuilds atomic.Uint64
+}
+
+type docSpan struct {
+	start, end uint64
+	doc        *docState
+}
+
+// Open attaches a Store to the database at cfg.DBPath, creating or
+// resuming its epochs directory, and starts the compaction daemon when
+// configured. The database must have been saved by pbidb build (tag
+// relations with a full tag set): the in-memory forest is reconstructed
+// from the stored (tag, code) pairs, which requires every element present.
+func Open(cfg Config) (*Store, error) {
+	if cfg.DBPath == "" {
+		return nil, fmt.Errorf("ingest: Config.DBPath required")
+	}
+	if cfg.Headroom <= 0 {
+		cfg.Headroom = 2
+	}
+	if cfg.BufferPages <= 0 {
+		cfg.BufferPages = 1024
+	}
+	if cfg.Keep <= 0 {
+		cfg.Keep = 2
+	}
+	if cfg.CompactInterval <= 0 {
+		cfg.CompactInterval = 2 * time.Second
+	}
+	dir := epochsDir(cfg.DBPath)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: create epochs dir: %w", err)
+	}
+	// Sweep fold scraps from a compaction that died mid-write; no daemon is
+	// running yet, so nothing here is live.
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, ent := range ents {
+			if !ent.IsDir() && strings.HasPrefix(ent.Name(), ".tmp-") {
+				os.Remove(filepath.Join(dir, ent.Name())) //nolint:errcheck // best-effort
+			}
+		}
+	}
+	man, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man == nil {
+		rel, err := filepath.Rel(dir, cfg.DBPath)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: database not addressable from its epochs dir: %w", err)
+		}
+		man = &Manifest{Current: 0, Epochs: []EpochEntry{{Epoch: 0, Path: rel}}}
+		if err := man.save(dir); err != nil {
+			return nil, err
+		}
+	}
+	cur := man.entry(man.Current)
+	if cur == nil {
+		return nil, fmt.Errorf("ingest: manifest current epoch %d has no entry", man.Current)
+	}
+	s := &Store{
+		cfg:  cfg,
+		dir:  dir,
+		man:  man,
+		cur:  resolve(dir, cur),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if err := s.reload(); err != nil {
+		return nil, err
+	}
+	if cfg.CompactAfter > 0 {
+		go s.compactor()
+	} else {
+		close(s.done)
+	}
+	return s, nil
+}
+
+// Close stops the compaction daemon. In-flight Apply calls finish first.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+	return nil
+}
+
+// SetOnPublish installs a hook called after every epoch publication
+// (ingest commit or compaction) with the new epoch and its database path.
+// The hook runs outside the store's lock; the serving tier uses it to swap
+// workers and invalidate epoch-keyed caches.
+func (s *Store) SetOnPublish(fn func(epoch int64, path string)) {
+	s.mu.Lock()
+	s.onPublish = fn
+	s.mu.Unlock()
+}
+
+// CurrentEpoch returns the published epoch number and its database path.
+func (s *Store) CurrentEpoch() (int64, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.Current, s.cur
+}
+
+// Epochs returns the published manifest entries, oldest first.
+func (s *Store) Epochs() []EpochEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]EpochEntry(nil), s.man.Epochs...)
+}
+
+// Stats returns a snapshot of the store's gauges and counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Epoch:     s.man.Current,
+		ChainLen:  s.chain,
+		Documents: len(s.docs),
+	}
+	if s.forest != nil {
+		st.Elements = s.forest.NumElements() - 1 // minus the synthetic root
+	}
+	s.mu.Unlock()
+	st.Commits = s.commits.Load()
+	st.Inserts = s.inserts.Load()
+	st.Updates = s.updates.Load()
+	st.Deletes = s.deletes.Load()
+	st.RenumbersScoped = s.renumScoped.Load()
+	st.RenumbersGlobal = s.renumGlobal.Load()
+	st.OverflowInserts = s.overflow.Load()
+	st.Compactions = s.compactions.Load()
+	st.CompactAborts = s.compactAborts.Load()
+	st.CompactedPages = s.compactedPages.Load()
+	st.IdxInserts = s.idxInserts.Load()
+	st.IdxDeletes = s.idxDeletes.Load()
+	st.IdxRebuilds = s.idxRebuilds.Load()
+	return st
+}
+
+// reload rebuilds the in-memory state (forest, documents, start index)
+// from the current epoch — the open path, and the rollback path when an
+// operation in a batch fails after earlier ones already mutated the
+// forest.
+func (s *Store) reload() error {
+	eng, rels, err := containment.Open(containment.Config{
+		Path: s.cur, ReadOnly: true, BufferPages: s.cfg.BufferPages,
+	})
+	if err != nil {
+		return fmt.Errorf("ingest: open epoch database: %w", err)
+	}
+	defer eng.Close()
+	var elems []xmltree.TaggedCode
+	for name, r := range rels {
+		if !strings.HasPrefix(name, relPrefix) {
+			continue
+		}
+		tag := strings.TrimPrefix(name, relPrefix)
+		codes, err := r.Codes()
+		if err != nil {
+			return fmt.Errorf("ingest: read relation %s: %w", name, err)
+		}
+		for _, c := range codes {
+			elems = append(elems, xmltree.TaggedCode{Tag: tag, Code: c})
+		}
+	}
+	forest, err := xmltree.FromCodes(eng.TreeHeight(), elems)
+	if err != nil {
+		return fmt.Errorf("ingest: reconstruct forest (was the database built with a full tag set?): %w", err)
+	}
+	// Match catalog document names to forest roots by root code; roots the
+	// catalog does not name get stable synthetic names.
+	byRoot := map[pbicode.Code]string{}
+	for _, d := range eng.Documents() {
+		byRoot[d.Root] = d.Name
+	}
+	var docs []docState
+	for i, root := range forest.DocumentRoots() {
+		name, ok := byRoot[root.Code]
+		if !ok {
+			name = fmt.Sprintf("doc-%04d", i)
+		}
+		docs = append(docs, docState{name: name, root: root})
+	}
+	s.forest = forest
+	s.docs = docs
+	s.chain = len(eng.DeltaChain())
+	s.dirty = map[string]bool{}
+	s.dirtyAll = false
+	s.rebuildDocSpans()
+	s.rebuildIndex()
+	return nil
+}
+
+// rebuildDocSpans refreshes the interval index over document regions.
+func (s *Store) rebuildDocSpans() {
+	s.docSpans = s.docSpans[:0]
+	for i := range s.docs {
+		d := &s.docs[i]
+		s.docSpans = append(s.docSpans, docSpan{
+			start: d.root.Code.Start(), end: d.root.Code.End(), doc: d,
+		})
+	}
+	sort.Slice(s.docSpans, func(i, j int) bool { return s.docSpans[i].start < s.docSpans[j].start })
+}
+
+// docFor resolves a code to the document whose region contains it.
+func (s *Store) docFor(c pbicode.Code) *docState {
+	start := c.Start()
+	i := sort.Search(len(s.docSpans), func(i int) bool { return s.docSpans[i].start > start })
+	if i == 0 {
+		return nil
+	}
+	if sp := s.docSpans[i-1]; c.End() <= sp.end {
+		return sp.doc
+	}
+	return nil
+}
+
+// rebuildIndex reconstructs the start B+-tree from the whole forest (open
+// and global-re-encode path).
+func (s *Store) rebuildIndex() {
+	if s.idxDisk != nil {
+		s.idxDisk.Close()
+	}
+	s.idxDisk = storage.NewMemDisk(0, storage.CostModel{})
+	s.idxPool = buffer.New(s.idxDisk, 256)
+	t, err := btree.New(s.idxPool)
+	if err != nil {
+		// MemDisk with the default page size cannot fail page allocation.
+		panic(fmt.Sprintf("ingest: start index: %v", err))
+	}
+	s.idx = t
+	s.forest.Walk(func(e *xmltree.Element) bool {
+		if e.Parent != nil {
+			if err := s.idx.Insert(e.Code.Start(), uint64(e.Code)); err != nil {
+				panic(fmt.Sprintf("ingest: start index insert: %v", err))
+			}
+		}
+		return true
+	})
+	s.idxRebuilds.Add(1)
+}
+
+// idxInsertSubtree / idxDeleteCodes maintain the start index around
+// forest mutations.
+func (s *Store) idxInsertSubtree(e *xmltree.Element) error {
+	var err error
+	walk(e, func(x *xmltree.Element) {
+		if err == nil {
+			err = s.idx.Insert(x.Code.Start(), uint64(x.Code))
+			s.idxInserts.Add(1)
+		}
+	})
+	return err
+}
+
+func (s *Store) idxDeleteCodes(codes []pbicode.Code) error {
+	for _, c := range codes {
+		ok, err := s.idx.Delete(c.Start(), uint64(c))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("ingest: start index lost code %v", c)
+		}
+		s.idxDeletes.Add(1)
+	}
+	return nil
+}
+
+func walk(e *xmltree.Element, fn func(*xmltree.Element)) {
+	fn(e)
+	for _, c := range e.Children {
+		walk(c, fn)
+	}
+}
+
+func subtreeCodes(e *xmltree.Element) []pbicode.Code {
+	var out []pbicode.Code
+	walk(e, func(x *xmltree.Element) { out = append(out, x.Code) })
+	return out
+}
+
+// headroom is the re-encode slot headroom under the active coding scheme.
+func (s *Store) headroom() int {
+	if s.cfg.GapAware {
+		return s.cfg.Headroom
+	}
+	return 0
+}
+
+// pickSlot chooses a sibling slot under the active coding scheme: naive is
+// pure first-fit; gap-aware first-fits within the primary region (the
+// first three quarters) and spills into the reserved overflow quarter only
+// when the primary is exhausted, so bursts on a hot parent defer
+// renumbering instead of forcing it.
+func (s *Store) pickSlot(si xmltree.SlotInfo, after uint64) (uint64, bool) {
+	if si.Capacity == 0 {
+		return 0, false
+	}
+	primary := si.Capacity
+	if s.cfg.GapAware && si.Capacity >= 4 {
+		primary = si.Capacity - si.Capacity/4
+	}
+	for slot := after; slot < primary; slot++ {
+		if !si.Used[slot] {
+			return slot, true
+		}
+	}
+	for slot := max64(after, primary); slot < si.Capacity; slot++ {
+		if !si.Used[slot] {
+			s.overflow.Add(1)
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// graft inserts a detached subtree under parent, walking the renumber
+// ladder on exhaustion: free virtual slots first, then a scoped subtree
+// renumbering of the parent, then a whole-forest re-encode with the
+// subtree structurally attached (the only rung that can add PBiTree levels
+// below a parent at the bottom of the tree). Gap-aware, the subtree itself
+// is binarized with headroom (so inserts inside it later find slots),
+// dropping to minimal packing before resorting to renumbering.
+func (s *Store) graft(parent *xmltree.Element, root *xmltree.Element) error {
+	headrooms := []int{s.headroom()}
+	if s.headroom() != 0 {
+		headrooms = append(headrooms, 0)
+	}
+	trySlots := func() (bool, error) {
+		for _, hr := range headrooms {
+			si, err := s.forest.Slots(parent)
+			if err != nil {
+				return false, err
+			}
+			for after := uint64(0); ; {
+				slot, ok := s.pickSlot(si, after)
+				if !ok {
+					break
+				}
+				err := s.forest.InsertSubtreeSlot(parent, root, hr, slot)
+				if err == nil {
+					return true, s.idxInsertSubtree(root)
+				}
+				if !errors.Is(err, xmltree.ErrNoFreeSlot) {
+					return false, err
+				}
+				// Slot too shallow for this subtree; try the next one.
+				after = slot + 1
+			}
+		}
+		return false, nil
+	}
+	if ok, err := trySlots(); ok || err != nil {
+		return err
+	}
+	if parent.Parent != nil {
+		if err := s.renumberScoped(parent); err == nil {
+			if ok, err := trySlots(); ok || err != nil {
+				return err
+			}
+		} else if !errors.Is(err, xmltree.ErrNoFreeSlot) {
+			return err
+		}
+	}
+	// Final rung: attach structurally and re-encode the whole forest.
+	// Reencode derives codes and indexes from the element structure alone,
+	// so the new subtree is coded and indexed along with everything else;
+	// headroom can overflow the 63-level code space on deep forests, so
+	// fall back to a minimal re-encode before giving up.
+	root.Parent = parent
+	parent.Children = append(parent.Children, root)
+	err := s.forest.Reencode(s.renumberHeadroom())
+	if err != nil {
+		err = s.forest.Reencode(0)
+	}
+	if err != nil {
+		parent.Children = parent.Children[:len(parent.Children)-1]
+		root.Parent = nil
+		return fmt.Errorf("ingest: no room for subtree under %v: %w", parent.Code, err)
+	}
+	s.renumGlobal.Add(1)
+	s.dirtyAll = true
+	s.rebuildDocSpans()
+	s.rebuildIndex()
+	return nil
+}
+
+// renumberHeadroom is the slot headroom re-encodes use. Never below 1:
+// a minimal (headroom-0) re-encode of a parent whose child count is an
+// exact power of two reproduces the same full slot range and makes no
+// progress, so even the naive scheme must at least double the range it is
+// renumbering to fit the incoming insert.
+func (s *Store) renumberHeadroom() int {
+	if h := s.headroom(); h > 1 {
+		return h
+	}
+	return 1
+}
+
+// renumberScoped re-encodes parent's subtree in place with headroom and
+// patches the dirty set and start index. ErrNoFreeSlot propagates when
+// parent's region is too shallow for the widened subtree — the caller
+// escalates to a global re-encode.
+func (s *Store) renumberScoped(parent *xmltree.Element) error {
+	old := subtreeCodes(parent)
+	if err := s.forest.RenumberSubtree(parent, s.renumberHeadroom()); err != nil {
+		return err
+	}
+	s.renumScoped.Add(1)
+	s.markSubtreeDirty(parent)
+	if err := s.idxDeleteCodes(old); err != nil {
+		return err
+	}
+	return s.idxInsertSubtree(parent)
+}
+
+func (s *Store) markSubtreeDirty(e *xmltree.Element) {
+	walk(e, func(x *xmltree.Element) { s.dirty[x.Tag] = true })
+	s.rebuildDocSpans()
+}
+
+// resolvedOp pairs an operation with its target element, looked up before
+// the batch mutates anything: renumbering inside a batch moves codes, but
+// element identity is stable, so every op addresses the element its code
+// named in the epoch the client saw.
+type resolvedOp struct {
+	op Op
+	el *xmltree.Element // parent (insert_element) or target (delete/update)
+}
+
+// resolve looks up a batch's codes against the un-mutated forest. Called
+// with mu held, before the first apply.
+func (s *Store) resolve(ops []Op) ([]resolvedOp, error) {
+	rops := make([]resolvedOp, len(ops))
+	for i, op := range ops {
+		rops[i] = resolvedOp{op: op}
+		switch op.Op {
+		case "insert_element":
+			e := s.forest.ByCode(pbicode.Code(op.Parent))
+			if e == nil {
+				return nil, fmt.Errorf("insert_element: no element with code %d", op.Parent)
+			}
+			rops[i].el = e
+		case "delete_element", "update_element":
+			e := s.forest.ByCode(pbicode.Code(op.Code))
+			if e == nil {
+				return nil, fmt.Errorf("%s: no element with code %d", op.Op, op.Code)
+			}
+			rops[i].el = e
+		}
+	}
+	return rops, nil
+}
+
+// alive reports whether an element resolved at batch start is still part
+// of the forest (an earlier op in the batch may have deleted its subtree).
+func (s *Store) alive(e *xmltree.Element) bool {
+	return s.forest.ByCode(e.Code) == e
+}
+
+// apply mutates the forest for one operation.
+func (s *Store) apply(rop resolvedOp) error {
+	op := rop.op
+	switch op.Op {
+	case "insert_doc":
+		if op.Doc == "" || op.XML == "" {
+			return fmt.Errorf("insert_doc needs doc and xml")
+		}
+		for _, d := range s.docs {
+			if d.name == op.Doc {
+				return fmt.Errorf("document %q already exists", op.Doc)
+			}
+		}
+		parsed, err := xmltree.ParseString(op.XML, s.cfg.ParseOptions)
+		if err != nil {
+			return fmt.Errorf("insert_doc %q: %w", op.Doc, err)
+		}
+		root := parsed.Root
+		if err := s.graft(s.forest.Root, root); err != nil {
+			return fmt.Errorf("insert_doc %q: %w", op.Doc, err)
+		}
+		s.docs = append(s.docs, docState{name: op.Doc, root: root})
+		walk(root, func(x *xmltree.Element) { s.dirty[x.Tag] = true })
+		s.rebuildDocSpans()
+		s.inserts.Add(1)
+		return nil
+
+	case "delete_doc":
+		for i := range s.docs {
+			if s.docs[i].name != op.Doc {
+				continue
+			}
+			root := s.docs[i].root
+			codes := subtreeCodes(root)
+			walk(root, func(x *xmltree.Element) { s.dirty[x.Tag] = true })
+			if err := s.forest.Delete(root); err != nil {
+				return err
+			}
+			if err := s.idxDeleteCodes(codes); err != nil {
+				return err
+			}
+			s.docs = append(s.docs[:i], s.docs[i+1:]...)
+			s.rebuildDocSpans()
+			s.deletes.Add(1)
+			return nil
+		}
+		return fmt.Errorf("delete_doc: unknown document %q", op.Doc)
+
+	case "insert_element":
+		if op.Tag == "" {
+			return fmt.Errorf("insert_element needs a tag")
+		}
+		parent := rop.el
+		if parent == s.forest.Root {
+			return fmt.Errorf("insert_element: use insert_doc to add top-level documents")
+		}
+		if !s.alive(parent) {
+			return fmt.Errorf("insert_element: code %d was deleted earlier in the batch", op.Parent)
+		}
+		el := &xmltree.Element{Tag: op.Tag}
+		if err := s.graft(parent, el); err != nil {
+			return err
+		}
+		s.dirty[op.Tag] = true
+		s.inserts.Add(1)
+		return nil
+
+	case "delete_element":
+		e := rop.el
+		if e.Parent == nil {
+			return fmt.Errorf("delete_element: cannot delete the collection root")
+		}
+		if e.Parent == s.forest.Root {
+			return fmt.Errorf("delete_element: code %d is a document root; use delete_doc", op.Code)
+		}
+		if !s.alive(e) {
+			return fmt.Errorf("delete_element: code %d was deleted earlier in the batch", op.Code)
+		}
+		codes := subtreeCodes(e)
+		walk(e, func(x *xmltree.Element) { s.dirty[x.Tag] = true })
+		if err := s.forest.Delete(e); err != nil {
+			return err
+		}
+		if err := s.idxDeleteCodes(codes); err != nil {
+			return err
+		}
+		s.deletes.Add(1)
+		return nil
+
+	case "update_element":
+		if op.Tag == "" {
+			return fmt.Errorf("update_element needs a tag")
+		}
+		e := rop.el
+		if e.Parent == nil {
+			return fmt.Errorf("update_element: cannot retag the collection root")
+		}
+		if !s.alive(e) {
+			return fmt.Errorf("update_element: code %d was deleted earlier in the batch", op.Code)
+		}
+		old := e.Tag
+		if err := s.forest.Retag(e, op.Tag); err != nil {
+			return err
+		}
+		s.dirty[old] = true
+		s.dirty[op.Tag] = true
+		s.updates.Add(1)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown op %q", op.Op)
+	}
+}
+
+// Apply applies a batch of operations and publishes the result as the next
+// epoch. The batch is atomic: if any operation fails, the whole batch is
+// rolled back (state reloads from the current epoch) and no epoch is
+// published. Batches are serialized; queries are unaffected — they keep
+// serving the current epoch until the publish hook swaps them over.
+func (s *Store) Apply(ops []Op) (*CommitResult, error) {
+	if len(ops) == 0 {
+		return nil, &BatchError{fmt.Errorf("ingest: empty batch")}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("ingest: store closed")
+	}
+	scoped0, global0 := s.renumScoped.Load(), s.renumGlobal.Load()
+	rops, err := s.resolve(ops)
+	if err != nil {
+		// Nothing mutated yet; no rollback needed.
+		s.mu.Unlock()
+		return nil, &BatchError{fmt.Errorf("ingest: %w", err)}
+	}
+	for _, rop := range rops {
+		if err := s.apply(rop); err != nil {
+			relErr := s.reload()
+			s.mu.Unlock()
+			if relErr != nil {
+				return nil, fmt.Errorf("ingest: %v; and rollback reload failed: %w", err, relErr)
+			}
+			return nil, &BatchError{fmt.Errorf("ingest: %w (batch rolled back)", err)}
+		}
+	}
+	res, hook, err := s.commit(len(ops), scoped0, global0)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if hook != nil {
+		hook(res.Epoch, res.Path)
+	}
+	return res, nil
+}
+
+// commit freezes the mutated forest as the next epoch. Called with mu held;
+// returns the publish hook to run after unlock.
+func (s *Store) commit(applied int, scoped0, global0 uint64) (*CommitResult, func(int64, string), error) {
+	eng, rels, err := containment.Open(containment.Config{
+		Path: s.cur, ReadOnly: true, BufferPages: s.cfg.BufferPages,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ingest: reopen current epoch: %w", err)
+	}
+	defer eng.Close()
+
+	liveTags := s.forest.Tags()
+	isDirty := func(tag string) bool { return s.dirtyAll || s.dirty[tag] }
+	var keep []*containment.Relation
+	for name, r := range rels {
+		tag, isTag := strings.CutPrefix(name, relPrefix)
+		if isTag && isDirty(tag) {
+			continue // replaced (or dropped) below
+		}
+		keep = append(keep, r)
+	}
+	var dirtyTags []string
+	if s.dirtyAll {
+		for tag := range liveTags {
+			if tag != s.forest.Root.Tag {
+				dirtyTags = append(dirtyTags, tag)
+			}
+		}
+	} else {
+		for tag := range s.dirty {
+			dirtyTags = append(dirtyTags, tag)
+		}
+	}
+	sort.Strings(dirtyTags)
+	for _, tag := range dirtyTags {
+		codes := s.forest.Codes(tag)
+		if len(codes) == 0 {
+			continue // tag vanished; drop its relation from the catalog
+		}
+		r, err := eng.Load(relPrefix+tag, codes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ingest: load tag %q: %w", tag, err)
+		}
+		keep = append(keep, r)
+	}
+
+	var docs []containment.DocInfo
+	for _, d := range s.docs {
+		n := int64(0)
+		walk(d.root, func(*xmltree.Element) { n++ })
+		docs = append(docs, containment.DocInfo{Name: d.name, Root: d.root.Code, Elements: n})
+	}
+
+	epoch := s.man.Current + 1
+	path := filepath.Join(s.dir, fmt.Sprintf("epoch-%06d.pbidb", epoch))
+	if err := eng.SaveEpoch(path, epoch, docs, keep...); err != nil {
+		return nil, nil, fmt.Errorf("ingest: save epoch %d: %w", epoch, err)
+	}
+	entry := EpochEntry{
+		Epoch: epoch,
+		Path:  filepath.Base(path),
+		Files: []string{filepath.Base(path) + ".catalog", filepath.Base(path) + ".delta"},
+	}
+	for _, f := range append([]string{eng.BasePath()}, eng.DeltaChain()...) {
+		if rel, err := filepath.Rel(s.dir, f); err == nil {
+			entry.Chain = append(entry.Chain, rel)
+		}
+	}
+	if err := s.publishLocked(entry); err != nil {
+		return nil, nil, err
+	}
+	s.cur = path
+	s.chain = len(eng.DeltaChain())
+	s.dirty = map[string]bool{}
+	s.dirtyAll = false
+	s.commits.Add(1)
+	res := &CommitResult{
+		Epoch: epoch, Path: path, Applied: applied,
+		RenumbersScoped: s.renumScoped.Load() - scoped0,
+		RenumbersGlobal: s.renumGlobal.Load() - global0,
+	}
+	return res, s.onPublish, nil
+}
+
+// publishLocked appends an epoch entry, makes it current, prunes retired
+// epochs past cfg.Keep and garbage-collects their unreferenced files, and
+// swaps the manifest atomically. Called with mu held.
+func (s *Store) publishLocked(entry EpochEntry) error {
+	s.man.Epochs = append(s.man.Epochs, entry)
+	s.man.Current = entry.Epoch
+
+	// Retain the newest Keep retired epochs plus the current one; epoch 0
+	// (the original database) is always safe — it owns no files.
+	retainFrom := 0
+	if n := len(s.man.Epochs); n > s.cfg.Keep+1 {
+		retainFrom = n - (s.cfg.Keep + 1)
+	}
+	retained := s.man.Epochs[retainFrom:]
+	referenced := map[string]bool{}
+	for _, e := range retained {
+		for _, f := range e.Files {
+			referenced[f] = true
+		}
+		for _, f := range e.Chain {
+			// A chained base page file keeps its sidecars alive too: later
+			// epochs' catalogs re-verify base pages against the .sums file
+			// even after the base's owning entry has aged out.
+			referenced[f] = true
+			referenced[f+".sums"] = true
+			referenced[f+".catalog"] = true
+		}
+		referenced[e.Path] = true
+	}
+	// Scan-based GC: delete every epoch-owned file (epoch-* catalogs and
+	// deltas, compact-* bases) no retained entry references. Scanning —
+	// rather than deleting a dropped entry's files at drop time — also
+	// collects files that outlived their owner through a since-retired
+	// chain reference, and orphans from a crash between delta and catalog
+	// writes. In-progress compactions fold into ".tmp-"-prefixed names and
+	// are never touched; files outside the epochs directory (the original
+	// database) are out of scope by construction.
+	if ents, err := os.ReadDir(s.dir); err == nil {
+		for _, ent := range ents {
+			name := ent.Name()
+			if ent.IsDir() || referenced[name] || strings.HasPrefix(name, ".tmp-") {
+				continue
+			}
+			if !strings.HasPrefix(name, "epoch-") && !strings.HasPrefix(name, "compact-") {
+				continue
+			}
+			os.Remove(filepath.Join(s.dir, name)) //nolint:errcheck // GC is best-effort
+		}
+	}
+	s.man.Epochs = append([]EpochEntry(nil), retained...)
+	return s.man.save(s.dir)
+}
+
+// DocFor reports the name of the document whose region contains code, for
+// inspection endpoints. Empty when none does.
+func (s *Store) DocFor(code uint64) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d := s.docFor(pbicode.Code(code)); d != nil {
+		return d.name
+	}
+	return ""
+}
+
+// IndexKeys returns the number of entries in the incrementally-maintained
+// start index (equals the stored element count; exposed for invariant
+// checks in tests and fsck-style tooling).
+func (s *Store) IndexKeys() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.NumKeys()
+}

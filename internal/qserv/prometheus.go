@@ -220,6 +220,41 @@ func (s *Server) writeMetrics(w io.Writer, om bool) {
 	for _, st := range shards {
 		fmt.Fprintf(w, "pbiserve_shard_virtual_seconds_total{shard=\"%d\"} %g\n", st.Shard, float64(st.VirtualUS)/1e6)
 	}
+
+	// Ingest families: the live write path's epoch gauges and counters.
+	// Like the shard families they are always present for schema stability
+	// and sit at zero on servers without an attached ingest store.
+	ig := s.ingestSnapshot()
+	if ig == nil {
+		ig = &ingestStatsBlock{}
+	}
+	family(w, "pbiserve_epoch", "Ingest epoch currently published (0 = the original base, or no ingest).", "gauge")
+	fmt.Fprintf(w, "pbiserve_epoch %d\n", ig.Epoch)
+	family(w, "pbiserve_epoch_chain_len", "Delta files stacked on the current epoch's base.", "gauge")
+	fmt.Fprintf(w, "pbiserve_epoch_chain_len %d\n", ig.ChainLen)
+	family(w, "pbiserve_ingest_backlog", "Ingest batches in flight (admission gate occupancy).", "gauge")
+	fmt.Fprintf(w, "pbiserve_ingest_backlog %d\n", ig.Backlog)
+	family(w, "pbiserve_ingest_requests_total", "Ingest batches applied and published.", "counter")
+	fmt.Fprintf(w, "pbiserve_ingest_requests_total %d\n", ig.Requests)
+	family(w, "pbiserve_ingest_rejected_total", "Ingest batches shed with 503 (backlog full or draining).", "counter")
+	fmt.Fprintf(w, "pbiserve_ingest_rejected_total %d\n", ig.Rejected)
+	family(w, "pbiserve_ingest_failed_total", "Ingest batches rejected as invalid or rolled back.", "counter")
+	fmt.Fprintf(w, "pbiserve_ingest_failed_total %d\n", ig.Failed)
+	family(w, "pbiserve_ingest_ops_total", "Operations applied, by kind.", "counter")
+	fmt.Fprintf(w, "pbiserve_ingest_ops_total{op=\"insert\"} %d\n", ig.Inserts)
+	fmt.Fprintf(w, "pbiserve_ingest_ops_total{op=\"update\"} %d\n", ig.Updates)
+	fmt.Fprintf(w, "pbiserve_ingest_ops_total{op=\"delete\"} %d\n", ig.Deletes)
+	family(w, "pbiserve_ingest_renumbers_total", "Re-encodes forced by slot exhaustion, by scope.", "counter")
+	fmt.Fprintf(w, "pbiserve_ingest_renumbers_total{scope=\"scoped\"} %d\n", ig.RenumbersScoped)
+	fmt.Fprintf(w, "pbiserve_ingest_renumbers_total{scope=\"global\"} %d\n", ig.RenumbersGlobal)
+	family(w, "pbiserve_ingest_overflow_inserts_total", "Inserts placed in a parent's reserved overflow slot region.", "counter")
+	fmt.Fprintf(w, "pbiserve_ingest_overflow_inserts_total %d\n", ig.OverflowInserts)
+	family(w, "pbiserve_compactions_total", "Delta chains folded into fresh bases by the compaction daemon.", "counter")
+	fmt.Fprintf(w, "pbiserve_compactions_total %d\n", ig.Compactions)
+	family(w, "pbiserve_compact_aborts_total", "Compaction folds discarded because a commit superseded them.", "counter")
+	fmt.Fprintf(w, "pbiserve_compact_aborts_total %d\n", ig.CompactAborts)
+	family(w, "pbiserve_worker_swaps_total", "Pool workers swapped to a newer epoch on acquire.", "counter")
+	fmt.Fprintf(w, "pbiserve_worker_swaps_total %d\n", ig.WorkerSwaps)
 }
 
 // formatBound renders a histogram bound the canonical Prometheus way

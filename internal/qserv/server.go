@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"github.com/pbitree/pbitree/containment"
+	"github.com/pbitree/pbitree/internal/ingest"
 	"github.com/pbitree/pbitree/internal/shard"
 	"github.com/pbitree/pbitree/internal/telemetry"
 	"github.com/pbitree/pbitree/internal/trace"
@@ -107,6 +108,21 @@ type Config struct {
 	// TraceRing bounds the in-memory ring of recent query traces served
 	// by GET /debug/trace/{id}. 0 means 256; negative disables retention.
 	TraceRing int
+	// Ingest, when non-nil, attaches a live write path (internal/ingest)
+	// over the same database: POST /ingest applies update batches, GET
+	// /epochs reports the epoch family, and queries follow published epochs
+	// — each worker is stamped with the epoch it was opened against and
+	// acquire swaps stale workers to the current epoch lazily. The result
+	// cache becomes epoch-keyed (entries for retired epochs age out of the
+	// LRU) and responses carry an X-Epoch header. The caller owns the
+	// store's lifecycle: open it before New, close it after Shutdown.
+	// Incompatible with Shards.
+	Ingest *ingest.Store
+	// IngestBacklog bounds POST /ingest requests in flight (executing plus
+	// waiting on the single-writer store); beyond it the server sheds
+	// ingest load with 503 + Retry-After instead of queueing unboundedly.
+	// 0 means 4.
+	IngestBacklog int
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +150,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceRing == 0 {
 		c.TraceRing = 256
 	}
+	if c.IngestBacklog <= 0 {
+		c.IngestBacklog = 4
+	}
 	return c
 }
 
@@ -159,6 +178,7 @@ type Server struct {
 	mux      *http.ServeMux
 	handler  http.Handler // mux wrapped with trace-ID / access-log middleware
 	rels     []RelationInfo
+	ing      *ingestState // nil without Config.Ingest
 
 	traceBase uint32        // per-process trace-ID prefix (start time)
 	traceSeq  atomic.Uint64 // per-request trace-ID suffix
@@ -195,6 +215,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Shards > 0 {
 		s.manifest = shardManifestPath(cfg.DBPath)
 	}
+	if cfg.Ingest != nil {
+		if cfg.Shards > 0 {
+			return nil, fmt.Errorf("qserv: Config.Ingest is incompatible with Config.Shards (ingest serves one database's epoch family)")
+		}
+		epoch, path := cfg.Ingest.CurrentEpoch()
+		s.ing = &ingestState{
+			store: cfg.Ingest,
+			gate:  make(chan struct{}, cfg.IngestBacklog),
+			epoch: epoch,
+			path:  path,
+		}
+		// Every publication (ingest commit or compaction) moves the serving
+		// target; workers notice on their next acquire and swap over.
+		cfg.Ingest.SetOnPublish(s.ing.adopt)
+	}
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheEntries)
 	}
@@ -219,6 +254,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/debug/trace/", s.handleDebugTraceID)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	if s.ing != nil {
+		s.mux.HandleFunc("/ingest", s.handleIngest)
+		s.mux.HandleFunc("/epochs", s.handleEpochs)
+	}
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -264,8 +303,15 @@ func (s *Server) openWorker() (worker, error) {
 		}
 		return &shardWorker{se: se}, nil
 	}
+	// With an ingest store attached, workers open the current epoch's
+	// database instead of the startup path; the epoch stamp lets acquire
+	// detect staleness after the next publication.
+	path, epoch := s.cfg.DBPath, int64(0)
+	if s.ing != nil {
+		epoch, path = s.ing.current()
+	}
 	eng, rels, err := containment.Open(containment.Config{
-		Path:        s.cfg.DBPath,
+		Path:        path,
 		ReadOnly:    true,
 		BufferPages: s.cfg.BufferPages,
 		DiskCost:    s.cfg.DiskCost,
@@ -274,7 +320,7 @@ func (s *Server) openWorker() (worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &soloWorker{eng: eng, rels: rels}, nil
+	return &soloWorker{eng: eng, rels: rels, ep: epoch}, nil
 }
 
 // Handler returns the server's HTTP handler: the endpoint mux behind the
@@ -454,6 +500,9 @@ func (s *Server) acquire(ctx context.Context) (worker, func(recycle bool), error
 	case wk := <-s.workers:
 		s.met.queued.Add(-1)
 		s.met.busy.Add(1)
+		if s.ing != nil {
+			wk = s.freshen(wk)
+		}
 		release := func(recycle bool) {
 			s.met.busy.Add(-1)
 			if recycle {
@@ -775,7 +824,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	// span tree would replay another request's execution under this trace
 	// ID. Like /debug/trace, the flag exists to observe execution.
 	if !spans {
-		if payload, ok := s.lookup(key); ok {
+		lookupKey, epoch := s.epochKey(key)
+		if payload, ok := s.lookup(lookupKey); ok {
+			s.stampEpoch(w, epoch)
 			s.writePayload(w, payload, true, start)
 			return
 		}
@@ -792,6 +843,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	recycle := false
 	defer func() { release(recycle) }()
+	s.stampEpoch(w, wk.epoch())
 	traceID := w.Header().Get("X-Trace-Id")
 	var an *containment.Analysis
 	err = s.guard(func() error {
@@ -833,7 +885,10 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	payload := mustJSON(resp)
 	if !spans {
-		s.store(key, payload)
+		// Stored under the epoch the borrowed worker actually executed
+		// against (a swap may have landed between lookup and acquire), so a
+		// cached payload always matches its key's epoch.
+		s.store(s.storeKey(wk.epoch(), key), payload)
 	}
 	s.writePayload(w, payload, false, start)
 }
@@ -912,7 +967,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	spans := wantSpans(r)
 	key := fmt.Sprintf("path\x00%s\x00%d", canon, limit)
 	if !spans {
-		if payload, ok := s.lookup(key); ok {
+		lookupKey, epoch := s.epochKey(key)
+		if payload, ok := s.lookup(lookupKey); ok {
+			s.stampEpoch(w, epoch)
 			s.writePayload(w, payload, true, start)
 			return
 		}
@@ -929,6 +986,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	recycle := false
 	defer func() { release(recycle) }()
+	s.stampEpoch(w, wk.epoch())
 	traceID := w.Header().Get("X-Trace-Id")
 	var (
 		codes    []pbicode.Code
@@ -978,7 +1036,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	payload := mustJSON(resp)
 	if !spans {
-		s.store(key, payload)
+		s.store(s.storeKey(wk.epoch(), key), payload)
 	}
 	s.writePayload(w, payload, false, start)
 }
@@ -1062,6 +1120,7 @@ type statsResponse struct {
 	Latency        latencyStats           `json:"latency"`
 	Algorithms     map[string]algSnapshot `json:"algorithms"`
 	Shards         []shardStat            `json:"shards,omitempty"`
+	Ingest         *ingestStatsBlock      `json:"ingest,omitempty"`
 }
 
 // handleStats serves GET /stats.
@@ -1089,6 +1148,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cs := s.cache.snapshot()
 		resp.Cache = &cs
 	}
+	resp.Ingest = s.ingestSnapshot()
 	writeJSON(w, mustJSON(resp))
 }
 

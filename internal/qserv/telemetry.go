@@ -42,9 +42,10 @@ func telemetryFrom(ctx context.Context) *telemetryHolder {
 }
 
 // recordedEndpoint reports whether path produces telemetry records —
-// queries only; introspection endpoints stay out of the sidecar.
+// queries and ingest batches; introspection endpoints stay out of the
+// sidecar.
 func recordedEndpoint(path string) bool {
-	return path == "/join" || path == "/query"
+	return path == "/join" || path == "/query" || path == "/ingest"
 }
 
 // telemetryOutcome classifies a finished request's HTTP status (plus cache
@@ -104,6 +105,9 @@ func (s *Server) emitTelemetry(th *telemetryHolder, traceID, endpoint, rawQuery 
 		Status:   status,
 		Outcome:  telemetryOutcome(status, cached),
 		WallUS:   time.Since(start).Microseconds(),
+	}
+	if s.ing != nil {
+		rec.Epoch, _ = s.ing.current()
 	}
 	if th != nil {
 		rec.Query = th.query

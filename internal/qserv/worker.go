@@ -39,12 +39,17 @@ type worker interface {
 	// shardTotals returns cumulative per-shard I/O, nil for solo workers.
 	// It is the one method safe to call while the worker is busy.
 	shardTotals() []containment.IOStats
+	// epoch is the ingest epoch this worker's engine was opened against
+	// (0 when the server has no ingest store). acquire compares it to the
+	// store's current epoch and swaps stale workers lazily.
+	epoch() int64
 }
 
 // soloWorker is one engine plus its view of the stored relations.
 type soloWorker struct {
 	eng  *containment.Engine
 	rels map[string]*containment.Relation
+	ep   int64 // ingest epoch at open time; 0 without ingest
 }
 
 // relation resolves a tag name, accepting both the raw catalog name and
@@ -88,6 +93,7 @@ func (wk *soloWorker) relationInfos() []RelationInfo {
 }
 
 func (wk *soloWorker) shardTotals() []containment.IOStats { return nil }
+func (wk *soloWorker) epoch() int64                       { return wk.ep }
 
 // shardWorker serves requests through a scatter-gather shard.Engine.
 type shardWorker struct {
@@ -164,3 +170,4 @@ func (wk *shardWorker) relationInfos() []RelationInfo {
 }
 
 func (wk *shardWorker) shardTotals() []containment.IOStats { return wk.se.Totals() }
+func (wk *shardWorker) epoch() int64                       { return 0 }

@@ -1,0 +1,198 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeBaseFile writes n pages of deterministic content and returns the path.
+func writeBaseFile(t *testing.T, pageSize int, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.pbidb")
+	var buf bytes.Buffer
+	for id := 0; id < n; id++ {
+		page := make([]byte, pageSize)
+		for i := range page {
+			page[i] = byte(id + 1)
+		}
+		buf.Write(page)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	const ps = 128
+	dir := t.TempDir()
+	path := filepath.Join(dir, "e1.delta")
+	pages := map[PageID][]byte{
+		2: bytes.Repeat([]byte{0xAA}, ps),
+		7: bytes.Repeat([]byte{0xBB}, ps),
+	}
+	if err := WriteDelta(path, ps, 10, pages); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadDelta(path, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LogicalPages != 10 || d.PageSize != ps || len(d.Pages) != 2 {
+		t.Fatalf("delta header: logical=%d pageSize=%d pages=%d", d.LogicalPages, d.PageSize, len(d.Pages))
+	}
+	for id, want := range pages {
+		if !bytes.Equal(d.Pages[id], want) {
+			t.Fatalf("page %d content mismatch", id)
+		}
+	}
+	if _, _, err := VerifyDelta(path); err != nil {
+		t.Fatalf("VerifyDelta: %v", err)
+	}
+}
+
+func TestDeltaRejectsOutOfExtentPage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.delta")
+	err := WriteDelta(path, 64, 3, map[PageID][]byte{5: make([]byte, 64)})
+	if err == nil {
+		t.Fatal("WriteDelta accepted a page beyond the logical extent")
+	}
+}
+
+func TestDeltaDetectsCorruption(t *testing.T) {
+	const ps = 64
+	path := filepath.Join(t.TempDir(), "e1.delta")
+	if err := WriteDelta(path, ps, 4, map[PageID][]byte{1: make([]byte, ps)}); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDelta(path, ps); err == nil {
+		t.Fatal("ReadDelta accepted a bit-flipped delta")
+	}
+	if _, _, err := VerifyDelta(path); err == nil {
+		t.Fatal("VerifyDelta accepted a bit-flipped delta")
+	}
+}
+
+// TestOverlayLayeredPrecedence checks the read order: private overlay wins
+// over the delta layer, the delta layer over the base file, and pages
+// beyond the file but under the logical extent read as delta content or
+// zeroes.
+func TestOverlayLayeredPrecedence(t *testing.T) {
+	const ps = 64
+	base := writeBaseFile(t, ps, 4) // pages 0..3 filled with id+1
+	dir := filepath.Dir(base)
+
+	d1 := filepath.Join(dir, "e1.delta")
+	// Delta 1: overrides base page 1, extends to page 5 (id 4 written, 5 zero).
+	if err := WriteDelta(d1, ps, 6, map[PageID][]byte{
+		1: bytes.Repeat([]byte{0x11}, ps),
+		4: bytes.Repeat([]byte{0x44}, ps),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d2 := filepath.Join(dir, "e2.delta")
+	// Delta 2: later wins — re-overrides page 1.
+	if err := WriteDelta(d2, ps, 6, map[PageID][]byte{
+		1: bytes.Repeat([]byte{0x12}, ps),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	od, err := OpenOverlayLayered(base, []string{d1, d2}, ps, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer od.Close()
+	if od.NumPages() != 6 || od.BaseNumPages() != 6 {
+		t.Fatalf("NumPages=%d BaseNumPages=%d, want 6", od.NumPages(), od.BaseNumPages())
+	}
+	if od.DeltaPages() != 2 {
+		t.Fatalf("DeltaPages=%d, want 2", od.DeltaPages())
+	}
+
+	read := func(id PageID) []byte {
+		p := make([]byte, ps)
+		if err := od.Read(id, p); err != nil {
+			t.Fatalf("read page %d: %v", id, err)
+		}
+		return p
+	}
+	if got := read(0); got[0] != 1 {
+		t.Fatalf("page 0 = %#x, want base content 0x01", got[0])
+	}
+	if got := read(1); got[0] != 0x12 {
+		t.Fatalf("page 1 = %#x, want later delta 0x12", got[0])
+	}
+	if got := read(4); got[0] != 0x44 {
+		t.Fatalf("page 4 = %#x, want delta 0x44", got[0])
+	}
+	if got := read(5); got[0] != 0 {
+		t.Fatalf("page 5 = %#x, want zero (allocated, unwritten)", got[0])
+	}
+
+	// Private overlay wins over the delta layer, and Release reverts to the
+	// epoch image (not the bare file).
+	if err := od.Write(1, bytes.Repeat([]byte{0x99}, ps)); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(1); got[0] != 0x99 {
+		t.Fatalf("page 1 after write = %#x, want overlay 0x99", got[0])
+	}
+	id, err := od.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 6 {
+		t.Fatalf("Alloc = %d, want 6 (beyond the logical extent)", id)
+	}
+	snap, n := od.OverlaySnapshot()
+	if len(snap) != 1 || n != 7 {
+		t.Fatalf("snapshot: %d pages, numPages %d; want 1, 7", len(snap), n)
+	}
+	od.Release()
+	if od.NumPages() != 6 {
+		t.Fatalf("NumPages after Release = %d, want 6", od.NumPages())
+	}
+	if got := read(1); got[0] != 0x12 {
+		t.Fatalf("page 1 after Release = %#x, want delta 0x12", got[0])
+	}
+}
+
+// TestOverlayLayeredChecksumsBaseOnly: base reads verify against the
+// armed set; delta-layer reads bypass it (they were whole-file verified).
+func TestOverlayLayeredChecksumsBaseOnly(t *testing.T) {
+	const ps = 64
+	base := writeBaseFile(t, ps, 2)
+	d1 := filepath.Join(filepath.Dir(base), "e1.delta")
+	if err := WriteDelta(d1, ps, 2, map[PageID][]byte{1: bytes.Repeat([]byte{0x11}, ps)}); err != nil {
+		t.Fatal(err)
+	}
+	od, err := OpenOverlayLayered(base, []string{d1}, ps, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer od.Close()
+	// Arm checksums that declare both base pages corrupt: page 0 (served
+	// from the file) must fail, page 1 (served from the delta) must not.
+	cs := NewChecksumSet(2)
+	cs.Update(0, bytes.Repeat([]byte{0xEE}, ps))
+	cs.Update(1, bytes.Repeat([]byte{0xEE}, ps))
+	od.SetChecksums(cs)
+	p := make([]byte, ps)
+	if err := od.Read(0, p); err == nil {
+		t.Fatal("base-file read passed verification against a wrong checksum")
+	}
+	if err := od.Read(1, p); err != nil {
+		t.Fatalf("delta-layer read hit base verification: %v", err)
+	}
+}

@@ -38,11 +38,17 @@ type OverlayDisk struct {
 	accounting
 	pageSize  int
 	f         *os.File
-	basePages PageID
-	overlay   map[PageID][]byte
-	numPages  PageID
-	closed    bool
-	sums      *ChecksumSet // nil: no verification (see SetChecksums)
+	filePages PageID // pages physically present in the base file
+	basePages PageID // immutable extent: file plus delta layer (== filePages without deltas)
+	// delta is the immutable epoch layer (see OpenOverlayLayered): pages
+	// from the epoch's delta chain that override or extend the base file.
+	// Nil for plain OpenOverlay disks. Never mutated after open, so reads
+	// need no copy.
+	delta    map[PageID][]byte
+	overlay  map[PageID][]byte
+	numPages PageID
+	closed   bool
+	sums     *ChecksumSet // nil: no verification (see SetChecksums)
 }
 
 // SetChecksums arms page-integrity verification for base-file reads: a
@@ -82,6 +88,7 @@ func OpenOverlay(path string, pageSize int, cost CostModel) (*OverlayDisk, error
 		accounting: newAccounting(cost),
 		pageSize:   pageSize,
 		f:          f,
+		filePages:  base,
 		basePages:  base,
 		overlay:    map[PageID][]byte{},
 		numPages:   base,
@@ -110,6 +117,27 @@ func (d *OverlayDisk) OverlayPages() int {
 	return len(d.overlay)
 }
 
+// DeltaPages returns the number of pages in the immutable epoch delta
+// layer (0 for plain overlays) — a chain-size gauge for compaction policy.
+func (d *OverlayDisk) DeltaPages() int { return len(d.delta) }
+
+// OverlaySnapshot returns a copy of the private overlay — every page this
+// disk has written or allocated since open (or the last Release) — along
+// with the disk's current page count. containment.SaveEpoch turns the
+// snapshot into the next epoch's delta file: the overlay is exactly the
+// set of pages that differ from the epoch image the disk was opened over.
+func (d *OverlayDisk) OverlaySnapshot() (map[PageID][]byte, PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	snap := make(map[PageID][]byte, len(d.overlay))
+	for id, data := range d.overlay {
+		p := make([]byte, len(data))
+		copy(p, data)
+		snap[id] = p
+	}
+	return snap, d.numPages
+}
+
 // Read implements Disk.
 func (d *OverlayDisk) Read(id PageID, p []byte) error {
 	if err := checkBuf(p, d.pageSize); err != nil {
@@ -128,7 +156,13 @@ func (d *OverlayDisk) Read(id PageID, p []byte) error {
 		copy(p, data)
 		return nil
 	}
-	if id >= d.basePages {
+	if data, ok := d.delta[id]; ok {
+		// Epoch delta layer: whole-file CRC-verified when loaded, so no
+		// per-read verification here.
+		copy(p, data)
+		return nil
+	}
+	if id >= d.filePages {
 		// Allocated but never written: zero page.
 		clear(p)
 		return nil

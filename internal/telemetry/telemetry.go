@@ -64,8 +64,12 @@ type Record struct {
 	// canceled, timeout, not_found, error.
 	Outcome   string `json:"outcome"`
 	Algorithm string `json:"algorithm,omitempty"`
-	WallUS    int64  `json:"wall_us"`
-	PageIO    int64  `json:"page_io,omitempty"`
+	// Epoch is the ingest epoch current when the record was emitted (0 on
+	// servers without a live write path) — it correlates latency or I/O
+	// shifts with epoch swaps and compactions.
+	Epoch  int64 `json:"epoch,omitempty"`
+	WallUS int64 `json:"wall_us"`
+	PageIO int64 `json:"page_io,omitempty"`
 	// PredictedIO is the section 3.4 cost model's estimate; IORatio is
 	// actual/predicted (0 when no prediction exists).
 	PredictedIO int64   `json:"predicted_io,omitempty"`

@@ -1,0 +1,101 @@
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// This file reconstructs an encoded document tree from nothing but its
+// stored (tag, code) pairs — the inverse of flattening a collection into
+// tag relations. The PBiTree code of every element pins its exact position
+// in the embedding (Start order is document order, ancestors precede and
+// enclose their descendants), so parent links rebuild with a single stack
+// pass and the result is bit-identical to the collection that was stored:
+// the live-ingest write path (internal/ingest) opens a database this way
+// and then applies InsertChild/InsertSubtree/Delete to it directly.
+
+// TaggedCode pairs an element's tag with its PBiTree code — one stored
+// element of a persisted collection.
+type TaggedCode struct {
+	Tag  string
+	Code pbicode.Code
+}
+
+// FromCodes rebuilds the encoded collection forest from stored elements:
+// the result is a Document whose root is the synthetic collection root
+// (code Root(height)) with every document subtree hanging beneath it, as
+// xmltree.Collection encodes. The elements may arrive in any order; every
+// element's parent must itself be present (a database that stored only a
+// subset of tags cannot be reconstructed — parent chains would have gaps
+// and containment-preserving grafts could not be guaranteed), except that
+// document roots attach directly to the synthetic root.
+func FromCodes(height int, elems []TaggedCode) (*Document, error) {
+	if height < 1 || height > pbicode.MaxHeight {
+		return nil, fmt.Errorf("xmltree: tree height %d out of range [1,%d]", height, pbicode.MaxHeight)
+	}
+	rootCode := pbicode.Root(height)
+	sorted := append([]TaggedCode(nil), elems...)
+	for _, tc := range sorted {
+		if err := tc.Code.Validate(height); err != nil {
+			return nil, err
+		}
+		if tc.Code == rootCode {
+			return nil, fmt.Errorf("xmltree: element code %v collides with the synthetic collection root", tc.Code)
+		}
+	}
+	// Document order with ancestors first: Start ascending, and among equal
+	// Starts (a node and its leftmost-path descendants) the higher node
+	// precedes.
+	sort.Slice(sorted, func(i, j int) bool {
+		si, sj := sorted[i].Code.Start(), sorted[j].Code.Start()
+		if si != sj {
+			return si < sj
+		}
+		return sorted[i].Code.Height() > sorted[j].Code.Height()
+	})
+
+	root := &Element{Tag: collectionRootTag, Code: rootCode}
+	doc := &Document{
+		Root:   root,
+		Height: height,
+		byTag:  make(map[string][]*Element),
+		byCode: make(map[pbicode.Code]*Element),
+	}
+	index := func(e *Element) {
+		doc.byTag[e.Tag] = append(doc.byTag[e.Tag], e)
+		doc.byCode[e.Code] = e
+		doc.count++
+	}
+	index(root)
+
+	stack := []*Element{root}
+	for _, tc := range sorted {
+		if doc.byCode[tc.Code] != nil {
+			return nil, fmt.Errorf("xmltree: duplicate element code %v", tc.Code)
+		}
+		e := &Element{Tag: tc.Tag, Code: tc.Code}
+		// Pop until the top encloses e; the synthetic root encloses every
+		// valid code, so the stack never empties.
+		for !pbicode.IsAncestor(stack[len(stack)-1].Code, e.Code) {
+			stack = stack[:len(stack)-1]
+		}
+		p := stack[len(stack)-1]
+		e.Parent = p
+		p.Children = append(p.Children, e)
+		index(e)
+		stack = append(stack, e)
+	}
+	return doc, nil
+}
+
+// DocumentRoots returns the elements attached directly under the synthetic
+// collection root, in document order — the per-document roots of a forest
+// built by FromCodes (or by Collection encoding).
+func (d *Document) DocumentRoots() []*Element {
+	if d.Root == nil || d.Root.Tag != collectionRootTag {
+		return nil
+	}
+	return append([]*Element(nil), d.Root.Children...)
+}

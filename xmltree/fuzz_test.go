@@ -1,6 +1,8 @@
 package xmltree
 
 import (
+	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -10,6 +12,118 @@ import (
 // FuzzParse feeds arbitrary bytes through the parser; any accepted
 // document must satisfy the encoding invariants and round-trip through the
 // serializer.
+// FuzzUpdates interprets arbitrary bytes as a stream of dynamic-update
+// operations (insert, delete, subtree graft, scoped renumber, re-encode)
+// against a parsed document and asserts the PBiTree containment invariant
+// after every step: unique codes, parents strictly enclosing children, and
+// indexes in agreement with the tree — the update-path counterpart of
+// FuzzParse.
+func FuzzUpdates(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{10, 10, 10, 40, 41, 42, 90, 10})
+	f.Add(bytes.Repeat([]byte{7}, 64))
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		doc, err := ParseString(`<r><a><x/></a><b/><c><y/><z/></c></r>`, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func() {
+			seen := map[pbicode.Code]bool{}
+			n := 0
+			doc.Walk(func(e *Element) bool {
+				n++
+				if err := e.Code.Validate(doc.Height); err != nil {
+					t.Fatalf("invalid code %v: %v", e.Code, err)
+				}
+				if seen[e.Code] {
+					t.Fatalf("duplicate code %v", e.Code)
+				}
+				seen[e.Code] = true
+				if doc.ByCode(e.Code) != e {
+					t.Fatalf("byCode broken for %v", e.Code)
+				}
+				if e.Parent != nil && !pbicode.IsAncestor(e.Parent.Code, e.Code) {
+					t.Fatalf("%v not under its parent %v", e.Code, e.Parent.Code)
+				}
+				return true
+			})
+			if n != doc.NumElements() {
+				t.Fatalf("count %d, walked %d", doc.NumElements(), n)
+			}
+		}
+		// pick deterministically maps a byte to a live element.
+		pick := func(b byte) *Element {
+			var all []*Element
+			doc.Walk(func(e *Element) bool { all = append(all, e); return true })
+			return all[int(b)%len(all)]
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], ops[i+1]
+			switch op % 5 {
+			case 0: // insert a child; exhaustion walks the renumber ladder
+				p := pick(arg)
+				_, err := doc.InsertChild(p, "t")
+				if errors.Is(err, ErrNoFreeSlot) {
+					if p.Parent == nil || errors.Is(doc.RenumberSubtree(p, 1), ErrNoFreeSlot) {
+						if err := doc.Reencode(1); err != nil {
+							t.Fatal(err)
+						}
+					}
+				} else if err != nil {
+					t.Fatal(err)
+				}
+			case 1: // delete a subtree
+				e := pick(arg)
+				if e.Parent != nil {
+					if err := doc.Delete(e); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 2: // graft a small subtree
+				sub, err := ParseString(`<g><h/></g>`, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = doc.InsertSubtree(pick(arg), sub.Root, 0)
+				if err != nil && !errors.Is(err, ErrNoFreeSlot) {
+					t.Fatal(err)
+				}
+			case 3: // scoped renumber
+				e := pick(arg)
+				if e.Parent != nil {
+					if err := doc.RenumberSubtree(e, int(arg)%2); err != nil && !errors.Is(err, ErrNoFreeSlot) {
+						t.Fatal(err)
+					}
+				}
+			case 4: // global re-encode
+				if err := doc.Reencode(int(arg) % 3); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check()
+		}
+		// Whatever survived round-trips through FromCodes (the doc root is
+		// replaced by the synthetic collection root, so counts match).
+		var stored []TaggedCode
+		doc.Walk(func(e *Element) bool {
+			if e.Parent != nil {
+				stored = append(stored, TaggedCode{Tag: e.Tag, Code: e.Code})
+			}
+			return true
+		})
+		rebuilt, err := FromCodes(doc.Height, stored)
+		if err != nil {
+			t.Fatalf("FromCodes on surviving forest: %v", err)
+		}
+		if rebuilt.NumElements() != doc.NumElements() {
+			t.Fatalf("round-trip count %d, want %d", rebuilt.NumElements(), doc.NumElements())
+		}
+	})
+}
+
 func FuzzParse(f *testing.F) {
 	f.Add(`<a><b/><c>text</c></a>`)
 	f.Add(`<a x="1"><a><a/></a></a>`)

@@ -117,6 +117,203 @@ func (d *Document) Delete(e *Element) error {
 	return nil
 }
 
+// Retag renames an element in place: its code, position and subtree are
+// untouched, only the tag index moves — the cheapest update the ingest
+// write path supports (no code assignment, no renumbering risk).
+func (d *Document) Retag(e *Element, tag string) error {
+	if e == nil || d.ByCode(e.Code) != e {
+		return fmt.Errorf("xmltree: element is not part of this document")
+	}
+	if tag == "" {
+		return fmt.Errorf("xmltree: empty tag")
+	}
+	if e.Tag == tag {
+		return nil
+	}
+	tagged := d.byTag[e.Tag]
+	for i, c := range tagged {
+		if c == e {
+			d.byTag[e.Tag] = append(tagged[:i], tagged[i+1:]...)
+			break
+		}
+	}
+	e.Tag = tag
+	d.byTag[tag] = append(d.byTag[tag], e)
+	return nil
+}
+
+// SlotInfo describes a parent's sibling-slot range: the PBiTree level its
+// children occupy (or would occupy), the number of slots, and which are
+// taken. The gap-aware ingest coder (internal/ingest) uses it to steer
+// inserts into a primary region and keep an overflow region in reserve.
+type SlotInfo struct {
+	// Level is the PBiTree level of the parent's child slots.
+	Level int
+	// Base is the alpha of the parent's first child slot at Level.
+	Base uint64
+	// Capacity is the number of slots (2^(Level - parent level)).
+	Capacity uint64
+	// Used marks taken slot indices (relative to Base).
+	Used map[uint64]bool
+	// Depth is the number of PBiTree levels available at and below the
+	// child slots (Height - Level): a grafted subtree of binarized height
+	// at most Depth fits.
+	Depth int
+}
+
+// Slots reports the sibling-slot range of parent's children. A childless
+// parent opens the level just below it (two slots); at the bottom of the
+// PBiTree, Capacity is 0.
+func (d *Document) Slots(parent *Element) (SlotInfo, error) {
+	if parent == nil || d.ByCode(parent.Code) != parent {
+		return SlotInfo{}, fmt.Errorf("xmltree: parent is not part of this document")
+	}
+	pAlpha, pLevel := parent.Code.TopDown(d.Height)
+	si := SlotInfo{Used: make(map[uint64]bool, len(parent.Children))}
+	if len(parent.Children) > 0 {
+		si.Level = parent.Children[0].Code.Level(d.Height)
+		span := uint(si.Level - pLevel)
+		si.Base = pAlpha << span
+		si.Capacity = 1 << span
+	} else {
+		si.Level = pLevel + 1
+		if si.Level > d.Height-1 {
+			return SlotInfo{Level: si.Level, Depth: 0, Used: si.Used}, nil
+		}
+		si.Base = pAlpha << 1
+		si.Capacity = 2
+	}
+	si.Depth = d.Height - si.Level
+	for _, c := range parent.Children {
+		alpha, _ := c.Code.TopDown(d.Height)
+		si.Used[alpha-si.Base] = true
+	}
+	return si, nil
+}
+
+// InsertSubtree grafts a whole element tree (root and its descendants;
+// root must be detached) under parent, taking the first free sibling slot
+// deep enough to hold it. The subtree is binarized standalone with the
+// given slot headroom and its codes are translated into the slot's code
+// region; no existing code changes. ErrNoFreeSlot is returned when no slot
+// is free or the PBiTree has too few levels below the slot for the
+// subtree's embedded height.
+func (d *Document) InsertSubtree(parent *Element, root *Element, headroom int) error {
+	if root == nil {
+		return fmt.Errorf("xmltree: nil subtree root")
+	}
+	if root.Parent != nil {
+		return fmt.Errorf("xmltree: subtree root is already attached")
+	}
+	si, err := d.Slots(parent)
+	if err != nil {
+		return err
+	}
+	for slot := uint64(0); slot < si.Capacity; slot++ {
+		if !si.Used[slot] {
+			err := d.InsertSubtreeSlot(parent, root, headroom, slot)
+			if err == nil || !errors.Is(err, ErrNoFreeSlot) {
+				return err
+			}
+		}
+	}
+	return ErrNoFreeSlot
+}
+
+// InsertSubtreeSlot is InsertSubtree with the slot chosen by the caller
+// (an index below Slots(parent).Capacity). A taken slot, or one without
+// enough PBiTree levels below it, fails with ErrNoFreeSlot.
+func (d *Document) InsertSubtreeSlot(parent *Element, root *Element, headroom int, slot uint64) error {
+	if root == nil {
+		return fmt.Errorf("xmltree: nil subtree root")
+	}
+	if root.Parent != nil {
+		return fmt.Errorf("xmltree: subtree root is already attached")
+	}
+	si, err := d.Slots(parent)
+	if err != nil {
+		return err
+	}
+	if slot >= si.Capacity || si.Used[slot] {
+		return ErrNoFreeSlot
+	}
+	mirror := toNode(root)
+	tree, err := pbicode.BinarizeWithHeadroom(mirror, headroom)
+	if err != nil {
+		return err
+	}
+	if tree.Height > si.Depth {
+		return ErrNoFreeSlot
+	}
+	slotAlpha := si.Base + slot
+	graftCodes(d, root, mirror, tree.Height, slotAlpha, si.Level)
+	root.Parent = parent
+	parent.Children = append(parent.Children, root)
+	return nil
+}
+
+// graftCodes translates the standalone binarization of a subtree (height
+// subHeight, root at sub-level 0) into the document's code space with the
+// subtree root at (slotAlpha, slotLevel), assigning codes and indexing
+// every element: a node at sub-level l and sub-position a lands at level
+// slotLevel+l, position (slotAlpha << l) + a.
+func graftCodes(d *Document, e *Element, n *pbicode.Node, subHeight int, slotAlpha uint64, slotLevel int) {
+	subAlpha, subLevel := n.Code.TopDown(subHeight)
+	e.Code = pbicode.G(slotAlpha<<uint(subLevel)+subAlpha, slotLevel+subLevel, d.Height)
+	d.byTag[e.Tag] = append(d.byTag[e.Tag], e)
+	d.byCode[e.Code] = e
+	d.count++
+	for i, c := range e.Children {
+		graftCodes(d, c, n.Children[i], subHeight, slotAlpha, slotLevel)
+	}
+}
+
+// RenumberSubtree re-encodes the subtree rooted at e in place, inside e's
+// own code region: e keeps its code, every descendant may get a new one,
+// and no element outside the subtree is touched — the scoped fallback the
+// ingest write path uses when one document's slots are exhausted, instead
+// of renumbering the whole collection. ErrNoFreeSlot is returned when the
+// re-encoded subtree (with the requested headroom) needs more PBiTree
+// levels than remain below e; the caller escalates to a full Reencode.
+func (d *Document) RenumberSubtree(e *Element, headroom int) error {
+	if e == nil || d.ByCode(e.Code) != e {
+		return fmt.Errorf("xmltree: element is not part of this document")
+	}
+	if e.Parent == nil {
+		return fmt.Errorf("xmltree: renumbering the root is a full re-encode; call Reencode")
+	}
+	eAlpha, eLevel := e.Code.TopDown(d.Height)
+	mirror := toNode(e)
+	tree, err := pbicode.BinarizeWithHeadroom(mirror, headroom)
+	if err != nil {
+		return err
+	}
+	if tree.Height > d.Height-eLevel {
+		return ErrNoFreeSlot
+	}
+	// Drop the subtree's old codes, then re-index with the grafted ones.
+	// Tag lists hold element pointers and stay valid; only byCode changes.
+	var drop func(*Element)
+	drop = func(x *Element) {
+		delete(d.byCode, x.Code)
+		for _, c := range x.Children {
+			drop(c)
+		}
+	}
+	drop(e)
+	var graft func(*Element, *pbicode.Node)
+	graft = func(x *Element, n *pbicode.Node) {
+		subAlpha, subLevel := n.Code.TopDown(tree.Height)
+		x.Code = pbicode.G(eAlpha<<uint(subLevel)+subAlpha, eLevel+subLevel, d.Height)
+		d.byCode[x.Code] = x
+		for i, c := range x.Children {
+			graft(c, n.Children[i])
+		}
+	}
+	graft(e, mirror)
+	return nil
+}
+
 // Reencode rebuilds the document's PBiTree embedding from scratch
 // (Algorithm 1 again) with the given sibling-slot headroom: every node's
 // child ranges get 2^headroom times their minimal size, so subsequent
