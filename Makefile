@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench fuzz experiments experiments-full serve-smoke shard-smoke parallel-smoke router-smoke chaos-smoke ingest-smoke clean
+.PHONY: all build test vet race cover bench bench-regression fuzz experiments experiments-full serve-smoke shard-smoke parallel-smoke router-smoke chaos-smoke ingest-smoke clean
 
 all: build vet test
 
@@ -28,6 +28,12 @@ cover:
 # benches at reduced scale.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
+
+# Re-run the batched-execution experiment against the committed baseline
+# entry in results/dev/bench/data.js and fail on >15% regression of any
+# shared metric; skips with a notice when no baseline exists.
+bench-regression:
+	./scripts/bench-regression.sh
 
 # Short fuzzing passes over the parser and the coding identities.
 fuzz:

@@ -123,9 +123,20 @@ func report(rep *containment.FsckReport) {
 	if rep.Epoch > 0 {
 		epoch = fmt.Sprintf(", epoch %d over %d deltas", rep.Epoch, len(rep.Deltas))
 	}
-	if len(rep.Bad) == 0 && deltasOK(rep) {
-		fmt.Printf("%s: ok (%d/%d pages verified, page size %d%s)\n", rep.Path, rep.Checked, rep.Pages, rep.PageSize, epoch)
+	formats := ""
+	if rep.CompressedPages > 0 {
+		formats = fmt.Sprintf(", formats: %d fixed / %d compressed", rep.FixedPages, rep.CompressedPages)
+	}
+	if len(rep.Bad) == 0 && deltasOK(rep) && rep.UnknownFormatPages == 0 {
+		fmt.Printf("%s: ok (%d/%d pages verified, page size %d%s%s)\n", rep.Path, rep.Checked, rep.Pages, rep.PageSize, epoch, formats)
 		return
+	}
+	if rep.UnknownFormatPages > 0 {
+		fmt.Printf("%s: INCONSISTENT — %d relation-owned pages carry an unknown format byte%s\n",
+			rep.Path, rep.UnknownFormatPages, formats)
+		if len(rep.Bad) == 0 && deltasOK(rep) {
+			return
+		}
 	}
 	fmt.Printf("%s: CORRUPT — %d of %d pages failed verification%s\n", rep.Path, len(rep.Bad), rep.Checked, epoch)
 	for _, b := range rep.Bad {

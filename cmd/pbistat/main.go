@@ -8,6 +8,13 @@
 //	pbistat -anc section -desc figure [-level 6] file.xml
 //	pbistat -tags file.xml        (list tags with counts and heights)
 //	pbistat -docs [-shards N] file.xml [file.xml ...]
+//	pbistat -layout db.pages      (per-relation page-format report)
+//
+// -layout opens a saved database read-only and reports each relation's
+// physical layout: how many of its pages are fixed-width vs
+// delta-compressed, the stored payload bytes per record, and the pages a
+// pure fixed-width layout would need — i.e. the scan-page savings the
+// compressed format buys.
 //
 // -docs prints the per-document size breakdown of a corpus (element count
 // and estimated heap pages) — the weights the shard packer balances — and
@@ -40,8 +47,17 @@ func main() {
 		pageSize = flag.Int("pagesize", 4096, "with -docs: page size for the page estimate")
 		parallel = flag.Int("parallel", 0, "with -docs: preview the per-worker page budget at this intra-engine degree")
 		buffer   = flag.Int("buffer", 256, "with -docs -parallel: buffer pool pages per engine (pbiserve's default)")
+		layout   = flag.Bool("layout", false, "per-relation page-format report of a saved database (arg: page file)")
 	)
 	flag.Parse()
+	if *layout {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: pbistat -layout db.pages")
+			os.Exit(2)
+		}
+		layoutReport(flag.Arg(0))
+		return
+	}
 	if *docs {
 		if flag.NArg() == 0 {
 			fmt.Fprintln(os.Stderr, "usage: pbistat -docs [-shards N] [-parallel N [-buffer N]] file.xml [file.xml ...]")
@@ -219,6 +235,54 @@ func previewWorkerBudget(parallel, buffer int) {
 		fmt.Printf("  WARNING: per-worker budget %d is below the 3-page external-sort floor;\n", per)
 		fmt.Printf("  the engine will clamp the degree to %d. Raise -buffer to >= %d or lower -parallel.\n",
 			max, 3*parallel)
+	}
+}
+
+// layoutReport opens the database read-only and prints each stored
+// relation's physical page layout: format mix, bytes per record, and the
+// scan-page savings versus a pure fixed-width layout.
+func layoutReport(path string) {
+	eng, rels, err := containment.Open(containment.Config{Path: path, ReadOnly: true})
+	if err != nil {
+		fail(err)
+	}
+	defer eng.Close()
+	names := make([]string, 0, len(rels))
+	for name := range rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-24s %-10s %8s %10s %8s %7s %8s\n",
+		"relation", "format", "pages", "records", "B/rec", "vs", "saved")
+	var pages, equiv int64
+	for _, name := range names {
+		li, err := rels[name].Layout()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", name, err))
+		}
+		format := "fixed"
+		switch {
+		case li.CompressedPages == li.Pages && li.Pages > 0:
+			format = "compressed"
+		case li.CompressedPages > 0:
+			format = "mixed"
+		}
+		perRec := 0.0
+		if li.Records > 0 {
+			perRec = float64(li.PayloadBytes) / float64(li.Records)
+		}
+		ratio := 1.0
+		if li.Pages > 0 {
+			ratio = float64(li.FixedEquivPages) / float64(li.Pages)
+		}
+		fmt.Printf("%-24s %-10s %8d %10d %8.1f %6.2fx %8d\n",
+			name, format, li.Pages, li.Records, perRec, ratio, li.FixedEquivPages-li.Pages)
+		pages += li.Pages
+		equiv += li.FixedEquivPages
+	}
+	if pages > 0 {
+		fmt.Printf("\ntotal: %d pages (fixed-width equivalent %d); every full scan reads %d fewer pages\n",
+			pages, equiv, equiv-pages)
 	}
 }
 

@@ -49,6 +49,17 @@ type Config struct {
 	// a join may use up to Parallel workers internally while it runs. See
 	// doc/PARALLEL.md.
 	Parallel int
+	// Compress stores newly loaded relations in the delta-compressed page
+	// format: sorted-ish code sequences pack several times more records
+	// per page, cutting every scan's page count. Existing relations keep
+	// whatever format they were written in — the two formats coexist in
+	// one database, distinguished per page by a header byte.
+	Compress bool
+	// NoBatch disables the columnar slab execution path and runs every
+	// join record-at-a-time (the pre-batch code path). Off by default:
+	// batching changes CPU work only, never page access patterns or
+	// results. JoinOptions.NoBatch forces it per query.
+	NoBatch bool
 }
 
 // DiskCost assigns virtual time per page access (see storage.CostModel).
@@ -145,6 +156,16 @@ func (r *Relation) Codes() ([]pbicode.Code, error) {
 	return out, nil
 }
 
+// Compressed reports whether the relation appends delta-compressed pages
+// (set at load time from Config.Compress, or read back from the catalog).
+func (r *Relation) Compressed() bool { return r.rel.Compressed() }
+
+// Layout scans the relation's page headers and returns the physical
+// layout summary: pages per format, records, stored payload bytes, and
+// the fixed-width page count the same records would need (the scan-page
+// savings denominator). It costs a full scan's page fetches.
+func (r *Relation) Layout() (relation.LayoutInfo, error) { return r.rel.Layout() }
+
 // NewEngine creates an engine per cfg.
 func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.ReadOnly {
@@ -179,10 +200,18 @@ func (e *Engine) Close() error {
 	return e.disk.Close()
 }
 
-// Load stores a code set as a relation.
+// Load stores a code set as a relation, honoring Config.Compress.
 func (e *Engine) Load(name string, codes []pbicode.Code) (*Relation, error) {
-	rel, err := relation.FromCodes(e.pool, name, codes)
-	if err != nil {
+	rel := relation.New(e.pool, name)
+	rel.SetCompress(e.cfg.Compress)
+	app := rel.NewAppender()
+	for i, c := range codes {
+		if err := app.Append(relation.Rec{Code: c, Aux: uint64(i)}); err != nil {
+			app.Close() //nolint:errcheck // first error wins
+			return nil, err
+		}
+	}
+	if err := app.Close(); err != nil {
 		return nil, err
 	}
 	r := &Relation{rel: rel, singleHeight: true}
@@ -271,6 +300,11 @@ type JoinOptions struct {
 	// higher values fan independent partitions out across that many
 	// workers (clamped to the memory budget's 3-page-per-worker floor).
 	Parallel int
+	// NoBatch forces record-at-a-time execution for this join even when
+	// the engine default (Config.NoBatch unset) is the batch path. There
+	// is no per-query way to re-enable batching on a NoBatch engine: the
+	// flag is an escape hatch, not a tuning knob.
+	NoBatch bool
 	// TraceID is the originating request's trace ID, threaded through for
 	// annotation only: fan-out engines (internal/shard) stamp it into
 	// per-shard span details and serving exemplars so distributed traces
@@ -469,6 +503,7 @@ func (e *Engine) join(goCtx context.Context, a, d *Relation, opts JoinOptions, t
 		VPJRootCut:        opts.VPJRootCut,
 		Stats:             stats,
 		Parallel:          par,
+		NoBatch:           e.cfg.NoBatch || opts.NoBatch,
 	}
 	if goCtx != nil && goCtx != context.Background() {
 		ctx.Ctx = goCtx

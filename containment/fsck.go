@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"github.com/pbitree/pbitree/internal/relation"
 	"github.com/pbitree/pbitree/internal/storage"
 )
 
@@ -47,6 +48,13 @@ type FsckReport struct {
 	Pages    int64         `json:"pages"`   // pages in the file
 	Checked  int64         `json:"checked"` // pages with a recorded checksum
 	Bad      []FsckBadPage `json:"bad,omitempty"`
+	// FixedPages / CompressedPages tally the relation-owned pages by
+	// their header format byte; UnknownFormatPages counts owned pages
+	// whose format byte matches neither layout (a software-level
+	// inconsistency even when the checksum verifies).
+	FixedPages         int64 `json:"fixed_pages,omitempty"`
+	CompressedPages    int64 `json:"compressed_pages,omitempty"`
+	UnknownFormatPages int64 `json:"unknown_format_pages,omitempty"`
 	// Epoch and Deltas are set when the catalog is an epoch (version-2)
 	// database: the page scan above covers the base file, and each delta of
 	// the chain is CRC-verified whole.
@@ -61,7 +69,7 @@ type FsckReport struct {
 // OK reports whether the scan found the database intact (a legacy database
 // with no checksums is not OK — it is unverifiable).
 func (r *FsckReport) OK() bool {
-	if r.NoChecksums || len(r.Bad) > 0 {
+	if r.NoChecksums || len(r.Bad) > 0 || r.UnknownFormatPages > 0 {
 		return false
 	}
 	for _, d := range r.Deltas {
@@ -165,6 +173,16 @@ func Fsck(path string) (*FsckReport, error) {
 			// The file grew after the sidecar was written (a writable
 			// engine extended it without re-saving): unverifiable tail.
 			continue
+		}
+		if len(owners[id]) > 0 {
+			switch relation.PageFormatName(page) {
+			case "fixed":
+				rep.FixedPages++
+			case "compressed":
+				rep.CompressedPages++
+			default:
+				rep.UnknownFormatPages++
+			}
 		}
 		rep.Checked++
 		want := sums.Sum(storage.PageID(id))

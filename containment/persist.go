@@ -83,6 +83,12 @@ type catalogEntry struct {
 	MaxHeight    int     `json:"max_height"`
 	SingleHeight bool    `json:"single_height"`
 	Sorted       bool    `json:"sorted"`
+	// Compressed records the relation's append format so reopened
+	// databases keep extending it in kind. Additive: catalogs written
+	// before the delta-compressed layout unmarshal to false (fixed-width),
+	// which is exactly what their pages are. Scanning never consults the
+	// flag — every page carries its own format byte.
+	Compressed bool `json:"compressed,omitempty"`
 }
 
 // catalogPath returns the sidecar path for a page file.
@@ -145,6 +151,7 @@ func (e *Engine) SaveDocs(docs []DocInfo, relations ...*Relation) error {
 			MaxHeight:    r.maxHeight,
 			SingleHeight: r.singleHeight,
 			Sorted:       r.sorted,
+			Compressed:   r.rel.Compressed(),
 		})
 	}
 	// Checksum the freshly synced page file and write the sidecar before
@@ -272,9 +279,11 @@ func Open(cfg Config) (*Engine, map[string]*Relation, error) {
 			}
 			pages[i] = storage.PageID(id)
 		}
+		rel := relation.Attach(e.pool, entry.Name, pages, entry.Count,
+			pbicode.Region{Start: entry.MinStart, End: entry.MaxEnd})
+		rel.SetCompress(entry.Compressed)
 		rels[entry.Name] = &Relation{
-			rel: relation.Attach(e.pool, entry.Name, pages, entry.Count,
-				pbicode.Region{Start: entry.MinStart, End: entry.MaxEnd}),
+			rel:          rel,
 			maxHeight:    entry.MaxHeight,
 			singleHeight: entry.SingleHeight,
 			sorted:       entry.Sorted,

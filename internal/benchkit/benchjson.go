@@ -1,0 +1,168 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// This file emits and checks benchmark records in the dev/bench data.js
+// format of github-action-benchmark (`window.BENCHMARK_DATA = {...}`):
+// one JS file holding every historical entry, appended to — never
+// overwritten — so results/ doubles as a static chart page and CI can
+// diff the newest run against the previous one.
+
+// dataJSPrefix is the assignment wrapping the JSON payload in data.js.
+const dataJSPrefix = "window.BENCHMARK_DATA = "
+
+// BenchSuite is the entry series pbibench appends to.
+const BenchSuite = "Containment join benchmarks"
+
+// BenchCommit identifies the commit a benchmark entry measured.
+type BenchCommit struct {
+	ID        string `json:"id"`
+	Message   string `json:"message"`
+	Timestamp string `json:"timestamp"`
+	URL       string `json:"url,omitempty"`
+}
+
+// BenchMetric is one measured series point.
+type BenchMetric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Extra string  `json:"extra,omitempty"`
+}
+
+// BenchEntry is one benchmark run: a commit plus its measurements.
+type BenchEntry struct {
+	Commit  BenchCommit   `json:"commit"`
+	Date    int64         `json:"date"` // unix milliseconds
+	Tool    string        `json:"tool"`
+	Benches []BenchMetric `json:"benches"`
+}
+
+// BenchData is the whole data.js payload.
+type BenchData struct {
+	LastUpdate int64                   `json:"lastUpdate"`
+	RepoURL    string                  `json:"repoUrl,omitempty"`
+	Entries    map[string][]BenchEntry `json:"entries"`
+}
+
+// LoadBenchData parses a data.js file; a missing file yields an empty
+// (appendable) payload, not an error.
+func LoadBenchData(path string) (*BenchData, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &BenchData{Entries: map[string][]BenchEntry{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	text := strings.TrimSpace(string(raw))
+	text = strings.TrimPrefix(text, dataJSPrefix)
+	// Tolerate a trailing semicolon or window.dispatchEvent suffix line.
+	if i := strings.LastIndexByte(text, '}'); i >= 0 {
+		text = text[:i+1]
+	}
+	var d BenchData
+	if err := json.Unmarshal([]byte(text), &d); err != nil {
+		return nil, fmt.Errorf("benchkit: parse %s: %w", path, err)
+	}
+	if d.Entries == nil {
+		d.Entries = map[string][]BenchEntry{}
+	}
+	return &d, nil
+}
+
+// Append adds an entry to a suite's history and bumps LastUpdate.
+func (d *BenchData) Append(suite string, e BenchEntry) {
+	d.Entries[suite] = append(d.Entries[suite], e)
+	if e.Date > d.LastUpdate {
+		d.LastUpdate = e.Date
+	}
+}
+
+// Save writes the payload back as data.js, creating directories as
+// needed. The write is atomic (temp file + rename) so a crashed run
+// cannot truncate the history.
+func (d *BenchData) Save(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	body, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(dataJSPrefix+string(body)+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RowsToMetrics converts experiment rows to chartable metrics: elapsed
+// (virtual disk + wall CPU) as the ns/op value — the harness's primary
+// number and, being dominated by deterministic page counts times a fixed
+// virtual cost, nearly host-independent — with page I/O in extra.
+func RowsToMetrics(expID string, rows []Row) []BenchMetric {
+	out := make([]BenchMetric, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, BenchMetric{
+			Name:  fmt.Sprintf("%s/%s/%s", expID, r.Dataset, r.Algorithm),
+			Value: float64(r.Elapsed.Nanoseconds()),
+			Unit:  "ns/op",
+			Extra: fmt.Sprintf("pageIO=%d pairs=%d wall=%s", r.IOs, r.Pairs, r.Wall.Round(time.Microsecond)),
+		})
+	}
+	return out
+}
+
+// Regression is one metric that got slower past the threshold.
+type Regression struct {
+	Name     string
+	Old, New float64
+	Ratio    float64 // New/Old
+}
+
+// checkFloorNs exempts tiny metrics from the regression gate: below
+// ~100 ms the elapsed value is dominated by wall-clock scheduling noise
+// rather than the deterministic virtual disk charge, so a relative
+// threshold would fire spuriously. Aggregate rows (the D1-D10 mix) sit
+// well above the floor and carry the gate.
+const checkFloorNs = 100e6
+
+// CheckRegression compares a suite's two newest entries metric by metric
+// (ns/op units only, names present in both, either side >= checkFloorNs)
+// and returns the metrics that slowed down by more than pct percent. ok
+// is false when there are fewer than two entries to compare — the caller
+// should skip, not fail.
+func (d *BenchData) CheckRegression(suite string, pct float64) (regs []Regression, ok bool) {
+	hist := d.Entries[suite]
+	if len(hist) < 2 {
+		return nil, false
+	}
+	prev, cur := hist[len(hist)-2], hist[len(hist)-1]
+	base := map[string]float64{}
+	for _, m := range prev.Benches {
+		if m.Unit == "ns/op" && m.Value > 0 {
+			base[m.Name] = m.Value
+		}
+	}
+	for _, m := range cur.Benches {
+		if m.Unit != "ns/op" {
+			continue
+		}
+		old, have := base[m.Name]
+		if !have || (old < checkFloorNs && m.Value < checkFloorNs) {
+			continue
+		}
+		if m.Value > old*(1+pct/100) {
+			regs = append(regs, Regression{Name: m.Name, Old: old, New: m.Value, Ratio: m.Value / old})
+		}
+	}
+	return regs, true
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/pbitree/pbitree/internal/relation"
+	"github.com/pbitree/pbitree/pbicode"
+)
+
+// loadFmt creates a relation from codes in the requested page format.
+// load always builds fixed-width pages; the batch equivalence matrix
+// needs both layouts.
+func loadFmt(t *testing.T, ctx *Context, name string, codes []pbicode.Code, compress bool) *relation.Relation {
+	t.Helper()
+	rel := relation.New(ctx.Pool, name)
+	rel.SetCompress(compress)
+	app := rel.NewAppender()
+	for i, c := range codes {
+		if err := app.Append(relation.Rec{Code: c, Aux: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// regionJoin adapts the native region path to joinFunc shape: convert
+// both inputs (inheriting their page format), run the original
+// stack-tree over stored regions, and decode emissions back to element
+// codes so results compare against the PBiTree-coded algorithms.
+func regionJoin(ctx *Context, a, d *relation.Relation, sink Sink) error {
+	ra, err := ToRegionRelation(ctx, a, "RA")
+	if err != nil {
+		return err
+	}
+	defer ra.Free() //nolint:errcheck // cleanup
+	rd, err := ToRegionRelation(ctx, d, "RD")
+	if err != nil {
+		return err
+	}
+	defer rd.Free() //nolint:errcheck // cleanup
+	return StackTreeRegionOnTheFly(ctx, ra, rd, sinkFunc(func(ar, dr relation.Rec) error {
+		return sink.Emit(
+			relation.Rec{Code: pbicode.FromRegion(pbicode.Region{Start: uint64(ar.Code), End: ar.Aux})},
+			relation.Rec{Code: pbicode.FromRegion(pbicode.Region{Start: uint64(dr.Code), End: dr.Aux})},
+		)
+	}))
+}
+
+// batchCase is one algorithm in the batch equivalence matrix. aFixed
+// pins the ancestor side to a single node height when >= 0 (SHCJ's
+// required input shape); -1 draws multi-height codes.
+type batchCase struct {
+	name   string
+	fn     joinFunc
+	aFixed int
+}
+
+// batchCases lists every join whose execution changes under the batch
+// flag: slab equijoins and hash partitioning (MHCJ, rollup, SHCJ),
+// VPJ's subtree routing, the region conversion, and the sort-backed
+// baseline whose inputs flow through extsort (which must preserve the
+// compressed page format across runs and merges).
+func batchCases() []batchCase {
+	return []batchCase{
+		{"MHCJ", MHCJ, -1},
+		{"MHCJRollup", func(ctx *Context, a, d *relation.Relation, s Sink) error { return MHCJRollup(ctx, a, d, 0, s) }, -1},
+		{"VPJ", VPJ, -1},
+		{"SHCJ", SHCJAuto, 5},
+		{"Region", regionJoin, -1},
+		{"StackTree", StackTreeOnTheFly, -1},
+	}
+}
+
+// runBatchMode evaluates fn over fresh relations in the given page
+// format, batch mode, and parallel degree, returning the emitted pairs.
+func runBatchMode(t *testing.T, label string, fn joinFunc, b, h, degree int, noBatch, compress bool, aCodes, dCodes []pbicode.Code) []Pair {
+	t.Helper()
+	ctx := newCtx(t, b, h)
+	ctx.Parallel = degree
+	ctx.NoBatch = noBatch
+	a := loadFmt(t, ctx, "A", aCodes, compress)
+	d := loadFmt(t, ctx, "D", dCodes, compress)
+	var sink PairSink
+	if err := fn(ctx, a, d, &sink); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if ctx.Stats.Pairs != int64(len(sink.Pairs)) {
+		t.Fatalf("%s: Stats.Pairs = %d, emitted %d", label, ctx.Stats.Pairs, len(sink.Pairs))
+	}
+	if got := ctx.Pool.PinnedFrames(); got != 0 {
+		t.Fatalf("%s: leaked %d pins", label, got)
+	}
+	return sink.Pairs
+}
+
+// TestBatchMatchesSerialRandom is the core batch equivalence property:
+// for random inputs in both page formats, the slab path (the default)
+// emits exactly the record-at-a-time result set, which in turn matches
+// the oracle. b=4 forces the grace/block equijoin paths (memory budget
+// of ~30 records); b=64 keeps the in-memory hash builds.
+func TestBatchMatchesSerialRandom(t *testing.T) {
+	const h = 12
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		na, nd := 300+rng.Intn(400), 300+rng.Intn(500)
+		dCodes := randCodes(rng, nd, h, -1)
+		for _, tc := range batchCases() {
+			aCodes := randCodes(rng, na, h, tc.aFixed)
+			want := oracle(aCodes, dCodes)
+			for _, compress := range []bool{false, true} {
+				for _, b := range []int{4, 64} {
+					label := fmt.Sprintf("%s(b=%d compress=%v)", tc.name, b, compress)
+					serial := runBatchMode(t, label+"/serial", tc.fn, b, h, 0, true, compress, aCodes, dCodes)
+					batch := runBatchMode(t, label+"/batch", tc.fn, b, h, 0, false, compress, aCodes, dCodes)
+					samePairs(t, label+"/serial-vs-oracle", serial, want)
+					samePairs(t, label+"/batch-vs-serial", batch, serial)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMatchesSerialParallel crosses the batch path with the
+// parallel fan-out at degrees 1, 2, and 8 in both page formats: worker
+// contexts must inherit the batch flag and temp partitions the workers
+// scan must carry the input's format. The baseline is the serial
+// record-at-a-time run, so a bug in either axis shows up.
+func TestBatchMatchesSerialParallel(t *testing.T) {
+	const h = 12
+	for seed := int64(0); seed < 2; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		na, nd := 500+rng.Intn(400), 500+rng.Intn(500)
+		dCodes := randCodes(rng, nd, h, -1)
+		for _, tc := range batchCases() {
+			aCodes := randCodes(rng, na, h, tc.aFixed)
+			for _, compress := range []bool{false, true} {
+				want := runBatchMode(t, tc.name+"/serial", tc.fn, 24, h, 0, true, compress, aCodes, dCodes)
+				for _, degree := range []int{1, 2, 8} {
+					label := fmt.Sprintf("%s(parallel=%d compress=%v)", tc.name, degree, compress)
+					got := runBatchMode(t, label, tc.fn, 24, h, degree, false, compress, aCodes, dCodes)
+					samePairs(t, label, got, want)
+				}
+			}
+		}
+	}
+}

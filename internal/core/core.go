@@ -60,9 +60,17 @@ type Context struct {
 	// goroutine — byte-for-byte the pre-parallel code paths. See
 	// doc/PARALLEL.md for the execution model.
 	Parallel int
+	// NoBatch disables the batched (slab) execution kernels and runs the
+	// record-at-a-time reference paths instead — the escape hatch and the
+	// baseline side of batch-vs-serial equivalence tests. The zero value
+	// means batching is ON: batch is the default execution core.
+	NoBatch bool
 
 	tmpSeq int
 }
+
+// batch reports whether the batched kernels are enabled.
+func (c *Context) batch() bool { return !c.NoBatch }
 
 // b returns the effective memory budget in pages, at least 3.
 func (c *Context) b() int {

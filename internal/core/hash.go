@@ -109,6 +109,9 @@ func equiJoin(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sin
 func hashJoinBuildA(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sink) error {
 	sp := ctx.Trace.StartDetail("hash-join", "build=A")
 	defer ctx.Trace.End(sp)
+	if ctx.batch() {
+		return hashJoinBuildABatch(ctx, a, d, h, prep, sink)
+	}
 	table := newHashTable(a.NumRecords())
 	as := a.Scan()
 	defer as.Close()
@@ -144,6 +147,9 @@ func hashJoinBuildA(ctx *Context, a, d *relation.Relation, h int, prep aPrep, si
 func hashJoinBuildD(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sink) error {
 	sp := ctx.Trace.StartDetail("hash-join", "build=D")
 	defer ctx.Trace.End(sp)
+	if ctx.batch() {
+		return hashJoinBuildDBatch(ctx, a, d, h, prep, sink)
+	}
 	table := newHashTable(d.NumRecords())
 	ds := d.Scan()
 	defer ds.Close()
@@ -194,20 +200,31 @@ func graceJoin(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Si
 	}
 
 	psp := ctx.Trace.StartDetail("grace-partition", fmt.Sprintf("k=%d depth=%d", k, depth))
-	aParts, err := hashPartition(ctx, a, k, "ha", func(r relation.Rec) (relation.Rec, uint64, bool) {
-		if prep != nil {
-			r = prep(r)
-		}
-		return r, uint64(r.Code), true
-	}, salt)
+	var aParts []*relation.Relation
+	var err error
+	if ctx.batch() {
+		aParts, err = hashPartitionBatchA(ctx, a, k, "ha", prep, salt)
+	} else {
+		aParts, err = hashPartition(ctx, a, k, "ha", func(r relation.Rec) (relation.Rec, uint64, bool) {
+			if prep != nil {
+				r = prep(r)
+			}
+			return r, uint64(r.Code), true
+		}, salt)
+	}
 	if err != nil {
 		ctx.Trace.End(psp)
 		return err
 	}
-	dParts, err := hashPartition(ctx, d, k, "hd", func(r relation.Rec) (relation.Rec, uint64, bool) {
-		key, ok := dKey(r, h)
-		return r, uint64(key), ok
-	}, salt)
+	var dParts []*relation.Relation
+	if ctx.batch() {
+		dParts, err = hashPartitionBatchD(ctx, d, k, "hd", h, salt)
+	} else {
+		dParts, err = hashPartition(ctx, d, k, "hd", func(r relation.Rec) (relation.Rec, uint64, bool) {
+			key, ok := dKey(r, h)
+			return r, uint64(key), ok
+		}, salt)
+	}
 	ctx.Trace.End(psp)
 	if err != nil {
 		freeAll(aParts)
@@ -248,6 +265,7 @@ func hashPartition(ctx *Context, rel *relation.Relation, k int, kind string, pre
 	apps := make([]*relation.Appender, k)
 	for i := range parts {
 		parts[i] = relation.New(ctx.Pool, ctx.tmp(kind))
+		parts[i].SetCompress(rel.Compressed())
 	}
 	closeApps := func() error {
 		var first error
@@ -307,6 +325,9 @@ func freeAll(parts []*relation.Relation) {
 func blockEquiJoin(ctx *Context, a, d *relation.Relation, h int, prep aPrep, sink Sink) error {
 	sp := ctx.Trace.Start("block-join")
 	defer ctx.Trace.End(sp)
+	if ctx.batch() {
+		return blockEquiJoinBatch(ctx, a, d, h, prep, sink)
+	}
 	chunkCap := ctx.memRecs(ctx.b() - 2)
 	if chunkCap < 1 {
 		chunkCap = 1

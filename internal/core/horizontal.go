@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/pbitree/pbitree/internal/relation"
 	"github.com/pbitree/pbitree/pbicode"
@@ -47,7 +48,14 @@ func MHCJ(ctx *Context, a, d *relation.Relation, sink Sink) error {
 
 func mhcj(ctx *Context, a, d *relation.Relation, sink Sink) error {
 	psp := ctx.Trace.Start("partition")
-	parts, heights, err := partitionByHeight(ctx, a)
+	var parts map[int]*relation.Relation
+	var heights []int
+	var err error
+	if ctx.batch() {
+		parts, heights, err = partitionByHeightBatch(ctx, a)
+	} else {
+		parts, heights, err = partitionByHeight(ctx, a)
+	}
 	if psp != nil {
 		psp.Detail = fmt.Sprintf("heights=%d", len(heights))
 	}
@@ -136,6 +144,7 @@ func partitionByHeight(ctx *Context, rel *relation.Relation) (map[int]*relation.
 					continue
 				}
 				parts[h] = relation.New(ctx.Pool, ctx.tmp(fmt.Sprintf("mhcj.h%d", h)))
+				parts[h].SetCompress(rel.Compressed())
 				ap = parts[h].NewAppender()
 				apps[h] = ap
 				ctx.stats().Partitions++
@@ -231,7 +240,13 @@ func mhcjRollup(ctx *Context, a, d *relation.Relation, targetH int, sink Sink) e
 	if targetH <= 0 || knownMax == 0 {
 		if knownMax == 0 {
 			hsp := ctx.Trace.Start("height-scan")
-			hist, err := HeightHistogram(a)
+			var hist map[int]int64
+			var err error
+			if ctx.batch() {
+				hist, err = heightHistogramBatch(a)
+			} else {
+				hist, err = HeightHistogram(a)
+			}
 			ctx.Trace.End(hsp)
 			if err != nil {
 				return err
@@ -271,30 +286,14 @@ func mhcjRollup(ctx *Context, a, d *relation.Relation, targetH int, sink Sink) e
 	ssp := ctx.Trace.StartDetail("rollup-split", fmt.Sprintf("h=%d", targetH))
 	rolled := relation.New(ctx.Pool, ctx.tmp("rollup"))
 	high := relation.New(ctx.Pool, ctx.tmp("rollup.high"))
+	rolled.SetCompress(a.Compressed())
+	high.SetCompress(a.Compressed())
 	// Freed on every exit, including split-scan errors below; the error
 	// paths close both appenders first so Free can discard the tail pages.
 	defer rolled.Free() //nolint:errcheck // cleanup
 	defer high.Free()   //nolint:errcheck // cleanup
 	rApp, hApp := rolled.NewAppender(), high.NewAppender()
-	prep := rollPrep(targetH)
-	s := a.Scan()
-	for s.Next() {
-		r := s.Rec()
-		var err error
-		if r.Code.Height() > targetH {
-			err = hApp.Append(relation.Rec{Code: r.Code, Aux: uint64(r.Code)})
-		} else {
-			err = rApp.Append(prep(r))
-		}
-		if err != nil {
-			s.Close()
-			rApp.Close() //nolint:errcheck // first error wins
-			hApp.Close() //nolint:errcheck // first error wins
-			return err
-		}
-	}
-	s.Close()
-	if err := s.Err(); err != nil {
+	if err := rollupSplit(ctx, a, targetH, rApp, hApp); err != nil {
 		rApp.Close() //nolint:errcheck // first error wins
 		hApp.Close() //nolint:errcheck // first error wins
 		return err
@@ -329,12 +328,63 @@ func mhcjRollup(ctx *Context, a, d *relation.Relation, targetH int, sink Sink) e
 	return mhcj(ctx, high, d, vs)
 }
 
+// rollupSplit scans a once, routing records above targetH (with Aux set
+// to their own code) to hApp and everything else, rolled up, to rApp. The
+// batch path derives heights from slab TrailingZeros and rolls up with
+// the branch-free F constants; the serial path is the reference loop.
+func rollupSplit(ctx *Context, a *relation.Relation, targetH int, rApp, hApp *relation.Appender) error {
+	if ctx.batch() {
+		mask := ^uint64(0) << (uint(targetH) + 1)
+		bit := uint64(1) << uint(targetH)
+		s := a.BatchScan()
+		for s.Next() {
+			// Aux of the input is not read: rollPrep (and this loop) set the
+			// output Aux to the original code for the verification filter.
+			for _, c := range s.Codes() {
+				var err error
+				if bits.TrailingZeros64(c) > targetH {
+					err = hApp.Append(relation.Rec{Code: pbicode.Code(c), Aux: c})
+				} else {
+					rolled := c
+					if c&(bit-1) != 0 { // height below target: roll up
+						rolled = c&mask | bit
+					}
+					err = rApp.Append(relation.Rec{Code: pbicode.Code(rolled), Aux: c})
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return s.Err()
+	}
+	prep := rollPrep(targetH)
+	s := a.Scan()
+	defer s.Close()
+	for s.Next() {
+		r := s.Rec()
+		var err error
+		if r.Code.Height() > targetH {
+			err = hApp.Append(relation.Rec{Code: r.Code, Aux: uint64(r.Code)})
+		} else {
+			err = rApp.Append(prep(r))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return s.Err()
+}
+
 // multiHeightProbeJoin joins a memory-resident multi-height ancestor set
 // against d in one scan: a hash table keyed by ancestor code, probed with
 // F(d, h) for each distinct ancestor height — the ancestor-enumeration
 // join only PBiTree codes make possible (each probe key is computed from
 // the descendant's code alone). Results are exact; no verification needed.
 func multiHeightProbeJoin(ctx *Context, a, d *relation.Relation, sink Sink) error {
+	if ctx.batch() {
+		return multiHeightProbeJoinBatch(ctx, a, d, sink)
+	}
 	table := newHashTable(a.NumRecords())
 	heightSet := make(map[int]struct{})
 	s := a.Scan()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"github.com/pbitree/pbitree/internal/relation"
@@ -204,6 +205,7 @@ func vPartition(ctx *Context, rel *relation.Relation, l int, offset uint64, k in
 	apps := make([]*relation.Appender, k)
 	for i := range parts {
 		parts[i] = relation.New(ctx.Pool, ctx.tmp(side))
+		parts[i].SetCompress(rel.Compressed())
 	}
 	closeApps := func() error {
 		var first error
@@ -231,26 +233,22 @@ func vPartition(ctx *Context, rel *relation.Relation, l int, offset uint64, k in
 		return apps[i].Append(r)
 	}
 	cutHeight := h - l - 1 // height of the level-l nodes
-	s := rel.Scan()
-	defer s.Close()
-	for s.Next() {
-		r := s.Rec()
-		if r.Code.Height() >= h {
-			return fail(fmt.Errorf("core: code %v does not fit a PBiTree of height %d (ctx.TreeHeight too small)", r.Code, h))
+	// route places one record; the batch and serial scan loops below share
+	// it so the partition logic exists once.
+	route := func(r relation.Rec, rh int) error {
+		if rh >= h {
+			return fmt.Errorf("core: code %v does not fit a PBiTree of height %d (ctx.TreeHeight too small)", r.Code, h)
 		}
-		if r.Code.Height() <= cutHeight {
+		if rh <= cutHeight {
 			// At or below the cut: the level-l ancestor names the
 			// partition. For a node at the cut, F at its own height is
 			// itself.
 			anc := pbicode.F(r.Code, cutHeight)
 			alpha := uint64(anc) >> uint(cutHeight+1)
 			if alpha < offset || alpha >= offset+uint64(k) {
-				return fail(fmt.Errorf("core: code %v outside the partitioning span (corrupt relation span?)", r.Code))
+				return fmt.Errorf("core: code %v outside the partitioning span (corrupt relation span?)", r.Code)
 			}
-			if err := appendTo(int(alpha-offset), r); err != nil {
-				return fail(err)
-			}
-			continue
+			return appendTo(int(alpha-offset), r)
 		}
 		// Above the cut: clamp the subtree's partition range to the span
 		// under the LCA (ancestors of the LCA cover all partitions).
@@ -262,24 +260,45 @@ func vPartition(ctx *Context, rel *relation.Relation, l int, offset uint64, k in
 			ghi = hiMax
 		}
 		if ghi < glo {
-			return fail(fmt.Errorf("core: code %v outside the partitioning span (corrupt relation span?)", r.Code))
+			return fmt.Errorf("core: code %v outside the partitioning span (corrupt relation span?)", r.Code)
 		}
 		lo, hi := glo-offset, ghi-offset
 		if !replicate {
-			if err := appendTo(int(lo), r); err != nil {
-				return fail(err)
-			}
-			continue
+			return appendTo(int(lo), r)
 		}
 		for i := lo; i <= hi; i++ {
 			if err := appendTo(int(i), r); err != nil {
-				return fail(err)
+				return err
 			}
 		}
 		ctx.stats().Replicated += int64(hi - lo)
+		return nil
 	}
-	if err := s.Err(); err != nil {
-		return fail(err)
+	if ctx.batch() {
+		bs := rel.BatchScan()
+		for bs.Next() {
+			codes, aux := bs.Codes(), bs.Aux()
+			for i, c := range codes {
+				if err := route(relation.Rec{Code: pbicode.Code(c), Aux: aux[i]}, bits.TrailingZeros64(c)); err != nil {
+					return fail(err)
+				}
+			}
+		}
+		if err := bs.Err(); err != nil {
+			return fail(err)
+		}
+	} else {
+		s := rel.Scan()
+		defer s.Close()
+		for s.Next() {
+			r := s.Rec()
+			if err := route(r, r.Code.Height()); err != nil {
+				return fail(err)
+			}
+		}
+		if err := s.Err(); err != nil {
+			return fail(err)
+		}
 	}
 	if err := closeApps(); err != nil {
 		freeAll(parts)
@@ -308,6 +327,9 @@ func memoryContainmentJoin(ctx *Context, a, d *relation.Relation, sink Sink) err
 func memProbeJoin(ctx *Context, a, d *relation.Relation, sink Sink) error {
 	sp := ctx.Trace.Start("mem-join")
 	defer ctx.Trace.End(sp)
+	if ctx.batch() {
+		return memProbeJoinBatch(ctx, a, d, sink)
+	}
 	recs, err := d.ReadAll()
 	if err != nil {
 		return err

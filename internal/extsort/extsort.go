@@ -139,6 +139,7 @@ func makeRuns(pool *buffer.Pool, in *relation.Relation, key KeyFunc, memPages in
 		}
 		sort.Slice(buf, func(i, j int) bool { return key(buf[i]).Less(key(buf[j])) })
 		run := relation.New(pool, fmt.Sprintf("%s.run%d", name, len(runs)))
+		run.SetCompress(in.Compressed())
 		if err := run.Append(buf...); err != nil {
 			run.Free() //nolint:errcheck // cleanup after append error
 			return err
@@ -230,6 +231,12 @@ func (h *runHeap) popTop() {
 // mergeRuns merges already-sorted runs into one relation.
 func mergeRuns(pool *buffer.Pool, runs []*relation.Relation, key KeyFunc, name string) (*relation.Relation, error) {
 	out := relation.New(pool, name)
+	// Runs inherit the page format of the sort input; the merged output
+	// keeps it (all runs of one sort share a format, so the first speaks
+	// for all).
+	if len(runs) > 0 {
+		out.SetCompress(runs[0].Compressed())
+	}
 	app := out.NewAppender()
 	scanners := make([]*relation.Scanner, len(runs))
 	defer func() {

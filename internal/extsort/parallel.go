@@ -185,6 +185,7 @@ func sortChunk(pool, wp *buffer.Pool, in *relation.Relation, key KeyFunc, chunkP
 	}
 	sort.Slice(buf, func(i, j int) bool { return key(buf[i]).Less(key(buf[j])) })
 	run := relation.New(wp, fmt.Sprintf("%s.run%d", name, t))
+	run.SetCompress(in.Compressed())
 	if err := run.Append(buf...); err != nil {
 		run.Free() //nolint:errcheck // cleanup after append error
 		return nil, err

@@ -1,0 +1,178 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BatchScanner iterates a relation page-at-a-time, decoding each page's
+// records into two reusable column slabs — codes and aux words as bare
+// []uint64 — instead of a []Rec row buffer. Join kernels iterate the slabs
+// in tight loops: no per-record method dispatch, one bounds check per
+// slab, and the code column is laid out exactly as the batched pbicode
+// kernels (FBatch and friends) want it.
+//
+// Like Scanner, it unpins each page immediately after decoding, so no pin
+// is held between Next calls and cancellation is polled at page
+// granularity through the pool's interrupt hook.
+type BatchScanner struct {
+	r       *Relation
+	pageIdx int
+	endPage int // exclusive page bound; scanEnd sentinel = live tail
+	codes   []uint64
+	aux     []uint64
+	n       int
+	err     error
+}
+
+// BatchScan returns a batch scanner positioned before the first page.
+func (r *Relation) BatchScan() *BatchScanner {
+	return &BatchScanner{r: r, endPage: scanEnd}
+}
+
+// BatchScanPages returns a batch scanner over the half-open page range
+// [lo, hi), the slab analogue of ScanPages (parallel workers use it to
+// stripe a shared input).
+func (r *Relation) BatchScanPages(lo, hi int) *BatchScanner {
+	if hi > len(r.pages) {
+		hi = len(r.pages)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return &BatchScanner{r: r, pageIdx: lo, endPage: hi}
+}
+
+// Reset repositions the scanner at the start of r, keeping the slabs.
+func (s *BatchScanner) Reset(r *Relation) {
+	*s = BatchScanner{r: r, endPage: scanEnd, codes: s.codes, aux: s.aux}
+}
+
+// ResetPages repositions the scanner over [lo, hi) of r, keeping the
+// slabs.
+func (s *BatchScanner) ResetPages(r *Relation, lo, hi int) {
+	if hi > len(r.pages) {
+		hi = len(r.pages)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	*s = BatchScanner{r: r, pageIdx: lo, endPage: hi, codes: s.codes, aux: s.aux}
+}
+
+// Next loads the next non-empty page into the slabs, reporting false at
+// the end of the range or on error. After a true Next, Codes and Aux
+// return the page's columns; their contents are valid until the following
+// Next or Reset.
+func (s *BatchScanner) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	for {
+		end := s.endPage
+		if end == scanEnd {
+			end = len(s.r.pages)
+		}
+		if s.pageIdx >= end {
+			return false
+		}
+		if err := s.load(); err != nil {
+			s.err = fmt.Errorf("relation %s: batch scan: %w", s.r.name, err)
+			s.n = 0
+			return false
+		}
+		s.pageIdx++
+		if s.n > 0 {
+			return true
+		}
+	}
+}
+
+// load fetches the current page, decodes it into the slabs, and unpins.
+func (s *BatchScanner) load() error {
+	f, err := s.r.pool.Fetch(s.r.pages[s.pageIdx])
+	if err != nil {
+		return err
+	}
+	p := f.Data
+	n := pageCount(p)
+	switch pageFormat(p) {
+	case pageFixed:
+		if n > s.r.perPage {
+			n = s.r.perPage
+		}
+		s.grow(n)
+		codes, aux := s.codes[:n], s.aux[:n]
+		for i := 0; i < n; i++ {
+			off := pageHeader + i*RecSize
+			codes[i] = binary.LittleEndian.Uint64(p[off:])
+			aux[i] = binary.LittleEndian.Uint64(p[off+8:])
+		}
+	case pageCompressed:
+		s.grow(n)
+		if err := s.decodeCompressed(p, n); err != nil {
+			s.r.pool.Unpin(f, false)
+			return err
+		}
+	default:
+		s.r.pool.Unpin(f, false)
+		return fmt.Errorf("page %d: unknown page format %d", s.r.pages[s.pageIdx], pageFormat(p))
+	}
+	s.r.pool.Unpin(f, false)
+	s.n = n
+	return nil
+}
+
+func (s *BatchScanner) grow(n int) {
+	if cap(s.codes) < n {
+		want := s.r.perPage
+		if want < n {
+			want = n
+		}
+		s.codes = make([]uint64, want)
+		s.aux = make([]uint64, want)
+	}
+	s.codes = s.codes[:cap(s.codes)]
+	s.aux = s.aux[:cap(s.aux)]
+}
+
+// decodeCompressed is the slab variant of the page decoder: one varint
+// walk filling both columns.
+func (s *BatchScanner) decodeCompressed(p []byte, n int) error {
+	used := pageUsed(p)
+	if pageHeader+used > len(p) {
+		return fmt.Errorf("compressed page claims %d payload bytes of %d", used, len(p)-pageHeader)
+	}
+	data := p[pageHeader : pageHeader+used]
+	codes, aux := s.codes[:n], s.aux[:n]
+	off := 0
+	var code, ax uint64
+	for i := 0; i < n; i++ {
+		u, k := binary.Uvarint(data[off:])
+		if k <= 0 {
+			return fmt.Errorf("compressed page truncated at record %d/%d", i, n)
+		}
+		code += uint64(unzigzag(u))
+		off += k
+		u, k = binary.Uvarint(data[off:])
+		if k <= 0 {
+			return fmt.Errorf("compressed page truncated at record %d/%d", i, n)
+		}
+		ax += uint64(unzigzag(u))
+		off += k
+		codes[i] = code
+		aux[i] = ax
+	}
+	return nil
+}
+
+// Codes returns the code column of the current page. Valid after a true
+// Next, until the following Next or Reset.
+func (s *BatchScanner) Codes() []uint64 { return s.codes[:s.n] }
+
+// Aux returns the aux column of the current page, index-aligned with
+// Codes.
+func (s *BatchScanner) Aux() []uint64 { return s.aux[:s.n] }
+
+// Err returns the first error encountered, if any.
+func (s *BatchScanner) Err() error { return s.err }

@@ -27,14 +27,58 @@ type Rec struct {
 	Aux uint64
 }
 
-// RecSize is the on-page size of a record in bytes.
+// RecSize is the on-page size of a record in bytes (fixed-width pages).
 const RecSize = 16
 
-// pageHeader is the per-page header: a record count.
+// pageHeader is the per-page header: bytes [0:2] hold the record count,
+// byte [2] the page format tag, and bytes [4:6] the used payload size of
+// compressed pages. Legacy pages wrote zeros beyond the count, which is
+// why pageFixed must stay 0: every page written before compression landed
+// reads back as fixed-width without rewriting.
 const pageHeader = 8
+
+// Page format tags, stored in the header's format byte. The format is
+// per-page, not per-relation, so fixed and compressed pages coexist in one
+// relation (and one database) freely.
+const (
+	pageFixed      = 0 // fixed-width 16-byte records
+	pageCompressed = 1 // zigzag-varint delta-encoded records
+)
+
+const (
+	// maxCompRec bounds one delta-encoded record: two zigzag varints of up
+	// to 10 bytes each. A compressed page accepts appends while this much
+	// room remains, so no record ever splits across pages.
+	maxCompRec = 2 * binary.MaxVarintLen64
+	// maxPageRecs caps records per page at what the uint16 count holds.
+	// Only reachable on compressed pages (2-byte deltas on a 1 MiB page).
+	maxPageRecs = 1<<16 - 1
+)
+
+// zigzag folds a signed delta into an unsigned varint-friendly form; small
+// magnitudes of either sign encode short.
+func zigzag(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // PerPage returns the number of records that fit a page of the given size.
 func PerPage(pageSize int) int { return (pageSize - pageHeader) / RecSize }
+
+// PageFormatName classifies a raw page image by its header format byte:
+// "fixed", "compressed", or "" for a byte no known layout uses. Offline
+// tools (pbifsck) use it to tally formats without a Relation handle.
+func PageFormatName(p []byte) string {
+	if len(p) < pageHeader {
+		return ""
+	}
+	switch p[2] {
+	case pageFixed:
+		return "fixed"
+	case pageCompressed:
+		return "compressed"
+	default:
+		return ""
+	}
+}
 
 // Relation is an append-only heap file: an ordered list of pages, each
 // packed with records. The page list is kept in memory (the paper's
@@ -53,7 +97,22 @@ type Relation struct {
 	// partitions balanced on skewed embeddings.
 	minStart uint64
 	maxEnd   uint64
+	// compress selects the page format for future appends: delta-encoded
+	// varint pages when set, fixed-width 16-byte records otherwise. The
+	// flag never rewrites existing pages — each page carries its own
+	// format tag — so flipping it mid-life just changes the tail onward.
+	compress bool
 }
+
+// SetCompress selects the page format for subsequent appends: compressed
+// (delta-encoded sorted codes) when on, fixed-width otherwise. Existing
+// pages keep their format; scans handle both transparently.
+func (r *Relation) SetCompress(on bool) { r.compress = on }
+
+// Compressed reports whether the relation appends compressed pages.
+// Partitioning and external sort propagate the flag from their inputs to
+// the temporary relations they create.
+func (r *Relation) Compressed() bool { return r.compress }
 
 // Span returns the smallest region covering every record appended so far
 // and whether the relation has any records. The bounds are maintained
@@ -117,6 +176,45 @@ func getRec(p []byte, i int) Rec {
 func pageCount(p []byte) int       { return int(binary.LittleEndian.Uint16(p)) }
 func setPageCount(p []byte, n int) { binary.LittleEndian.PutUint16(p, uint16(n)) }
 
+func pageFormat(p []byte) int       { return int(p[2]) }
+func setPageFormat(p []byte, f int) { p[2] = byte(f) }
+
+// pageUsed is the payload byte count of a compressed page (bytes beyond
+// the header holding encoded records). Meaningless on fixed pages.
+func pageUsed(p []byte) int       { return int(binary.LittleEndian.Uint16(p[4:])) }
+func setPageUsed(p []byte, n int) { binary.LittleEndian.PutUint16(p[4:], uint16(n)) }
+
+// decodeCompressed decodes a compressed page's records into buf, which
+// must hold pageCount(p) entries. Deltas are accumulated with wrapping
+// arithmetic, so any uint64 sequence — sorted or adversarial — round-trips
+// exactly (the encoder used the matching wrapping subtraction).
+func decodeCompressed(p []byte, buf []Rec) error {
+	n := pageCount(p)
+	used := pageUsed(p)
+	if pageHeader+used > len(p) {
+		return fmt.Errorf("compressed page claims %d payload bytes of %d", used, len(p)-pageHeader)
+	}
+	data := p[pageHeader : pageHeader+used]
+	off := 0
+	var code, aux uint64
+	for i := 0; i < n; i++ {
+		u, k := binary.Uvarint(data[off:])
+		if k <= 0 {
+			return fmt.Errorf("compressed page truncated at record %d/%d", i, n)
+		}
+		code += uint64(unzigzag(u))
+		off += k
+		u, k = binary.Uvarint(data[off:])
+		if k <= 0 {
+			return fmt.Errorf("compressed page truncated at record %d/%d", i, n)
+		}
+		aux += uint64(unzigzag(u))
+		off += k
+		buf[i] = Rec{Code: pbicode.Code(code), Aux: aux}
+	}
+	return nil
+}
+
 // Appender buffers appends into a pinned tail page, the textbook model of
 // one output frame per stream. Close flushes and unpins the tail; exactly
 // one Appender may be active per relation.
@@ -125,6 +223,11 @@ type Appender struct {
 	frame  buffer.Frame
 	n      int // records in the pinned page
 	active bool
+	// Compressed-page write state: absolute write offset into the page and
+	// the running previous code/aux the next deltas are taken against.
+	off      int
+	prevCode uint64
+	prevAux  uint64
 }
 
 // NewAppender returns an appender positioned at the relation's tail: a
@@ -139,8 +242,31 @@ func (a *Appender) Append(rec Rec) error {
 			return fmt.Errorf("relation %s: append: %w", a.r.name, err)
 		}
 	}
-	putRec(a.frame.Data, a.n, rec)
-	a.n++
+	if a.r.compress {
+		// Wrapping deltas: exact for arbitrary uint64 sequences, shortest
+		// for the sorted-code relations joins actually produce.
+		var tmp [maxCompRec]byte
+		k := binary.PutUvarint(tmp[:], zigzag(int64(uint64(rec.Code)-a.prevCode)))
+		k += binary.PutUvarint(tmp[k:], zigzag(int64(rec.Aux-a.prevAux)))
+		copy(a.frame.Data[a.off:], tmp[:k])
+		a.off += k
+		a.prevCode, a.prevAux = uint64(rec.Code), rec.Aux
+		a.n++
+		setPageCount(a.frame.Data, a.n)
+		setPageUsed(a.frame.Data, a.off-pageHeader)
+		if a.off+maxCompRec > len(a.frame.Data) || a.n == maxPageRecs {
+			a.r.pool.Unpin(a.frame, true)
+			a.active = false
+		}
+	} else {
+		putRec(a.frame.Data, a.n, rec)
+		a.n++
+		setPageCount(a.frame.Data, a.n)
+		if a.n == a.r.perPage {
+			a.r.pool.Unpin(a.frame, true)
+			a.active = false
+		}
+	}
 	if s := rec.Code.Start(); a.r.count == 0 || s < a.r.minStart {
 		a.r.minStart = s
 	}
@@ -148,25 +274,41 @@ func (a *Appender) Append(rec Rec) error {
 		a.r.maxEnd = e
 	}
 	a.r.count++
-	setPageCount(a.frame.Data, a.n)
-	if a.n == a.r.perPage {
-		a.r.pool.Unpin(a.frame, true)
-		a.active = false
-	}
 	return nil
 }
 
 // open pins the page the next record goes to: the partial tail page when
-// one exists, a freshly allocated page otherwise.
+// one exists and matches the append format, a freshly allocated page
+// otherwise. A compressed tail is resumed by re-walking its deltas to
+// recover the running previous values; a format-mismatched tail (the
+// relation's compress flag flipped mid-life) is left as-is and a fresh
+// page started.
 func (a *Appender) open() error {
 	if n := len(a.r.pages); n > 0 {
 		f, err := a.r.pool.Fetch(a.r.pages[n-1])
 		if err != nil {
 			return err
 		}
-		if c := pageCount(f.Data); c < a.r.perPage {
-			a.frame, a.n, a.active = f, c, true
-			return nil
+		if a.r.compress {
+			if pageFormat(f.Data) == pageCompressed {
+				c := pageCount(f.Data)
+				off := pageHeader + pageUsed(f.Data)
+				if off+maxCompRec <= len(f.Data) && c < maxPageRecs {
+					prevC, prevA, err := walkCompressed(f.Data, c)
+					if err != nil {
+						a.r.pool.Unpin(f, false)
+						return err
+					}
+					a.frame, a.n, a.active = f, c, true
+					a.off, a.prevCode, a.prevAux = off, prevC, prevA
+					return nil
+				}
+			}
+		} else if pageFormat(f.Data) == pageFixed {
+			if c := pageCount(f.Data); c < a.r.perPage {
+				a.frame, a.n, a.active = f, c, true
+				return nil
+			}
 		}
 		a.r.pool.Unpin(f, false)
 	}
@@ -176,7 +318,38 @@ func (a *Appender) open() error {
 	}
 	a.frame, a.n, a.active = f, 0, true
 	a.r.pages = append(a.r.pages, f.ID)
+	if a.r.compress {
+		setPageFormat(f.Data, pageCompressed)
+		a.off, a.prevCode, a.prevAux = pageHeader, 0, 0
+	}
 	return nil
+}
+
+// walkCompressed replays a compressed page's deltas and returns the last
+// record's code and aux — the values the next appended delta is relative
+// to.
+func walkCompressed(p []byte, n int) (code, aux uint64, err error) {
+	used := pageUsed(p)
+	if pageHeader+used > len(p) {
+		return 0, 0, fmt.Errorf("compressed page claims %d payload bytes of %d", used, len(p)-pageHeader)
+	}
+	data := p[pageHeader : pageHeader+used]
+	off := 0
+	for i := 0; i < n; i++ {
+		u, k := binary.Uvarint(data[off:])
+		if k <= 0 {
+			return 0, 0, fmt.Errorf("compressed page truncated at record %d/%d", i, n)
+		}
+		code += uint64(unzigzag(u))
+		off += k
+		u, k = binary.Uvarint(data[off:])
+		if k <= 0 {
+			return 0, 0, fmt.Errorf("compressed page truncated at record %d/%d", i, n)
+		}
+		aux += uint64(unzigzag(u))
+		off += k
+	}
+	return code, aux, nil
 }
 
 // Close unpins the partial tail page, if any. The appender must not be used
@@ -353,31 +526,68 @@ func (s *Scanner) advance() bool {
 }
 
 // load fetches the current page, decodes every record into the reused
-// buffer, and unpins before returning.
+// buffer, and unpins before returning. Both page formats decode into the
+// same buffer; compressed pages can carry more records than perPage, so
+// the buffer grows to the page's count when needed.
 func (s *Scanner) load() error {
 	f, err := s.r.pool.Fetch(s.r.pages[s.pageIdx])
 	if err != nil {
 		return err
 	}
-	if s.buf == nil {
-		s.buf = make([]Rec, s.r.perPage)
-	}
 	n := pageCount(f.Data)
-	if n > s.r.perPage {
-		n = s.r.perPage
-	}
 	p := f.Data
-	buf := s.buf[:n]
-	for i := range buf {
-		off := pageHeader + i*RecSize
-		buf[i] = Rec{
-			Code: pbicode.Code(binary.LittleEndian.Uint64(p[off:])),
-			Aux:  binary.LittleEndian.Uint64(p[off+8:]),
+	switch pageFormat(p) {
+	case pageFixed:
+		if n > s.r.perPage {
+			n = s.r.perPage
 		}
+		if cap(s.buf) < n {
+			s.buf = make([]Rec, s.r.perPage)
+		}
+		buf := s.buf[:n]
+		for i := range buf {
+			off := pageHeader + i*RecSize
+			buf[i] = Rec{
+				Code: pbicode.Code(binary.LittleEndian.Uint64(p[off:])),
+				Aux:  binary.LittleEndian.Uint64(p[off+8:]),
+			}
+		}
+	case pageCompressed:
+		if cap(s.buf) < n {
+			s.buf = make([]Rec, n)
+		}
+		if err := decodeCompressed(p, s.buf[:n]); err != nil {
+			s.r.pool.Unpin(f, false)
+			return err
+		}
+	default:
+		s.r.pool.Unpin(f, false)
+		return fmt.Errorf("page %d: unknown page format %d", s.r.pages[s.pageIdx], pageFormat(p))
 	}
+	s.buf = s.buf[:cap(s.buf)]
 	s.r.pool.Unpin(f, false)
 	s.n, s.loaded = n, true
 	return nil
+}
+
+// Reset repositions the scanner at the start of r, reusing the decode
+// buffer. Join inner loops that rescan a relation per block use it to
+// avoid allocating a fresh Scanner (and buffer) per pass.
+func (s *Scanner) Reset(r *Relation) {
+	*s = Scanner{r: r, endPage: scanEnd, buf: s.buf}
+}
+
+// ResetPages repositions the scanner over the half-open page range
+// [lo, hi) of r, reusing the decode buffer (the resettable form of
+// ScanPages).
+func (s *Scanner) ResetPages(r *Relation, lo, hi int) {
+	if hi > len(r.pages) {
+		hi = len(r.pages)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	*s = Scanner{r: r, pageIdx: lo, endPage: hi, buf: s.buf}
 }
 
 // Rec returns the current record. Valid after a true Next.
@@ -392,6 +602,53 @@ func (s *Scanner) Err() error { return s.err }
 func (s *Scanner) Close() {
 	s.loaded = false
 	s.n = 0
+}
+
+// LayoutInfo summarizes a relation's on-page layout: how many pages use
+// each format and how the compressed footprint compares to the fixed-width
+// layout of the same records (pbistat -layout).
+type LayoutInfo struct {
+	Pages           int64 // total pages
+	FixedPages      int64 // fixed-width pages
+	CompressedPages int64 // delta-compressed pages
+	Records         int64 // records counted from page headers
+	// PayloadBytes is the record payload actually stored: count*16 on
+	// fixed pages, the encoded byte count on compressed pages.
+	PayloadBytes int64
+	// FixedEquivPages is how many pages the same records would occupy in
+	// the fixed-width layout — the denominator of the scan-page savings.
+	FixedEquivPages int64
+}
+
+// Layout scans the relation's page headers and returns the layout summary.
+// It fetches every page through the pool, so it costs a full scan's I/O.
+func (r *Relation) Layout() (LayoutInfo, error) {
+	var li LayoutInfo
+	li.Pages = int64(len(r.pages))
+	for _, id := range r.pages {
+		f, err := r.pool.Fetch(id)
+		if err != nil {
+			return li, fmt.Errorf("relation %s: layout: %w", r.name, err)
+		}
+		n := pageCount(f.Data)
+		switch pageFormat(f.Data) {
+		case pageCompressed:
+			li.CompressedPages++
+			li.PayloadBytes += int64(pageUsed(f.Data))
+		default:
+			li.FixedPages++
+			if n > r.perPage {
+				n = r.perPage
+			}
+			li.PayloadBytes += int64(n * RecSize)
+		}
+		li.Records += int64(n)
+		r.pool.Unpin(f, false)
+	}
+	if r.perPage > 0 {
+		li.FixedEquivPages = (li.Records + int64(r.perPage) - 1) / int64(r.perPage)
+	}
+	return li, nil
 }
 
 // ReadAll materializes the whole relation as a slice (test and in-memory

@@ -1,0 +1,45 @@
+package pbicode
+
+import "math/bits"
+
+// Batched kernels over bare uint64 code slabs, the column layout
+// relation.BatchScanner produces. Each operates element-wise in a tight
+// branch-free loop so the compiler keeps the loop body in registers and
+// hoists the bounds checks; the batched join paths in internal/core call
+// these per page rather than per record.
+
+// FBatch computes dst[i] = F(src[i], h) for every code in src: the
+// ancestor at height h, derived by masking the low h+1 bits and setting
+// bit h. dst and src may alias. dst must be at least len(src) long.
+func FBatch(dst, src []uint64, h int) {
+	mask := ^uint64(0) << (uint(h) + 1)
+	bit := uint64(1) << uint(h)
+	dst = dst[:len(src)]
+	for i, c := range src {
+		dst[i] = c&mask | bit
+	}
+}
+
+// HeightsBatch computes dst[i] = Height(src[i]) for every code in src.
+// Unlike Code.Height it does not reject code 0 (which yields 64); batch
+// callers scan relations whose codes are valid by construction. dst must
+// be at least len(src) long.
+func HeightsBatch(dst []int, src []uint64) {
+	dst = dst[:len(src)]
+	for i, c := range src {
+		dst[i] = bits.TrailingZeros64(c)
+	}
+}
+
+// RegionBatch computes the region codes of src: starts[i] and ends[i]
+// bracket the subtree of src[i]. Both outputs must be at least len(src)
+// long.
+func RegionBatch(starts, ends, src []uint64) {
+	starts = starts[:len(src)]
+	ends = ends[:len(src)]
+	for i, c := range src {
+		span := uint64(1)<<uint(bits.TrailingZeros64(c)) - 1
+		starts[i] = c - span
+		ends[i] = c + span
+	}
+}

@@ -1,0 +1,72 @@
+package pbicode
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchKernelsMatchScalar locks every batched kernel to its scalar
+// counterpart over random codes and all heights.
+func TestBatchKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	src := make([]uint64, 1000)
+	for i := range src {
+		// Valid codes are nonzero; mix leaves and high nodes.
+		src[i] = rng.Uint64()>>uint(rng.Intn(60)) | 1<<uint(rng.Intn(20))
+		if src[i] == 0 {
+			src[i] = 1
+		}
+	}
+	dst := make([]uint64, len(src))
+	for h := 0; h < 64; h++ {
+		FBatch(dst, src, h)
+		for i, c := range src {
+			if want := uint64(F(Code(c), h)); dst[i] != want {
+				t.Fatalf("FBatch h=%d src=%d: got %d, want %d", h, c, dst[i], want)
+			}
+		}
+	}
+	heights := make([]int, len(src))
+	HeightsBatch(heights, src)
+	starts := make([]uint64, len(src))
+	ends := make([]uint64, len(src))
+	RegionBatch(starts, ends, src)
+	for i, c := range src {
+		if want := Code(c).Height(); heights[i] != want {
+			t.Fatalf("HeightsBatch src=%d: got %d, want %d", c, heights[i], want)
+		}
+		r := Code(c).Region()
+		if starts[i] != r.Start || ends[i] != r.End {
+			t.Fatalf("RegionBatch src=%d: got [%d,%d], want [%d,%d]", c, starts[i], ends[i], r.Start, r.End)
+		}
+	}
+}
+
+// TestFBatchAliasing verifies in-place derivation (dst == src), which the
+// join kernels use to avoid a scratch slab.
+func TestFBatchAliasing(t *testing.T) {
+	src := []uint64{1, 3, 5, 12, 100, 1 << 40}
+	want := make([]uint64, len(src))
+	for i, c := range src {
+		want[i] = uint64(F(Code(c), 4))
+	}
+	FBatch(src, src, 4)
+	for i := range src {
+		if src[i] != want[i] {
+			t.Fatalf("aliased FBatch[%d]: got %d, want %d", i, src[i], want[i])
+		}
+	}
+}
+
+func BenchmarkFBatch(b *testing.B) {
+	src := make([]uint64, 4096)
+	for i := range src {
+		src[i] = uint64(2*i + 1)
+	}
+	dst := make([]uint64, len(src))
+	b.SetBytes(int64(len(src) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FBatch(dst, src, i%32)
+	}
+}
